@@ -1,0 +1,398 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure)
+// plus ablations of the design choices DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+//
+// Fig. 5/6 benches time the full query pair (PIP vs Sample-First at
+// accuracy-matched sample counts); Fig. 7 benches time one RMS trial;
+// Fig. 8 benches time the exact-CDF and sampled iceberg queries. The
+// pipbench command prints the corresponding series (values, errors,
+// ratios); these benches expose the same work to Go's benchmarking
+// harness for timing/allocation tracking.
+package pip
+
+import (
+	"testing"
+
+	"pip/internal/bench"
+	"pip/internal/cond"
+	"pip/internal/core"
+	"pip/internal/ctable"
+	"pip/internal/dist"
+	"pip/internal/expr"
+	"pip/internal/iceberg"
+	"pip/internal/sampler"
+	"pip/internal/tpch"
+)
+
+// benchScale keeps benchmark iterations fast while preserving the
+// engine-vs-engine work ratio.
+func benchScale() tpch.Scale { return tpch.SmallScale() }
+
+const benchSamples = 200
+
+// ---------------------------------------------------------------------------
+// Fig. 5: Q4 at varying selectivity, Sample-First scaled by 1/selectivity.
+
+func benchmarkFig5(b *testing.B, selectivity float64, pip bool) {
+	data := tpch.Generate(benchScale(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if pip {
+			_, err = bench.Q4PIP(data, selectivity, benchSamples, uint64(i))
+		} else {
+			worlds := int(float64(benchSamples) / selectivity)
+			_, err = bench.Q4SF(data, selectivity, worlds, uint64(i))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5PIPSel25(b *testing.B)  { benchmarkFig5(b, 0.25, true) }
+func BenchmarkFig5PIPSel05(b *testing.B)  { benchmarkFig5(b, 0.05, true) }
+func BenchmarkFig5PIPSel01(b *testing.B)  { benchmarkFig5(b, 0.01, true) }
+func BenchmarkFig5PIPSel005(b *testing.B) { benchmarkFig5(b, 0.005, true) }
+func BenchmarkFig5SFSel25(b *testing.B)   { benchmarkFig5(b, 0.25, false) }
+func BenchmarkFig5SFSel05(b *testing.B)   { benchmarkFig5(b, 0.05, false) }
+func BenchmarkFig5SFSel01(b *testing.B)   { benchmarkFig5(b, 0.01, false) }
+func BenchmarkFig5SFSel005(b *testing.B)  { benchmarkFig5(b, 0.005, false) }
+
+// ---------------------------------------------------------------------------
+// Fig. 6: Q1–Q4 on both engines at accuracy-matched budgets.
+
+func BenchmarkFig6Q1PIP(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q1PIP(data, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Q1SF(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q1SF(data, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Q2PIP(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q2PIP(data, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Q2SF(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q2SF(data, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Q3PIP(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q3PIP(data, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Q3SF(b *testing.B) {
+	// Selectivity ~0.1: Sample-First runs at 10x the worlds to match.
+	data := tpch.Generate(benchScale(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q3SF(data, benchSamples*10, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Q4PIP(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q4PIP(data, 0.005, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Q4SF(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q4SF(data, 0.005, benchSamples*10, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7: one RMS trial per iteration (200 samples, 20 parts).
+
+func BenchmarkFig7aPIPTrial(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	parts := data.Parts[:20]
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q4PIPValues(parts, 0.005, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aSFTrial(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	parts := data.Parts[:20]
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q4SFValues(parts, 0.005, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7bPIPTrial(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	parts := data.Parts[:20]
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q5PIPValues(parts, 0.05, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7bSFTrial(b *testing.B) {
+	data := tpch.Generate(benchScale(), 1)
+	parts := data.Parts[:20]
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Q5SFValues(parts, 0.05, benchSamples, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8: iceberg threat, exact CDF vs world sampling.
+
+func BenchmarkFig8PIPExact(b *testing.B) {
+	opt := bench.QuickOptions()
+	data := iceberg.Generate(opt.Fig8Bergs, 1, opt.Seed)
+	ship := data.Ships[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = iceberg.ExactThreat(data, ship)
+	}
+}
+
+func BenchmarkFig8Experiment(b *testing.B) {
+	opt := bench.QuickOptions()
+	opt.Fig8Ships = 3
+	opt.Fig8Bergs = 100
+	opt.Fig8Worlds = 500
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md): each pair isolates one design choice.
+
+func ablationSampler(mod func(*sampler.Config)) *sampler.Sampler {
+	cfg := sampler.DefaultConfig()
+	cfg.WorldSeed = 99
+	cfg.FixedSamples = benchSamples
+	if mod != nil {
+		mod(&cfg)
+	}
+	return sampler.New(cfg)
+}
+
+var ablationVarID uint64 = 1
+
+func ablationVar(class dist.Class, params ...float64) *expr.Variable {
+	ablationVarID++
+	return &expr.Variable{Key: expr.VarKey{ID: ablationVarID}, Dist: dist.MustInstance(class, params...)}
+}
+
+// BenchmarkAblationCDFvsRejection: a selective single-variable constraint
+// (P ~ 0.0013) with and without inverse-CDF constrained sampling.
+func BenchmarkAblationCDFOn(b *testing.B) {
+	s := ablationSampler(nil)
+	y := ablationVar(dist.Normal{}, 0, 1)
+	c := cond.Clause{cond.NewAtom(expr.NewVar(y), cond.GT, expr.Const(3))}
+	for i := 0; i < b.N; i++ {
+		_ = s.Expectation(expr.NewVar(y), c, false)
+	}
+}
+
+func BenchmarkAblationCDFOffRejection(b *testing.B) {
+	s := ablationSampler(func(c *sampler.Config) {
+		c.DisableCDFInversion = true
+		c.DisableMetropolis = true
+	})
+	y := ablationVar(dist.Normal{}, 0, 1)
+	c := cond.Clause{cond.NewAtom(expr.NewVar(y), cond.GT, expr.Const(3))}
+	for i := 0; i < b.N; i++ {
+		_ = s.Expectation(expr.NewVar(y), c, false)
+	}
+}
+
+// BenchmarkAblationIndependence: expectation of X under a constraint on an
+// unrelated selective Y; partitioning samples X unconditionally while the
+// merged group rejects on Y for every X draw.
+func BenchmarkAblationIndependenceOn(b *testing.B) {
+	s := ablationSampler(func(c *sampler.Config) { c.DisableCDFInversion = true; c.DisableMetropolis = true })
+	x := ablationVar(dist.Normal{}, 10, 1)
+	y := ablationVar(dist.Normal{}, 0, 1)
+	c := cond.Clause{cond.NewAtom(expr.NewVar(y), cond.GT, expr.Const(2))}
+	for i := 0; i < b.N; i++ {
+		_ = s.Expectation(expr.NewVar(x), c, false)
+	}
+}
+
+func BenchmarkAblationIndependenceOff(b *testing.B) {
+	s := ablationSampler(func(c *sampler.Config) {
+		c.DisableIndependence = true
+		c.DisableCDFInversion = true
+		c.DisableMetropolis = true
+	})
+	x := ablationVar(dist.Normal{}, 10, 1)
+	y := ablationVar(dist.Normal{}, 0, 1)
+	c := cond.Clause{cond.NewAtom(expr.NewVar(y), cond.GT, expr.Const(2))}
+	for i := 0; i < b.N; i++ {
+		_ = s.Expectation(expr.NewVar(x), c, false)
+	}
+}
+
+// BenchmarkAblationMetropolis: a deep-tail two-variable constraint where
+// rejection alone is hopeless; with Metropolis disabled the sampler burns
+// the rejection cap and gives up.
+func BenchmarkAblationMetropolisOn(b *testing.B) {
+	s := ablationSampler(func(c *sampler.Config) {
+		c.FixedSamples = 50
+		c.RejectionCap = 20000
+	})
+	y1 := ablationVar(dist.Normal{}, 0, 1)
+	y2 := ablationVar(dist.Normal{}, 0, 1)
+	c := cond.Clause{cond.NewAtom(expr.Add(expr.NewVar(y1), expr.NewVar(y2)), cond.GT, expr.Const(6))}
+	for i := 0; i < b.N; i++ {
+		_ = s.Expectation(expr.NewVar(y1), c, false)
+	}
+}
+
+func BenchmarkAblationMetropolisOff(b *testing.B) {
+	s := ablationSampler(func(c *sampler.Config) {
+		c.FixedSamples = 50
+		c.RejectionCap = 20000
+		c.DisableMetropolis = true
+	})
+	y1 := ablationVar(dist.Normal{}, 0, 1)
+	y2 := ablationVar(dist.Normal{}, 0, 1)
+	c := cond.Clause{cond.NewAtom(expr.Add(expr.NewVar(y1), expr.NewVar(y2)), cond.GT, expr.Const(6))}
+	for i := 0; i < b.N; i++ {
+		_ = s.Expectation(expr.NewVar(y1), c, false)
+	}
+}
+
+// BenchmarkAblationMax: sorted early-terminating expected_max vs the naive
+// per-world evaluation on a 200-row table.
+func ablationMaxTable(rows int) (*core.DB, *ctable.Table) {
+	cfg := sampler.DefaultConfig()
+	cfg.WorldSeed = 7
+	cfg.FixedSamples = benchSamples
+	db := core.NewDB(cfg)
+	tb := ctable.New("t", "v")
+	for i := 0; i < rows; i++ {
+		u := db.NewVariableFromInstance(dist.MustInstance(dist.Uniform{}, 0, 1), "u")
+		tup := ctable.NewTuple(ctable.Float(float64(rows - i)))
+		tup.Cond = cond.FromClause(cond.Clause{
+			cond.NewAtom(expr.NewVar(u), cond.LT, expr.Const(0.5)),
+		})
+		tb.MustAppend(tup)
+	}
+	return db, tb
+}
+
+func BenchmarkAblationMaxSorted(b *testing.B) {
+	db, tb := ablationMaxTable(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Sampler().ExpectedMax(tb, 0, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMaxNaive(b *testing.B) {
+	db, tb := ablationMaxTable(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Sampler().ExpectedMaxNaive(tb, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAdaptive: (epsilon, delta) adaptive stopping vs a fixed
+// 1000-sample budget on an easy expectation — adaptive stops far earlier at
+// the same accuracy target.
+func BenchmarkAblationAdaptiveStopping(b *testing.B) {
+	cfg := sampler.DefaultConfig()
+	cfg.WorldSeed = 99
+	s := sampler.New(cfg)
+	y := ablationVar(dist.Uniform{}, 0, 1)
+	c := cond.Clause{cond.NewAtom(expr.NewVar(y), cond.GT, expr.Const(0.5))}
+	for i := 0; i < b.N; i++ {
+		_ = s.Expectation(expr.NewVar(y), c, false)
+	}
+}
+
+func BenchmarkAblationFixed1000(b *testing.B) {
+	cfg := sampler.DefaultConfig()
+	cfg.WorldSeed = 99
+	cfg.FixedSamples = 1000
+	s := sampler.New(cfg)
+	y := ablationVar(dist.Uniform{}, 0, 1)
+	c := cond.Clause{cond.NewAtom(expr.NewVar(y), cond.GT, expr.Const(0.5))}
+	for i := 0; i < b.N; i++ {
+		_ = s.Expectation(expr.NewVar(y), c, false)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Example 4.4 micro-bench: the early-termination table from the paper.
+
+func BenchmarkExample44ExpectedMax(b *testing.B) {
+	cfg := sampler.DefaultConfig()
+	cfg.WorldSeed = 3
+	db := core.NewDB(cfg)
+	tb := ctable.New("R", "A")
+	add := func(v, p float64) {
+		u := db.NewVariableFromInstance(dist.MustInstance(dist.Uniform{}, 0, 1), "u")
+		tup := ctable.NewTuple(ctable.Float(v))
+		tup.Cond = cond.FromClause(cond.Clause{
+			cond.NewAtom(expr.NewVar(u), cond.LT, expr.Const(p)),
+		})
+		tb.MustAppend(tup)
+	}
+	add(5, 0.7)
+	add(4, 0.8)
+	add(1, 0.3)
+	add(0, 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Sampler().ExpectedMax(tb, 0, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command datagen dumps the synthetic benchmark datasets to CSV for
+// inspection:
+//
+//	datagen -dataset tpch|iceberg [-seed N] [-out DIR]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"pip/internal/iceberg"
+	"pip/internal/tpch"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "tpch", "tpch or iceberg")
+		seed    = flag.Uint64("seed", 0xBEEF, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	var err error
+	switch *dataset {
+	case "tpch":
+		err = dumpTPCH(*out, *seed)
+	case "iceberg":
+		err = dumpIceberg(*out, *seed)
+	default:
+		err = fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f2s(f float64) string { return strconv.FormatFloat(f, 'g', 8, 64) }
+
+func dumpTPCH(dir string, seed uint64) error {
+	d := tpch.Generate(tpch.DefaultScale(), seed)
+	var rows [][]string
+	for _, c := range d.Customers {
+		rows = append(rows, []string{
+			strconv.Itoa(c.CustKey), c.Name, f2s(c.Purchases2YearsAgo),
+			f2s(c.PurchasesLastYear), f2s(c.AvgOrderPrice), f2s(c.SatisfactionThreshold),
+		})
+	}
+	if err := writeCSV(dir, "customer.csv",
+		[]string{"custkey", "name", "purch_2y", "purch_1y", "avg_price", "sat_threshold"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range d.Parts {
+		rows = append(rows, []string{
+			strconv.Itoa(p.PartKey), p.Name, f2s(p.RetailPrice), f2s(p.Quantity),
+			f2s(p.PopularityRate), f2s(p.GrowthLambda),
+		})
+	}
+	if err := writeCSV(dir, "part.csv",
+		[]string{"partkey", "name", "retailprice", "quantity", "pop_rate", "growth_lambda"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, s := range d.Suppliers {
+		rows = append(rows, []string{
+			strconv.Itoa(s.SuppKey), s.Name, s.Nation, f2s(s.ManufMean), f2s(s.ManufStd),
+			f2s(s.ShipMean), f2s(s.ShipStd), f2s(s.ProductionRate),
+		})
+	}
+	if err := writeCSV(dir, "supplier.csv",
+		[]string{"suppkey", "name", "nation", "manuf_mean", "manuf_std", "ship_mean", "ship_std", "prod_rate"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, o := range d.Orders {
+		rows = append(rows, []string{
+			strconv.Itoa(o.OrderKey), strconv.Itoa(o.CustKey), strconv.Itoa(o.PartKey),
+			strconv.Itoa(o.SuppKey), strconv.Itoa(o.Year), f2s(o.Price),
+			f2s(o.ManufDays), f2s(o.ShipDays),
+		})
+	}
+	if err := writeCSV(dir, "orders.csv",
+		[]string{"orderkey", "custkey", "partkey", "suppkey", "year", "price", "manuf_days", "ship_days"}, rows); err != nil {
+		return err
+	}
+	fmt.Printf("wrote customer.csv, part.csv, supplier.csv, orders.csv to %s\n", dir)
+	return nil
+}
+
+func dumpIceberg(dir string, seed uint64) error {
+	d := iceberg.Generate(2000, 100, seed)
+	var rows [][]string
+	for _, s := range d.Sightings {
+		rows = append(rows, []string{
+			strconv.Itoa(s.IcebergID), f2s(s.Lat), f2s(s.Lon), f2s(s.AgeDays),
+			f2s(s.PositionStd()), f2s(s.Danger()),
+		})
+	}
+	if err := writeCSV(dir, "sightings.csv",
+		[]string{"iceberg", "lat", "lon", "age_days", "pos_std", "danger"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, s := range d.Ships {
+		rows = append(rows, []string{strconv.Itoa(s.ShipID), f2s(s.Lat), f2s(s.Lon)})
+	}
+	if err := writeCSV(dir, "ships.csv", []string{"ship", "lat", "lon"}, rows); err != nil {
+		return err
+	}
+	fmt.Printf("wrote sightings.csv, ships.csv to %s\n", dir)
+	return nil
+}

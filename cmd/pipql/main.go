@@ -1,0 +1,84 @@
+// Command pipql is an interactive REPL over PIP's SQL subset.
+//
+//	pipql [-seed N] [-demo]
+//
+// With -demo, the running example of the paper (orders x shipping) is
+// preloaded. Statements end with a semicolon; \d lists tables, \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pip"
+)
+
+func main() {
+	var (
+		seed = flag.Uint64("seed", 1, "world seed")
+		demo = flag.Bool("demo", false, "preload the paper's running example")
+	)
+	flag.Parse()
+
+	db := pip.Open(pip.Options{Seed: *seed})
+	if *demo {
+		loadDemo(db)
+		fmt.Println("Demo tables loaded: orders(cust, shipto, price), shipping(dest, duration)")
+		fmt.Println(`Try: SELECT expected_sum(o.price) FROM orders o, shipping s
+     WHERE o.shipto = s.dest AND o.cust = 'Joe' AND s.duration >= 7;`)
+	}
+
+	fmt.Println("pipql — PIP probabilistic SQL. End statements with ';'. \\d lists tables, \\q quits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("pip> ")
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, "quit", "exit":
+			return
+		case `\d`:
+			for _, n := range db.Core().TableNames() {
+				tb, err := db.Table(n)
+				if err != nil {
+					continue
+				}
+				fmt.Printf("  %s(%s) — %d rows\n", n, strings.Join(tb.Schema.Names(), ", "), tb.Len())
+			}
+			fmt.Print("pip> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("...> ")
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		out, err := db.Query(stmt)
+		switch {
+		case err != nil:
+			fmt.Printf("error: %v\n", err)
+		case out == nil:
+			fmt.Println("ok")
+		default:
+			fmt.Print(out.String())
+		}
+		fmt.Print("pip> ")
+	}
+}
+
+func loadDemo(db *pip.DB) {
+	db.MustExec("CREATE TABLE orders (cust, shipto, price)")
+	db.MustExec("CREATE TABLE shipping (dest, duration)")
+	db.MustExec("INSERT INTO orders VALUES ('Joe', 'NY', CREATE_VARIABLE('Normal', 100, 10))")
+	db.MustExec("INSERT INTO orders VALUES ('Bob', 'LA', CREATE_VARIABLE('Normal', 80, 5))")
+	db.MustExec("INSERT INTO shipping VALUES ('NY', CREATE_VARIABLE('Normal', 5, 2))")
+	db.MustExec("INSERT INTO shipping VALUES ('LA', CREATE_VARIABLE('Normal', 4, 1))")
+}

@@ -1,0 +1,84 @@
+// Discrete choice: the repair-key operator (paper §V-A, footnote 2).
+//
+// PIP handles discrete uncertainty through MayBMS-style repair-key: a
+// deterministic table of weighted alternatives becomes a probabilistic
+// table in which each key group chooses exactly one of its rows, with
+// probability proportional to the weight. Rows of a group are mutually
+// exclusive and exhaustive, which is exactly the block-independent-disjoint
+// structure from which relational algebra can build any finite distribution.
+//
+// The scenario: a logistics planner weighs routing options per shipment,
+// each option carrying a cost model with continuous uncertainty — discrete
+// and continuous variables mix freely in one query.
+//
+//	go run ./examples/discretechoice
+package main
+
+import (
+	"fmt"
+
+	"pip"
+	"pip/internal/ctable"
+)
+
+func main() {
+	db := pip.Open(pip.Options{Seed: 99})
+
+	// Deterministic alternatives: (shipment, route, weight).
+	options := db.NewTable("options", "shipment", "route", "weight")
+	must(db.Insert(options, pip.Str("S1"), pip.Str("air"), pip.Float(3))) // 75%
+	must(db.Insert(options, pip.Str("S1"), pip.Str("sea"), pip.Float(1))) // 25%
+	must(db.Insert(options, pip.Str("S2"), pip.Str("rail"), pip.Float(1)))
+	must(db.Insert(options, pip.Str("S2"), pip.Str("road"), pip.Float(1)))
+
+	// repair-key: per shipment, exactly one route is chosen.
+	chosen, err := db.Core().RepairKey(options, []int{0}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after repair-key (each row conditioned on a Categorical choice):")
+	fmt.Print(chosen)
+
+	// Attach continuous cost models per route — discrete choice times
+	// continuous cost in one c-table.
+	costs := map[string]*pip.Variable{
+		"air":  db.NormalVar(900, 120),
+		"sea":  db.NormalVar(300, 90),
+		"rail": db.NormalVar(450, 60),
+		"road": db.NormalVar(520, 150),
+	}
+	withCost := ctable.New("planned", "shipment", "route", "cost")
+	for _, tup := range chosen.Tuples {
+		route := tup.Values[1].S
+		t := ctable.NewTuple(tup.Values[0], tup.Values[1], pip.VarValue(costs[route]))
+		t.Cond = tup.Cond
+		withCost.MustAppend(t)
+	}
+
+	// Per-row confidences are exact (Categorical point masses).
+	fmt.Println("\nroute probabilities and conditional expected costs:")
+	for i := range withCost.Tuples {
+		tup := &withCost.Tuples[i]
+		conf := db.Core().Conf(tup)
+		er, err := db.Core().Expectation(tup, 2, false)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %s via %-4s  P = %.2f  E[cost | chosen] = %7.2f\n",
+			tup.Values[0].S, tup.Values[1].S, conf.Prob, er.Mean)
+	}
+
+	// Expected total cost: sum over rows of P[chosen] * E[cost].
+	total, err := db.ExpectedSum(withCost, 2)
+	if err != nil {
+		panic(err)
+	}
+	// Closed form: S1: .75*900 + .25*300 = 750; S2: .5*450 + .5*520 = 485.
+	fmt.Printf("\nexpected total shipping cost: %.2f (closed form 1235.00)\n", total)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Iceberg threat assessment: the Fig. 8 scenario as an application.
+//
+// Each iceberg's present position is modelled as a Normal distribution
+// around its last sighting (uncertainty growing with age), with an
+// exponentially decaying danger level. A ship asks: what is the total
+// threat from icebergs with a non-negligible (>0.1%) chance of being
+// nearby?
+//
+// Because "nearby" is a conjunction of interval constraints on Normal
+// variables, PIP's expectation operator integrates each probability
+// *exactly* with four CDF evaluations — no sampling. A sample-first engine
+// must generate thousands of position samples per iceberg and still
+// carries multi-percent error (the paper measured 6-28% at 10k samples).
+//
+//	go run ./examples/iceberg
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"pip"
+	"pip/internal/iceberg"
+)
+
+func main() {
+	db := pip.Open(pip.Options{Seed: 2026})
+	data := iceberg.Generate(500, 1, 2026)
+	ship := data.Ships[0]
+
+	fmt.Printf("ship at (%.2f, %.2f), %d iceberg sightings over 4 years\n\n",
+		ship.Lat, ship.Lon, len(data.Sightings))
+
+	totalThreat := 0.0
+	threats := 0
+	for _, s := range data.Sightings {
+		std := s.PositionStd()
+		lat := db.NormalVar(s.Lat, std)
+		lon := db.NormalVar(s.Lon, std)
+
+		// P[iceberg inside the proximity box] via PIP's exact CDF path.
+		r := db.Conf(
+			pip.GT(pip.V(lat), pip.C(ship.Lat-iceberg.ProximityRadius)),
+			pip.LT(pip.V(lat), pip.C(ship.Lat+iceberg.ProximityRadius)),
+			pip.GT(pip.V(lon), pip.C(ship.Lon-iceberg.ProximityRadius)),
+			pip.LT(pip.V(lon), pip.C(ship.Lon+iceberg.ProximityRadius)),
+		)
+		if !r.Exact {
+			panic("expected exact CDF integration")
+		}
+		if r.Prob > iceberg.DangerThreshold {
+			threats++
+			totalThreat += s.Danger() * r.Prob
+		}
+	}
+
+	want := iceberg.ExactThreat(data, ship)
+	fmt.Printf("icebergs above the 0.1%% proximity threshold: %d\n", threats)
+	fmt.Printf("total threat (PIP, exact)                   : %.6f\n", totalThreat)
+	fmt.Printf("total threat (closed-form reference)        : %.6f\n", want)
+	if math.Abs(totalThreat-want) > 1e-9 {
+		panic("exactness lost")
+	}
+	fmt.Println("\nPIP's answer required zero samples; every probability came from 4 CDF evaluations.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: create a probabilistic table, query it with ordinary SQL, and
+// read off expectations and confidences.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pip"
+)
+
+func main() {
+	db := pip.Open(pip.Options{Seed: 42})
+
+	// Uncertain data is declared with CREATE_VARIABLE: the value is a
+	// random variable, stored symbolically, not a sample.
+	db.MustExec(`CREATE TABLE forecasts (city, temp)`)
+	db.MustExec(`INSERT INTO forecasts VALUES
+		('Ithaca',   CREATE_VARIABLE('Normal', 12, 4)),
+		('Phoenix',  CREATE_VARIABLE('Normal', 33, 3)),
+		('Helsinki', CREATE_VARIABLE('Normal',  4, 5))`)
+
+	// Deterministic queries work untouched; probabilistic comparisons
+	// become row conditions instead of filtering (the c-tables model).
+	fmt.Println("Cities that might freeze (temp < 0), with probability:")
+	res := db.MustQuery(`SELECT city, conf() AS p_freeze FROM forecasts WHERE temp < 0`)
+	fmt.Print(res)
+
+	// Expectations of arbitrary arithmetic over the random variables.
+	fmt.Println("\nExpected temperatures in Fahrenheit:")
+	res = db.MustQuery(`SELECT city, expectation(temp * 9 / 5 + 32) AS f FROM forecasts`)
+	fmt.Print(res)
+
+	// Aggregates: expected_sum, expected_avg, expected_max, expected_count.
+	fmt.Println("\nExpected maximum temperature across cities:")
+	res = db.MustQuery(`SELECT expected_max(temp) AS hottest FROM forecasts`)
+	fmt.Print(res)
+
+	// The programmatic API exposes the same machinery directly.
+	x := db.NormalVar(100, 15)
+	r := db.Expectation(pip.V(x), pip.GT(pip.V(x), pip.C(130)))
+	fmt.Printf("\nE[X | X > 130] = %.1f with P[X > 130] = %.4f (IQ > 130)\n", r.Mean, r.Prob)
+}

@@ -1,0 +1,63 @@
+// Supply chain: the Q5-style two-variable model behind Fig. 7(b).
+//
+// Suppliers' production capacity for next year follows an Exponential
+// model; demand follows another. The query asks for the expected
+// underproduction (demand - supply) restricted to the worlds where demand
+// exceeds supply — a comparison of two random variables, which forces
+// rejection sampling. PIP decides to reject-and-redraw per sample instead
+// of re-running the query, and its independence partitioning keeps other
+// constraint groups out of the rejection loop.
+//
+//	go run ./examples/supplychain
+package main
+
+import (
+	"fmt"
+
+	"pip"
+)
+
+type product struct {
+	name       string
+	demandMean float64 // expected units demanded
+	supplyMean float64 // expected units produceable
+}
+
+func main() {
+	db := pip.Open(pip.Options{Seed: 11})
+
+	products := []product{
+		{"widgets", 120, 2280}, // P[D>S] = 0.05: healthy stock
+		{"gadgets", 300, 1200}, // P[D>S] = 0.20: riskier
+		{"gizmos", 500, 500},   // P[D>S] = 0.50: coin flip
+	}
+
+	fmt.Println("product   P[shortage]   E[shortfall | shortage]   closed-form")
+	for _, p := range products {
+		demand := db.ExponentialVar(1 / p.demandMean)
+		supply := db.ExponentialVar(1 / p.supplyMean)
+
+		shortfall := pip.Sub(pip.V(demand), pip.V(supply))
+		r := db.Expectation(shortfall, pip.GT(pip.V(demand), pip.V(supply)))
+
+		// Exponential memorylessness gives closed forms to check against:
+		// P[D > S] = rs / (rs + rd) and E[D - S | D > S] = E[D].
+		rd, rs := 1/p.demandMean, 1/p.supplyMean
+		wantP := rs / (rs + rd)
+		fmt.Printf("%-9s %8.3f (want %.3f) %12.1f %18.1f\n",
+			p.name, r.Prob, wantP, r.Mean, p.demandMean)
+	}
+
+	// The same model through SQL, with the shortage as a c-table and the
+	// expected total shortfall across products as the aggregate.
+	db.MustExec(`CREATE TABLE risk (product, demand, supply)`)
+	db.MustExec(`INSERT INTO risk VALUES
+		('widgets', CREATE_VARIABLE('Exponential', 0.008333), CREATE_VARIABLE('Exponential', 0.000439)),
+		('gadgets', CREATE_VARIABLE('Exponential', 0.003333), CREATE_VARIABLE('Exponential', 0.000833))`)
+	res := db.MustQuery(`
+		SELECT expected_sum(demand - supply) AS total_shortfall
+		FROM risk
+		WHERE demand > supply`)
+	fmt.Println("\nexpected total shortfall across products (weighted by shortage probability):")
+	fmt.Print(res)
+}

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pip/internal/tpch"
+)
+
+func quick() Options { return QuickOptions() }
+
+func TestQ1BothEnginesAgree(t *testing.T) {
+	data := tpch.Generate(tpch.SmallScale(), 1)
+	p, err := Q1PIP(data, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Q1SF(data, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: sum over customers of lambda * price.
+	truth := 0.0
+	for _, c := range data.Customers {
+		truth += c.GrowthRate() * 10 * c.AvgOrderPrice
+	}
+	if math.Abs(p.Value-truth) > 0.1*truth {
+		t.Fatalf("PIP Q1 %v vs truth %v", p.Value, truth)
+	}
+	if math.Abs(s.Value-truth) > 0.1*truth {
+		t.Fatalf("SF Q1 %v vs truth %v", s.Value, truth)
+	}
+}
+
+func TestQ2BothEnginesAgree(t *testing.T) {
+	data := tpch.Generate(tpch.SmallScale(), 1)
+	p, err := Q2PIP(data, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Q2SF(data, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value <= 0 || s.Value <= 0 {
+		t.Fatalf("degenerate Q2 values %v %v", p.Value, s.Value)
+	}
+	if math.Abs(p.Value-s.Value) > 0.15*s.Value {
+		t.Fatalf("engines disagree: PIP %v, SF %v", p.Value, s.Value)
+	}
+}
+
+func TestQ3BothEnginesAgree(t *testing.T) {
+	data := tpch.Generate(tpch.SmallScale(), 1)
+	p, err := Q3PIP(data, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample-First needs extra worlds for the selective filter.
+	s, err := Q3SF(data, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic truth: sum over customers of
+	// P[delivery > threshold] * lambda * price.
+	truth := 0.0
+	for i, c := range data.Customers {
+		sup := data.Suppliers[i%len(data.Suppliers)]
+		mu, sigma := q3Delivery(sup)
+		pDissat := 1 - 0.5*math.Erfc(-(c.SatisfactionThreshold-mu)/(sigma*math.Sqrt2))
+		truth += pDissat * c.GrowthRate() * 10 * c.AvgOrderPrice
+	}
+	if truth <= 0 {
+		t.Fatal("degenerate Q3 truth")
+	}
+	if math.Abs(p.Value-truth) > 0.15*truth {
+		t.Fatalf("PIP Q3 %v vs truth %v", p.Value, truth)
+	}
+	if math.Abs(s.Value-truth) > 0.25*truth {
+		t.Fatalf("SF Q3 %v vs truth %v", s.Value, truth)
+	}
+}
+
+func TestQ3Selectivity(t *testing.T) {
+	// The Q3 predicate should be selective but not degenerate: average
+	// P[dissatisfied] in a plausible band.
+	data := tpch.Generate(tpch.DefaultScale(), 1)
+	total := 0.0
+	for i, c := range data.Customers {
+		sup := data.Suppliers[i%len(data.Suppliers)]
+		mu, sigma := q3Delivery(sup)
+		total += 1 - 0.5*math.Erfc(-(c.SatisfactionThreshold-mu)/(sigma*math.Sqrt2))
+	}
+	avg := total / float64(len(data.Customers))
+	if avg < 0.02 || avg > 0.4 {
+		t.Fatalf("Q3 average selectivity %v out of band", avg)
+	}
+}
+
+func TestQ4TruthAndEstimates(t *testing.T) {
+	data := tpch.Generate(tpch.SmallScale(), 1)
+	parts := data.Parts[:10]
+	const sel = 0.05
+	pip, err := Q4PIPValues(parts, sel, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		truth := Q4Truth(p, sel)
+		if math.Abs(pip[i]-truth) > 0.2*truth {
+			t.Fatalf("part %d: PIP %v vs truth %v", i, pip[i], truth)
+		}
+	}
+	// Sample-First with abundant worlds also converges.
+	sf, err := Q4SFValues(parts, sel, 40000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		truth := Q4Truth(p, sel)
+		if math.Abs(sf[i]-truth) > 0.25*truth {
+			t.Fatalf("part %d: SF %v vs truth %v", i, sf[i], truth)
+		}
+	}
+}
+
+func TestQ5TruthAndEstimates(t *testing.T) {
+	data := tpch.Generate(tpch.SmallScale(), 1)
+	parts := data.Parts[:10]
+	const sel = 0.05
+	pip, err := Q5PIPValues(parts, sel, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		dm, sm := q5Model(p, sel)
+		if math.Abs(Q5Selectivity(dm, sm)-sel) > 1e-9 {
+			t.Fatalf("model selectivity %v", Q5Selectivity(dm, sm))
+		}
+		truth := Q5Truth(dm)
+		if math.Abs(pip[i]-truth) > 0.25*truth {
+			t.Fatalf("part %d: PIP %v vs truth %v", i, pip[i], truth)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	opt := quick()
+	rows, err := Fig5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// The headline claim: Sample-First cost grows as selectivity drops
+	// while PIP stays roughly flat — so the SF/PIP ratio at the most
+	// selective point must far exceed the least selective point.
+	first := float64(rows[0].SFTime) / float64(rows[0].PIPTime)
+	last := float64(rows[3].SFTime) / float64(rows[3].PIPTime)
+	if last < first*3 {
+		t.Fatalf("selectivity scaling not reproduced: ratios %.2f .. %.2f", first, last)
+	}
+	var sb strings.Builder
+	WriteFig5(&sb, rows)
+	if !strings.Contains(sb.String(), "selectivity") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	opt := quick()
+	rows, err := Fig6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PIPValue <= 0 || r.SFValue <= 0 {
+			t.Fatalf("%s degenerate values: %+v", r.Query, r)
+		}
+	}
+	var sb strings.Builder
+	WriteFig6(&sb, rows)
+	if !strings.Contains(sb.String(), "Q1") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestFig7aErrorOrdering(t *testing.T) {
+	opt := quick()
+	rows, err := Fig7a(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every sample count PIP's RMS error must beat Sample-First's by a
+	// wide margin (paper: ~2 orders of magnitude at selectivity 0.005).
+	for _, r := range rows[1:] { // skip n=1 where both are noisy
+		if r.PIPRMS >= r.SFRMS {
+			t.Fatalf("n=%d: PIP RMS %v >= SF RMS %v", r.Samples, r.PIPRMS, r.SFRMS)
+		}
+	}
+	// And PIP's error must shrink with more samples.
+	if rows[len(rows)-1].PIPRMS >= rows[0].PIPRMS {
+		t.Fatalf("PIP error did not shrink: %v .. %v", rows[0].PIPRMS, rows[len(rows)-1].PIPRMS)
+	}
+	last := rows[len(rows)-1]
+	if last.SFRMS/last.PIPRMS < 5 {
+		t.Fatalf("expected a wide PIP advantage at n=1000, got %vx", last.SFRMS/last.PIPRMS)
+	}
+}
+
+func TestFig7bErrorOrdering(t *testing.T) {
+	opt := quick()
+	rows, err := Fig7b(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[1:] {
+		if r.PIPRMS >= r.SFRMS {
+			t.Fatalf("n=%d: PIP RMS %v >= SF RMS %v", r.Samples, r.PIPRMS, r.SFRMS)
+		}
+	}
+}
+
+func TestFig8ExactVsSampled(t *testing.T) {
+	opt := quick()
+	res, err := Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PIP's answer is exact.
+	if res.PIPMaxError > 1e-9 {
+		t.Fatalf("PIP iceberg result not exact: %v", res.PIPMaxError)
+	}
+	// Sample-First carries visible error on at least some ships.
+	if len(res.SFErrors) == 0 {
+		t.Fatal("no error samples")
+	}
+	maxErr := res.SFErrors[len(res.SFErrors)-1]
+	if maxErr <= 0 {
+		t.Fatal("Sample-First suspiciously exact")
+	}
+	var sb strings.Builder
+	WriteFig8(&sb, res)
+	if !strings.Contains(sb.String(), "exact") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestTPCHGeneratorDeterminism(t *testing.T) {
+	a := tpch.Generate(tpch.SmallScale(), 5)
+	b := tpch.Generate(tpch.SmallScale(), 5)
+	if len(a.Customers) != len(b.Customers) || a.Customers[3] != b.Customers[3] {
+		t.Fatal("generator not deterministic")
+	}
+	c := tpch.Generate(tpch.SmallScale(), 6)
+	if a.Customers[3] == c.Customers[3] {
+		t.Fatal("seed ignored")
+	}
+	if len(a.JapaneseSuppliers()) == 0 {
+		t.Fatal("no Japanese suppliers generated")
+	}
+	for _, cust := range a.Customers {
+		if cust.GrowthRate() <= 0 {
+			t.Fatal("non-positive growth rate")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"pip/internal/cond"
+	"pip/internal/dist"
+	"pip/internal/expr"
+	"pip/internal/iceberg"
+	"pip/internal/prng"
+	"pip/internal/sampler"
+)
+
+// icebergThreatExactCDF computes a ship's threat through PIP's own exact
+// machinery: each iceberg's present position is a pair of Normal random
+// variables, "near the ship" is a conjunction of four interval atoms, and
+// the sampler's conf() reduces each axis to two CDF evaluations — no
+// sampling at all (Fig. 8: "PIP was able to employ CDF sampling and obtain
+// an exact result").
+func icebergThreatExactCDF(data *iceberg.Data, ship iceberg.Ship) float64 {
+	cfg := sampler.DefaultConfig()
+	smp := sampler.New(cfg)
+	total := 0.0
+	var nextID uint64 = 1
+	for _, s := range data.Sightings {
+		std := s.PositionStd()
+		latVar := &expr.Variable{
+			Key:  expr.VarKey{ID: nextID},
+			Dist: dist.MustInstance(dist.Normal{}, s.Lat, std),
+		}
+		lonVar := &expr.Variable{
+			Key:  expr.VarKey{ID: nextID + 1},
+			Dist: dist.MustInstance(dist.Normal{}, s.Lon, std),
+		}
+		nextID += 2
+		clause := cond.Clause{
+			cond.NewAtom(expr.NewVar(latVar), cond.GT, expr.Const(ship.Lat-iceberg.ProximityRadius)),
+			cond.NewAtom(expr.NewVar(latVar), cond.LT, expr.Const(ship.Lat+iceberg.ProximityRadius)),
+			cond.NewAtom(expr.NewVar(lonVar), cond.GT, expr.Const(ship.Lon-iceberg.ProximityRadius)),
+			cond.NewAtom(expr.NewVar(lonVar), cond.LT, expr.Const(ship.Lon+iceberg.ProximityRadius)),
+		}
+		r := smp.Conf(clause)
+		if r.Prob > iceberg.DangerThreshold {
+			total += s.Danger() * r.Prob
+		}
+	}
+	return total
+}
+
+// samplefirstKeyed builds the per-(iceberg, world) generator for the
+// Sample-First iceberg run.
+func samplefirstKeyed(seed, i, w uint64) *prng.Rand {
+	return prng.NewKeyed(seed, 0x5F, i, w)
+}

@@ -1,0 +1,440 @@
+// Package bench implements the paper's evaluation workloads (§VI): queries
+// Q1–Q5 over the synthetic TPC-H data and the iceberg danger query, each in
+// two variants — PIP (symbolic c-tables + deferred goal-directed sampling)
+// and Sample-First (MCDB-style tuple bundles) — plus one driver per figure
+// that regenerates the paper's series.
+package bench
+
+import (
+	"math"
+	"time"
+
+	"pip/internal/cond"
+	"pip/internal/core"
+	"pip/internal/ctable"
+	"pip/internal/dist"
+	"pip/internal/expr"
+	"pip/internal/prng"
+	"pip/internal/samplefirst"
+	"pip/internal/sampler"
+	"pip/internal/tpch"
+)
+
+// QueryResult reports one query run with the paper's query/sample phase
+// split for PIP (Fig. 6 stacks the two).
+type QueryResult struct {
+	Name       string
+	Value      float64
+	QueryTime  time.Duration // deterministic phase: building the result c-table
+	SampleTime time.Duration // probabilistic phase: expectations/confidences
+	Samples    int           // sample budget used
+}
+
+// Total returns the end-to-end duration.
+func (q QueryResult) Total() time.Duration { return q.QueryTime + q.SampleTime }
+
+// pipDB builds a PIP engine with a fixed per-expectation sample budget
+// (the paper's experiments fix 1000 samples) and closed-form shortcuts
+// disabled so PIP does the same sampling work the paper measures.
+func pipDB(samples int, seed uint64) *core.DB {
+	cfg := sampler.DefaultConfig()
+	cfg.FixedSamples = samples
+	cfg.WorldSeed = seed
+	cfg.DisableClosedForm = true
+	return core.NewDB(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Q1: predicted revenue increase (MCDB Q1 analogue).
+//
+// Past purchase growth parametrizes a Poisson prediction of additional
+// orders per customer; the query sums predicted additional revenue.
+
+// Q1PIP runs Q1 on PIP.
+func Q1PIP(data *tpch.Data, samples int, seed uint64) (QueryResult, error) {
+	db := pipDB(samples, seed)
+	t0 := time.Now()
+	tb := ctable.New("q1", "cust", "extra_revenue")
+	for _, c := range data.Customers {
+		lambda := c.GrowthRate() * 10
+		v := db.NewVariableFromInstance(dist.MustInstance(dist.Poisson{}, lambda), "orders")
+		rev := expr.Mul(expr.NewVar(v), expr.Const(c.AvgOrderPrice))
+		tb.MustAppend(ctable.NewTuple(ctable.Int(int64(c.CustKey)), ctable.Symbolic(rev)))
+	}
+	queryTime := time.Since(t0)
+
+	t1 := time.Now()
+	agg, err := db.Sampler().ExpectedSum(tb, 1)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{
+		Name: "Q1", Value: agg.Value,
+		QueryTime: queryTime, SampleTime: time.Since(t1), Samples: samples,
+	}, nil
+}
+
+// Q1SF runs Q1 on Sample-First with the given world count.
+func Q1SF(data *tpch.Data, worlds int, seed uint64) (QueryResult, error) {
+	t0 := time.Now()
+	tb := samplefirst.New("q1", worlds, "cust", "price")
+	for _, c := range data.Customers {
+		tb.MustAppend(samplefirst.Tuple{Cells: []samplefirst.Cell{
+			samplefirst.DetCell(ctable.Float(c.GrowthRate() * 10)),
+			samplefirst.DetCell(ctable.Float(c.AvgOrderPrice)),
+		}})
+	}
+	// Sample-first moment: generate every world's order count now.
+	err := tb.GenerateColumn("orders", seed, func(t *samplefirst.Tuple) (dist.Instance, error) {
+		lambda, _ := t.Cells[0].Det.AsFloat()
+		return dist.NewInstance(dist.Poisson{}, lambda)
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	proj, err := tb.Project([]string{"rev"}, []samplefirst.Scalar{
+		samplefirst.BinOp{Op: '*', Left: samplefirst.Col(2), Right: samplefirst.Col(1)},
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	val, err := proj.ExpectedSum(0)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Name: "Q1", Value: val, QueryTime: time.Since(t0), Samples: worlds}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Q2: expected latest delivery date over today's parts from Japanese
+// suppliers (MCDB Q2 analogue): manufacturing + shipping Normals, then
+// expected_max.
+
+// q2PendingOrders picks the deterministic skeleton: one pending order per
+// (part, Japanese supplier) pair, limited to keep the max manageable.
+func q2PendingOrders(data *tpch.Data) []tpch.Supplier {
+	return data.JapaneseSuppliers()
+}
+
+// Q2PIP runs Q2 on PIP.
+func Q2PIP(data *tpch.Data, samples int, seed uint64) (QueryResult, error) {
+	db := pipDB(samples, seed)
+	t0 := time.Now()
+	suppliers := q2PendingOrders(data)
+	tb := ctable.New("q2", "supp", "delivery")
+	for i, s := range suppliers {
+		manuf := db.NewVariableFromInstance(dist.MustInstance(dist.Normal{}, s.ManufMean, s.ManufStd), "manuf")
+		ship := db.NewVariableFromInstance(dist.MustInstance(dist.Normal{}, s.ShipMean, s.ShipStd), "ship")
+		// Each pending part order for this supplier shares the model.
+		for p := 0; p < 4; p++ {
+			delivery := expr.Add(expr.NewVar(manuf), expr.NewVar(ship))
+			tb.MustAppend(ctable.NewTuple(ctable.Int(int64(i*4+p)), ctable.Symbolic(delivery)))
+		}
+	}
+	queryTime := time.Since(t0)
+
+	t1 := time.Now()
+	agg, err := db.Sampler().ExpectedMax(tb, 1, 0)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{
+		Name: "Q2", Value: agg.Value,
+		QueryTime: queryTime, SampleTime: time.Since(t1), Samples: samples,
+	}, nil
+}
+
+// Q2SF runs Q2 on Sample-First.
+func Q2SF(data *tpch.Data, worlds int, seed uint64) (QueryResult, error) {
+	t0 := time.Now()
+	suppliers := q2PendingOrders(data)
+	tb := samplefirst.New("q2", worlds, "mm", "ms", "sm", "ss")
+	for _, s := range suppliers {
+		for p := 0; p < 4; p++ {
+			tb.MustAppend(samplefirst.Tuple{Cells: []samplefirst.Cell{
+				samplefirst.DetCell(ctable.Float(s.ManufMean)),
+				samplefirst.DetCell(ctable.Float(s.ManufStd)),
+				samplefirst.DetCell(ctable.Float(s.ShipMean)),
+				samplefirst.DetCell(ctable.Float(s.ShipStd)),
+			}})
+		}
+	}
+	err := tb.GenerateColumn("manuf", seed, func(t *samplefirst.Tuple) (dist.Instance, error) {
+		m, _ := t.Cells[0].Det.AsFloat()
+		sd, _ := t.Cells[1].Det.AsFloat()
+		return dist.NewInstance(dist.Normal{}, m, sd)
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	err = tb.GenerateColumn("ship", seed+1, func(t *samplefirst.Tuple) (dist.Instance, error) {
+		m, _ := t.Cells[2].Det.AsFloat()
+		sd, _ := t.Cells[3].Det.AsFloat()
+		return dist.NewInstance(dist.Normal{}, m, sd)
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	proj, err := tb.Project([]string{"delivery"}, []samplefirst.Scalar{
+		samplefirst.BinOp{Op: '+', Left: samplefirst.Col(4), Right: samplefirst.Col(5)},
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	val, err := proj.ExpectedMax(0)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Name: "Q2", Value: val, QueryTime: time.Since(t0), Samples: worlds}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Q3: profit lost to dissatisfied customers — combines Q1's revenue model
+// with Q2's delivery model through a selective probabilistic predicate
+// (delivery > customer satisfaction threshold; average selectivity ~0.1).
+// The delivery-time parameters are pre-materialized per the paper.
+
+// q3Delivery returns the single-Normal delivery model for a customer's
+// pending order (sum of independent manufacturing and shipping Normals).
+func q3Delivery(s tpch.Supplier) (mu, sigma float64) {
+	return s.ManufMean + s.ShipMean, math.Sqrt(s.ManufStd*s.ManufStd + s.ShipStd*s.ShipStd)
+}
+
+// Q3PIP runs Q3 on PIP.
+func Q3PIP(data *tpch.Data, samples int, seed uint64) (QueryResult, error) {
+	db := pipDB(samples, seed)
+	t0 := time.Now()
+	tb := ctable.New("q3", "cust", "lost_profit")
+	for i, c := range data.Customers {
+		s := data.Suppliers[i%len(data.Suppliers)]
+		mu, sigma := q3Delivery(s)
+		delivery := db.NewVariableFromInstance(dist.MustInstance(dist.Normal{}, mu, sigma), "delivery")
+		profitVar := db.NewVariableFromInstance(dist.MustInstance(dist.Poisson{}, c.GrowthRate()*10), "orders")
+		profit := expr.Mul(expr.NewVar(profitVar), expr.Const(c.AvgOrderPrice))
+		tup := ctable.NewTuple(ctable.Int(int64(c.CustKey)), ctable.Symbolic(profit))
+		tup.Cond = cond.FromClause(cond.Clause{
+			cond.NewAtom(expr.NewVar(delivery), cond.GT, expr.Const(c.SatisfactionThreshold)),
+		})
+		tb.MustAppend(tup)
+	}
+	queryTime := time.Since(t0)
+
+	t1 := time.Now()
+	agg, err := db.Sampler().ExpectedSum(tb, 1)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{
+		Name: "Q3", Value: agg.Value,
+		QueryTime: queryTime, SampleTime: time.Since(t1), Samples: samples,
+	}, nil
+}
+
+// Q3SF runs Q3 on Sample-First: the selective predicate discards sample
+// mass, so matching PIP's accuracy requires ~1/selectivity more worlds.
+func Q3SF(data *tpch.Data, worlds int, seed uint64) (QueryResult, error) {
+	t0 := time.Now()
+	tb := samplefirst.New("q3", worlds, "lambda", "price", "dmu", "dsigma", "thresh")
+	for i, c := range data.Customers {
+		s := data.Suppliers[i%len(data.Suppliers)]
+		mu, sigma := q3Delivery(s)
+		tb.MustAppend(samplefirst.Tuple{Cells: []samplefirst.Cell{
+			samplefirst.DetCell(ctable.Float(c.GrowthRate() * 10)),
+			samplefirst.DetCell(ctable.Float(c.AvgOrderPrice)),
+			samplefirst.DetCell(ctable.Float(mu)),
+			samplefirst.DetCell(ctable.Float(sigma)),
+			samplefirst.DetCell(ctable.Float(c.SatisfactionThreshold)),
+		}})
+	}
+	err := tb.GenerateColumn("orders", seed, func(t *samplefirst.Tuple) (dist.Instance, error) {
+		lambda, _ := t.Cells[0].Det.AsFloat()
+		return dist.NewInstance(dist.Poisson{}, lambda)
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	err = tb.GenerateColumn("delivery", seed+1, func(t *samplefirst.Tuple) (dist.Instance, error) {
+		mu, _ := t.Cells[2].Det.AsFloat()
+		sigma, _ := t.Cells[3].Det.AsFloat()
+		return dist.NewInstance(dist.Normal{}, mu, sigma)
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	sel, err := tb.SelectWorlds(samplefirst.Col(6), samplefirst.GT, samplefirst.Col(4))
+	if err != nil {
+		return QueryResult{}, err
+	}
+	proj, err := sel.Project([]string{"lost"}, []samplefirst.Scalar{
+		samplefirst.BinOp{Op: '*', Left: samplefirst.Col(5), Right: samplefirst.Col(1)},
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	val, err := proj.ExpectedSum(0)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Name: "Q3", Value: val, QueryTime: time.Since(t0), Samples: worlds}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Q4: per-part predicted sales under an extreme-popularity scenario — the
+// group-by query behind Fig. 5 and Fig. 7(a). Sales increase ~ Poisson,
+// popularity multiplier ~ Exponential; the filter keeps only worlds where
+// the multiplier exceeds the threshold with probability = selectivity.
+
+// Q4Truth returns the per-part algebraically correct conditional value:
+// E[N * M | M > t] = lambda * (t + mean) by Poisson independence and the
+// exponential's memorylessness.
+func Q4Truth(p tpch.Part, selectivity float64) float64 {
+	t := q4Threshold(p, selectivity)
+	return p.GrowthLambda * (t + 1/p.PopularityRate)
+}
+
+func q4Threshold(p tpch.Part, selectivity float64) float64 {
+	// P[M > t] = exp(-rate*t) = selectivity.
+	return -math.Log(selectivity) / p.PopularityRate
+}
+
+// Q4PIPValues computes the per-part conditional expectations on PIP (one
+// group per part) with a fixed sample budget per group.
+func Q4PIPValues(parts []tpch.Part, selectivity float64, samples int, seed uint64) ([]float64, error) {
+	db := pipDB(samples, seed)
+	smp := db.Sampler()
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		n := db.NewVariableFromInstance(dist.MustInstance(dist.Poisson{}, p.GrowthLambda), "incr")
+		m := db.NewVariableFromInstance(dist.MustInstance(dist.Exponential{}, p.PopularityRate), "pop")
+		e := expr.Mul(expr.NewVar(n), expr.NewVar(m))
+		c := cond.Clause{cond.NewAtom(expr.NewVar(m), cond.GT, expr.Const(q4Threshold(p, selectivity)))}
+		r := smp.Expectation(e, c, false)
+		out[i] = r.Mean
+	}
+	return out, nil
+}
+
+// Q4SFValues computes the same per-part values on Sample-First: all worlds
+// are generated first, then the selective filter discards most of them.
+func Q4SFValues(parts []tpch.Part, selectivity float64, worlds int, seed uint64) ([]float64, error) {
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		t := q4Threshold(p, selectivity)
+		var sum float64
+		var live int
+		for w := 0; w < worlds; w++ {
+			r := prng.NewKeyed(seed, uint64(i), uint64(w))
+			mult := dist.Exponential{}.Generate([]float64{p.PopularityRate}, r)
+			incr := dist.Poisson{}.Generate([]float64{p.GrowthLambda}, r)
+			if mult > t {
+				sum += incr * mult
+				live++
+			}
+		}
+		if live == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sum / float64(live)
+	}
+	return out, nil
+}
+
+// Q4PIP wraps Q4PIPValues as a timed whole-table query (sum over groups).
+func Q4PIP(data *tpch.Data, selectivity float64, samples int, seed uint64) (QueryResult, error) {
+	t0 := time.Now()
+	vals, err := Q4PIPValues(data.Parts, selectivity, samples, seed)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	total := 0.0
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			total += v
+		}
+	}
+	return QueryResult{Name: "Q4", Value: total, SampleTime: time.Since(t0), Samples: samples}, nil
+}
+
+// Q4SF wraps Q4SFValues as a timed whole-table query.
+func Q4SF(data *tpch.Data, selectivity float64, worlds int, seed uint64) (QueryResult, error) {
+	t0 := time.Now()
+	vals, err := Q4SFValues(data.Parts, selectivity, worlds, seed)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	total := 0.0
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			total += v
+		}
+	}
+	return QueryResult{Name: "Q4", Value: total, QueryTime: time.Since(t0), Samples: worlds}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Q5: expected underproduction where demand exceeds supply — the
+// two-variable comparison behind Fig. 7(b). Supply ~ Exponential with mean
+// 19x the demand mean, giving P[D > S] = 0.05; both the probability and
+// E[D - S | D > S] = E[D] have closed forms for verification.
+
+// Q5Truth returns the exact conditional underproduction for a part.
+func Q5Truth(demandMean float64) float64 { return demandMean }
+
+// Q5Selectivity returns P[D > S] for the configured rate ratio.
+func Q5Selectivity(demandMean, supplyMean float64) float64 {
+	rd, rs := 1/demandMean, 1/supplyMean
+	return rs / (rs + rd)
+}
+
+// q5Model derives per-part demand and supply means targeting the given
+// selectivity: supplyMean = demandMean * (1-s)/s.
+func q5Model(p tpch.Part, selectivity float64) (demandMean, supplyMean float64) {
+	demandMean = p.Quantity
+	supplyMean = demandMean * (1 - selectivity) / selectivity
+	return
+}
+
+// Q5PIPValues computes per-part E[D - S | D > S] on PIP. The two-variable
+// atom forces rejection sampling, but PIP redraws immediately after each
+// rejection instead of re-running the query.
+func Q5PIPValues(parts []tpch.Part, selectivity float64, samples int, seed uint64) ([]float64, error) {
+	db := pipDB(samples, seed)
+	smp := db.Sampler()
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		dm, sm := q5Model(p, selectivity)
+		d := db.NewVariableFromInstance(dist.MustInstance(dist.Exponential{}, 1/dm), "demand")
+		s := db.NewVariableFromInstance(dist.MustInstance(dist.Exponential{}, 1/sm), "supply")
+		e := expr.Sub(expr.NewVar(d), expr.NewVar(s))
+		c := cond.Clause{cond.NewAtom(expr.NewVar(d), cond.GT, expr.NewVar(s))}
+		r := smp.Expectation(e, c, false)
+		out[i] = r.Mean
+	}
+	return out, nil
+}
+
+// Q5SFValues computes the same on Sample-First.
+func Q5SFValues(parts []tpch.Part, selectivity float64, worlds int, seed uint64) ([]float64, error) {
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		dm, sm := q5Model(p, selectivity)
+		var sum float64
+		var live int
+		for w := 0; w < worlds; w++ {
+			r := prng.NewKeyed(seed, uint64(i), uint64(w))
+			d := dist.Exponential{}.Generate([]float64{1 / dm}, r)
+			s := dist.Exponential{}.Generate([]float64{1 / sm}, r)
+			if d > s {
+				sum += d - s
+				live++
+			}
+		}
+		if live == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = sum / float64(live)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package cond
+
+import (
+	"sort"
+
+	"pip/internal/expr"
+)
+
+// Group is a minimal independent subset of a clause (paper §IV-A-c): a set
+// of atoms sharing variables only with each other, plus the variables they
+// mention. Groups sharing no variables may be sampled independently, which
+// both reduces the work lost to rejected samples and lowers the rejection
+// frequency itself.
+type Group struct {
+	Atoms Clause
+	Keys  []expr.VarKey
+	Vars  map[expr.VarKey]*expr.Variable
+}
+
+// Partition splits a clause into its minimal independent subsets using a
+// union-find over the variables mentioned by each atom. Variables drawn from
+// the same multivariate distribution instance (same variable ID, different
+// subscripts) are merged even if no atom joins them, because they are
+// statistically dependent through the joint distribution.
+//
+// extra lists variables that must be represented even if no atom mentions
+// them (e.g. variables of the target expression in Algorithm 4.3); each
+// such variable gets a group of its own unless an atom already links it.
+// Deterministic atoms are ignored. The returned groups are deterministic in
+// order (sorted by smallest member key).
+func Partition(c Clause, extra []*expr.Variable) []Group {
+	type atomInfo struct {
+		atom Atom
+		keys []expr.VarKey
+	}
+
+	uf := newUnionFind()
+	atoms := make([]atomInfo, 0, len(c))
+	varsByKey := map[expr.VarKey]*expr.Variable{}
+
+	addVar := func(k expr.VarKey, v *expr.Variable) {
+		varsByKey[k] = v
+		uf.add(k)
+		// Multivariate components share an ID: link to the canonical
+		// subscript-0 component so the whole vector lands in one group.
+		root := expr.VarKey{ID: k.ID, Subscript: 0}
+		if root != k {
+			if _, seen := varsByKey[root]; !seen {
+				// Materialise the canonical component so joint sampling
+				// knows the distribution even if subscript 0 is unused.
+				varsByKey[root] = &expr.Variable{Key: root, Dist: v.Dist, Name: v.Name}
+			}
+			uf.add(root)
+			uf.union(k, root)
+		}
+	}
+
+	for _, a := range c {
+		if a.IsDeterministic() {
+			continue
+		}
+		set := map[expr.VarKey]*expr.Variable{}
+		a.CollectVars(set)
+		keys := make([]expr.VarKey, 0, len(set))
+		for k, v := range set {
+			addVar(k, v)
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		for i := 1; i < len(keys); i++ {
+			uf.union(keys[0], keys[i])
+		}
+		atoms = append(atoms, atomInfo{atom: a, keys: keys})
+	}
+
+	for _, v := range extra {
+		addVar(v.Key, v)
+	}
+
+	// Bucket variables and atoms by root.
+	groups := map[expr.VarKey]*Group{}
+	for k := range varsByKey {
+		root := uf.find(k)
+		g := groups[root]
+		if g == nil {
+			g = &Group{Vars: map[expr.VarKey]*expr.Variable{}}
+			groups[root] = g
+		}
+		g.Keys = append(g.Keys, k)
+		g.Vars[k] = varsByKey[k]
+	}
+	for _, ai := range atoms {
+		root := uf.find(ai.keys[0])
+		groups[root].Atoms = append(groups[root].Atoms, ai.atom)
+	}
+
+	out := make([]Group, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g.Keys, func(i, j int) bool { return g.Keys[i].Less(g.Keys[j]) })
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Keys[0].Less(out[j].Keys[0]) })
+	return out
+}
+
+// Touches reports whether the group mentions any of the given keys.
+func (g Group) Touches(keys map[expr.VarKey]bool) bool {
+	for _, k := range g.Keys {
+		if keys[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// unionFind is a plain union-find (path halving + union by size) keyed by
+// expr.VarKey.
+type unionFind struct {
+	parent map[expr.VarKey]expr.VarKey
+	size   map[expr.VarKey]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[expr.VarKey]expr.VarKey{}, size: map[expr.VarKey]int{}}
+}
+
+func (u *unionFind) add(k expr.VarKey) {
+	if _, ok := u.parent[k]; !ok {
+		u.parent[k] = k
+		u.size[k] = 1
+	}
+}
+
+func (u *unionFind) find(k expr.VarKey) expr.VarKey {
+	for u.parent[k] != k {
+		u.parent[k] = u.parent[u.parent[k]]
+		k = u.parent[k]
+	}
+	return k
+}
+
+func (u *unionFind) union(a, b expr.VarKey) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

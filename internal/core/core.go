@@ -1,0 +1,337 @@
+// Package core is PIP's engine proper: it ties the symbolic c-table algebra
+// (internal/ctable) and the deferred sampling/integration layer
+// (internal/sampler) into a queryable probabilistic database (paper §III,
+// Fig. 2: "Query Evaluation" over a "Data Store" of probabilistic c-tables).
+//
+// A DB owns the random-variable namespace (CREATE VARIABLE allocates unique
+// identifiers, §V-A), a catalog of named c-tables (including materialized
+// views of intermediate symbolic results — lossless, so later expectations
+// are unbiased by materialization, §III-A), and a configured sampler.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pip/internal/cond"
+	"pip/internal/ctable"
+	"pip/internal/dist"
+	"pip/internal/expr"
+	"pip/internal/sampler"
+)
+
+// DB is a PIP probabilistic database instance.
+type DB struct {
+	mu      sync.Mutex
+	nextVar uint64
+	tables  map[string]*ctable.Table
+	smp     *sampler.Sampler
+	cfg     sampler.Config
+}
+
+// NewDB creates a database with the given sampling configuration.
+func NewDB(cfg sampler.Config) *DB {
+	return &DB{
+		nextVar: 1,
+		tables:  map[string]*ctable.Table{},
+		smp:     sampler.New(cfg),
+		cfg:     cfg,
+	}
+}
+
+// Sampler returns the database's sampler.
+func (db *DB) Sampler() *sampler.Sampler { return db.smp }
+
+// Config returns the sampling configuration.
+func (db *DB) Config() sampler.Config { return db.cfg }
+
+// WithConfig returns a database sharing this database's catalog and
+// variable namespace but sampling under a different configuration. Useful
+// for fixed-sample experiment runs against the same data.
+func (db *DB) WithConfig(cfg sampler.Config) *DB {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	clone := &DB{
+		nextVar: db.nextVar,
+		tables:  db.tables,
+		smp:     sampler.New(cfg),
+		cfg:     cfg,
+	}
+	return clone
+}
+
+// CreateVariable implements CREATE_VARIABLE(distribution, params...): it
+// allocates a fresh random variable drawn from the named distribution class
+// (paper §V-A). The returned variable can be placed into c-table cells and
+// conditions.
+func (db *DB) CreateVariable(distName string, params ...float64) (*expr.Variable, error) {
+	class, ok := dist.Lookup(distName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown distribution class %q (have %s)",
+			distName, strings.Join(dist.Names(), ", "))
+	}
+	inst, err := dist.NewInstance(class, params...)
+	if err != nil {
+		return nil, err
+	}
+	return db.NewVariableFromInstance(inst, ""), nil
+}
+
+// NewVariableFromInstance allocates a variable for an existing distribution
+// instance, optionally named for display.
+func (db *DB) NewVariableFromInstance(inst dist.Instance, name string) *expr.Variable {
+	db.mu.Lock()
+	id := db.nextVar
+	db.nextVar++
+	db.mu.Unlock()
+	return &expr.Variable{Key: expr.VarKey{ID: id}, Dist: inst, Name: name}
+}
+
+// CreateJointVariables allocates the component variables of a multivariate
+// distribution instance: one Variable per subscript, all sharing one id so
+// the sampler draws them jointly.
+func (db *DB) CreateJointVariables(inst dist.Instance, name string) ([]*expr.Variable, error) {
+	mv, ok := inst.Class.(dist.Multivariater)
+	if !ok {
+		return nil, fmt.Errorf("core: %s is not a multivariate class", inst.Class.Name())
+	}
+	db.mu.Lock()
+	id := db.nextVar
+	db.nextVar++
+	db.mu.Unlock()
+	n := mv.Dim(inst.Params)
+	out := make([]*expr.Variable, n)
+	for i := 0; i < n; i++ {
+		out[i] = &expr.Variable{Key: expr.VarKey{ID: id, Subscript: i}, Dist: inst, Name: name}
+	}
+	return out, nil
+}
+
+// Register installs (or replaces) a named table in the catalog.
+func (db *DB) Register(t *ctable.Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[strings.ToLower(t.Name)] = t
+}
+
+// Table fetches a catalog table by name.
+func (db *DB) Table(name string) (*ctable.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table from the catalog.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, strings.ToLower(name))
+}
+
+// TableNames lists catalog tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Materialize stores a query result under a view name. The symbolic
+// representation is lossless, so downstream expectations over the view are
+// unbiased (paper §III-A) and online sampling can resume from it without
+// re-running the deterministic query phase.
+func (db *DB) Materialize(name string, t *ctable.Table) *ctable.Table {
+	view := t.Clone()
+	view.Name = name
+	db.Register(view)
+	return view
+}
+
+// ---------------------------------------------------------------------------
+// Row-level analysis functions (paper §V-C)
+
+// Conf estimates (or computes exactly) the probability of a tuple's
+// condition — the row's confidence.
+func (db *DB) Conf(t *ctable.Tuple) sampler.Result {
+	return db.smp.AConf(t.Cond)
+}
+
+// Expectation computes E[column | row condition] for one tuple, optionally
+// with the row probability.
+func (db *DB) Expectation(t *ctable.Tuple, col int, getP bool) (sampler.Result, error) {
+	v := t.Values[col]
+	e, ok := v.AsExpr()
+	if !ok {
+		return sampler.Result{}, fmt.Errorf("core: non-numeric expectation target %s", v)
+	}
+	if len(t.Cond.Clauses) == 1 {
+		return db.smp.Expectation(e, t.Cond.Clauses[0], getP), nil
+	}
+	return db.smp.ExpectationDNF(e, t.Cond, getP), nil
+}
+
+// ConfTable appends a confidence column computed per row and strips
+// conditions, producing a deterministic table (the conf() rewrite: "If the
+// confidence operator is present, all conditions applying to the row are
+// removed from the result").
+func (db *DB) ConfTable(t *ctable.Table, colName string) *ctable.Table {
+	sch := t.Schema.Clone()
+	sch = append(sch, ctable.Column{Name: colName})
+	out := &ctable.Table{Name: t.Name, Schema: sch}
+	for i := range t.Tuples {
+		tp := &t.Tuples[i]
+		r := db.smp.AConf(tp.Cond)
+		vals := make([]ctable.Value, 0, len(tp.Values)+1)
+		vals = append(vals, tp.Values...)
+		vals = append(vals, ctable.Float(r.Prob))
+		out.Tuples = append(out.Tuples, ctable.NewTuple(vals...))
+	}
+	return out
+}
+
+// ExpectationTable replaces symbolic columns with their per-row conditional
+// expectations and strips conditions; deterministic cells pass through.
+func (db *DB) ExpectationTable(t *ctable.Table) (*ctable.Table, error) {
+	out := &ctable.Table{Name: t.Name, Schema: t.Schema.Clone()}
+	for i := range t.Tuples {
+		tp := &t.Tuples[i]
+		vals := make([]ctable.Value, len(tp.Values))
+		for c, v := range tp.Values {
+			if !v.IsSymbolic() {
+				vals[c] = v
+				continue
+			}
+			r, err := db.Expectation(tp, c, false)
+			if err != nil {
+				return nil, err
+			}
+			vals[c] = ctable.Float(r.Mean)
+		}
+		out.Tuples = append(out.Tuples, ctable.NewTuple(vals...))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate operators with group-by (paper §II-C: group-by on
+// non-probabilistic columns poses no difficulty, and deferred sampling lets
+// the engine create exactly as many samples per group as needed).
+
+// AggKind enumerates the supported expectation aggregates.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggAvg
+	AggMax
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "expected_sum"
+	case AggCount:
+		return "expected_count"
+	case AggAvg:
+		return "expected_avg"
+	case AggMax:
+		return "expected_max"
+	default:
+		return "?"
+	}
+}
+
+// GroupedAggregate computes an expectation aggregate over target column
+// aggCol grouped by the deterministic columns keyCols. A nil/empty keyCols
+// aggregates the whole table into one row. The result schema is the key
+// columns followed by one aggregate column.
+func (db *DB) GroupedAggregate(t *ctable.Table, keyCols []int, aggCol int, kind AggKind, outName string) (*ctable.Table, error) {
+	var groups []ctable.GroupRows
+	var err error
+	if len(keyCols) == 0 {
+		all := make([]int, t.Len())
+		for i := range all {
+			all[i] = i
+		}
+		groups = []ctable.GroupRows{{Rows: all}}
+	} else {
+		groups, err = ctable.GroupBy(t, keyCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sch := make(ctable.Schema, 0, len(keyCols)+1)
+	for _, c := range keyCols {
+		sch = append(sch, t.Schema[c])
+	}
+	sch = append(sch, ctable.Column{Name: outName})
+	out := &ctable.Table{Name: t.Name + "_" + kind.String(), Schema: sch}
+
+	for _, g := range groups {
+		sub := &ctable.Table{Name: t.Name, Schema: t.Schema}
+		for _, ri := range g.Rows {
+			sub.Tuples = append(sub.Tuples, t.Tuples[ri])
+		}
+		var res sampler.AggregateResult
+		switch kind {
+		case AggSum:
+			res, err = db.smp.ExpectedSum(sub, aggCol)
+		case AggCount:
+			res, err = db.smp.ExpectedCount(sub)
+		case AggAvg:
+			res, err = db.smp.ExpectedAvg(sub, aggCol)
+		case AggMax:
+			res, err = db.smp.ExpectedMax(sub, aggCol, 0)
+		default:
+			err = fmt.Errorf("core: unknown aggregate %v", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]ctable.Value, 0, len(g.Key)+1)
+		vals = append(vals, g.Key...)
+		vals = append(vals, ctable.Float(res.Value))
+		out.Tuples = append(out.Tuples, ctable.NewTuple(vals...))
+	}
+	return out, nil
+}
+
+// Histogram draws n per-world samples of the aggregate over the table
+// (expected_sum_hist / expected_max_hist, §V-C).
+func (db *DB) Histogram(t *ctable.Table, col int, kind AggKind, n int) ([]float64, error) {
+	switch kind {
+	case AggSum:
+		return db.smp.AggregateHistogram(t, col, sampler.SumFold, n)
+	case AggMax:
+		return db.smp.AggregateHistogram(t, col, sampler.MaxFold, n)
+	default:
+		return nil, fmt.Errorf("core: histogram unsupported for %v", kind)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Convenience constructors for conditions and expressions
+
+// VarExpr wraps a variable as an expression.
+func VarExpr(v *expr.Variable) expr.Expr { return expr.NewVar(v) }
+
+// ConstExpr wraps a constant.
+func ConstExpr(f float64) expr.Expr { return expr.Const(f) }
+
+// Atom builds a condition atom.
+func Atom(l expr.Expr, op cond.CmpOp, r expr.Expr) cond.Atom {
+	return cond.NewAtom(l, op, r)
+}

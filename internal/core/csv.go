@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pip/internal/ctable"
+)
+
+// LoadCSV reads a deterministic table from CSV (first record = column
+// names) and registers it under the given name. Cells that parse as
+// numbers become floats; everything else is kept as a string. Empty cells
+// become NULL. This is the ingestion path for external datasets (e.g. the
+// datagen dumps, or real sighting databases standing in for the NSIDC
+// data).
+func (db *DB) LoadCSV(name string, r io.Reader) (*ctable.Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better message
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading CSV header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("core: empty CSV header")
+	}
+	tb := ctable.New(name, header...)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("core: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		vals := make([]ctable.Value, len(rec))
+		for i, cell := range rec {
+			vals[i] = parseCSVCell(cell)
+		}
+		tb.MustAppend(ctable.NewTuple(vals...))
+	}
+	db.Register(tb)
+	return tb, nil
+}
+
+func parseCSVCell(cell string) ctable.Value {
+	trimmed := strings.TrimSpace(cell)
+	if trimmed == "" {
+		return ctable.Null()
+	}
+	if f, err := strconv.ParseFloat(trimmed, 64); err == nil {
+		return ctable.Float(f)
+	}
+	switch strings.ToLower(trimmed) {
+	case "true":
+		return ctable.Bool(true)
+	case "false":
+		return ctable.Bool(false)
+	}
+	return ctable.String_(trimmed)
+}
+
+// WriteCSV dumps a deterministic table (or the deterministic projection of
+// a probabilistic one — symbolic cells render as their equation text) to
+// CSV, header first.
+func WriteCSV(tb *ctable.Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(tb.Schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, len(tb.Schema))
+	for i := range tb.Tuples {
+		for j, v := range tb.Tuples[i].Values {
+			if v.IsNull() {
+				rec[j] = ""
+			} else {
+				rec[j] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

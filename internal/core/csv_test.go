@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pip/internal/ctable"
+)
+
+func TestLoadCSV(t *testing.T) {
+	db := testDB()
+	src := "name,qty,active\napple,3,true\npear,,false\n"
+	tb, err := db.LoadCSV("items", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 || len(tb.Schema) != 3 {
+		t.Fatalf("shape: %s", tb)
+	}
+	if tb.Tuples[0].Values[0].S != "apple" {
+		t.Fatalf("string cell %v", tb.Tuples[0].Values[0])
+	}
+	if f, _ := tb.Tuples[0].Values[1].AsFloat(); f != 3 {
+		t.Fatalf("numeric cell %v", tb.Tuples[0].Values[1])
+	}
+	if !tb.Tuples[1].Values[1].IsNull() {
+		t.Fatal("empty cell not NULL")
+	}
+	if tb.Tuples[0].Values[2].Kind != ctable.KindBool || !tb.Tuples[0].Values[2].B {
+		t.Fatalf("bool cell %v", tb.Tuples[0].Values[2])
+	}
+	// Registered in the catalog.
+	if _, err := db.Table("items"); err != nil {
+		t.Fatal("table not registered")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := testDB()
+	if _, err := db.LoadCSV("bad", strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := db.LoadCSV("bad", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := testDB()
+	src := "k,v\nx,1.5\ny,2.5\n"
+	tb, err := db.LoadCSV("rt", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(tb, &sb); err != nil {
+		t.Fatal(err)
+	}
+	db2 := testDB()
+	tb2, err := db2.LoadCSV("rt2", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.Len() != tb.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", tb2.Len(), tb.Len())
+	}
+	for i := range tb.Tuples {
+		for j := range tb.Tuples[i].Values {
+			if !tb.Tuples[i].Values[j].Equal(tb2.Tuples[i].Values[j]) {
+				t.Fatalf("cell (%d,%d) changed: %v vs %v", i, j,
+					tb.Tuples[i].Values[j], tb2.Tuples[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestLoadCSVThenQuery(t *testing.T) {
+	db := testDB()
+	if _, err := db.LoadCSV("sales", strings.NewReader("region,amount\neast,10\nwest,20\neast,5\n")); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := db.Table("sales")
+	out, err := db.GroupedAggregate(tb, []int{0}, 1, AggSum, "total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("groups %d", out.Len())
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"pip/internal/cond"
+	"pip/internal/ctable"
+	"pip/internal/dist"
+	"pip/internal/expr"
+)
+
+// RepairKey implements the repair-key operator PIP borrows from MayBMS for
+// discrete distributions (paper §V-A, footnote 2): given a deterministic
+// table, a set of key columns and a weight column, it turns each key group
+// into a probabilistic choice of exactly one of its rows, with per-row
+// probability proportional to the weight.
+//
+// Mechanically, every key group gets one fresh Categorical choice variable;
+// row i of the group receives the local condition (X = i). Rows of a group
+// are therefore mutually exclusive and exhaustive — the c-table encodes a
+// block-independent-disjoint table, from which relational algebra can build
+// any finite distribution (paper §III: "relational algebra on
+// block-independent-disjoint tables can construct any finite probability
+// distribution").
+//
+// The weight column is consumed (not included in the output schema).
+func (db *DB) RepairKey(t *ctable.Table, keyCols []int, weightCol int) (*ctable.Table, error) {
+	if weightCol < 0 || weightCol >= len(t.Schema) {
+		return nil, fmt.Errorf("core: repair-key weight column %d out of range", weightCol)
+	}
+	for _, c := range keyCols {
+		if c < 0 || c >= len(t.Schema) {
+			return nil, fmt.Errorf("core: repair-key key column %d out of range", c)
+		}
+	}
+	for i := range t.Tuples {
+		tp := &t.Tuples[i]
+		if !tp.Cond.IsTrue() {
+			return nil, fmt.Errorf("core: repair-key input must be deterministic (row %d has condition %s)",
+				i, tp.Cond)
+		}
+		if tp.Values[weightCol].IsSymbolic() {
+			return nil, fmt.Errorf("core: repair-key weight in row %d is symbolic", i)
+		}
+	}
+
+	groups, err := ctable.GroupBy(t, keyCols)
+	if err != nil {
+		return nil, err
+	}
+
+	// Output schema: input columns minus the weight column.
+	sch := make(ctable.Schema, 0, len(t.Schema)-1)
+	outIdx := make([]int, 0, len(t.Schema)-1)
+	for i, c := range t.Schema {
+		if i == weightCol {
+			continue
+		}
+		sch = append(sch, c)
+		outIdx = append(outIdx, i)
+	}
+	out := &ctable.Table{Name: t.Name + "_repaired", Schema: sch}
+
+	for _, g := range groups {
+		weights := make([]float64, 0, len(g.Rows))
+		total := 0.0
+		for _, ri := range g.Rows {
+			w, ok := t.Tuples[ri].Values[weightCol].AsFloat()
+			if !ok || w < 0 {
+				return nil, fmt.Errorf("core: invalid repair-key weight %s in row %d",
+					t.Tuples[ri].Values[weightCol], ri)
+			}
+			weights = append(weights, w)
+			total += w
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("core: repair-key group has non-positive total weight")
+		}
+		for i := range weights {
+			weights[i] /= total
+		}
+		inst, err := dist.NewInstance(dist.Categorical{}, weights...)
+		if err != nil {
+			return nil, err
+		}
+		choice := db.NewVariableFromInstance(inst, "choice")
+
+		for i, ri := range g.Rows {
+			src := &t.Tuples[ri]
+			vals := make([]ctable.Value, 0, len(outIdx))
+			for _, c := range outIdx {
+				vals = append(vals, src.Values[c])
+			}
+			tup := ctable.Tuple{
+				Values: vals,
+				Cond: cond.FromClause(cond.Clause{
+					cond.NewAtom(expr.NewVar(choice), cond.EQ, expr.Const(float64(i))),
+				}),
+			}
+			out.Tuples = append(out.Tuples, tup)
+		}
+	}
+	return out, nil
+}

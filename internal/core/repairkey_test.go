@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pip/internal/cond"
+	"pip/internal/ctable"
+	"pip/internal/expr"
+)
+
+func condFromVar(v *expr.Variable) cond.Condition {
+	return cond.FromClause(cond.Clause{
+		cond.NewAtom(expr.NewVar(v), cond.GT, expr.Const(0.5)),
+	})
+}
+
+func repairInput() *ctable.Table {
+	tb := ctable.New("opts", "city", "route", "weight")
+	tb.MustAppend(ctable.NewTuple(ctable.String_("NY"), ctable.String_("air"), ctable.Float(3)))
+	tb.MustAppend(ctable.NewTuple(ctable.String_("NY"), ctable.String_("sea"), ctable.Float(1)))
+	tb.MustAppend(ctable.NewTuple(ctable.String_("LA"), ctable.String_("air"), ctable.Float(1)))
+	return tb
+}
+
+func TestRepairKeyBasics(t *testing.T) {
+	db := testDB()
+	out, err := db.RepairKey(repairInput(), []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("rows %d", out.Len())
+	}
+	if len(out.Schema) != 2 {
+		t.Fatalf("weight column not consumed: %v", out.Schema.Names())
+	}
+	// Row confidences: NY/air = 0.75, NY/sea = 0.25, LA/air = 1.
+	wants := []float64{0.75, 0.25, 1}
+	for i, w := range wants {
+		r := db.Conf(&out.Tuples[i])
+		if !r.Exact {
+			t.Fatalf("row %d conf not exact", i)
+		}
+		if math.Abs(r.Prob-w) > 1e-12 {
+			t.Fatalf("row %d conf %v, want %v", i, r.Prob, w)
+		}
+	}
+}
+
+func TestRepairKeyMutualExclusion(t *testing.T) {
+	// Exactly one row per key group exists in every world: expected count
+	// per group is 1, and a histogram never sees both NY rows together.
+	db := testDB()
+	out, err := db.RepairKey(repairInput(), []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := db.Sampler().ExpectedCount(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cnt.Value-2) > 1e-9 {
+		t.Fatalf("E[count] = %v, want 2 (one per group)", cnt.Value)
+	}
+	// World-sample: per world, the two NY rows are mutually exclusive.
+	ny := &ctable.Table{Name: "ny", Schema: out.Schema, Tuples: out.Tuples[:2]}
+	// Mark each row with value 1; the per-world sum must always be 1.
+	one := ctable.New("ny1", "v")
+	for i := range ny.Tuples {
+		tup := ctable.NewTuple(ctable.Float(1))
+		tup.Cond = ny.Tuples[i].Cond
+		one.MustAppend(tup)
+	}
+	hist, err := db.Sampler().AggregateHistogram(one, 0, sumFoldForTest, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range hist {
+		if v != 1 {
+			t.Fatalf("mutual exclusion violated: world sum %v", v)
+		}
+	}
+}
+
+func sumFoldForTest(present []float64) float64 {
+	total := 0.0
+	for _, v := range present {
+		total += v
+	}
+	return total
+}
+
+func TestRepairKeyExpectedSum(t *testing.T) {
+	// Weighted choice over payoffs: E[payoff] = sum w_i * v_i.
+	db := testDB()
+	tb := ctable.New("bets", "game", "payoff", "weight")
+	tb.MustAppend(ctable.NewTuple(ctable.String_("g"), ctable.Float(100), ctable.Float(1)))
+	tb.MustAppend(ctable.NewTuple(ctable.String_("g"), ctable.Float(0), ctable.Float(3)))
+	out, err := db.RepairKey(tb, []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := db.Sampler().ExpectedSum(out, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Value-25) > 1e-9 {
+		t.Fatalf("E[payoff] = %v, want 25", sum.Value)
+	}
+}
+
+func TestRepairKeyErrors(t *testing.T) {
+	db := testDB()
+	tb := repairInput()
+	if _, err := db.RepairKey(tb, []int{0}, 9); err == nil {
+		t.Fatal("bad weight column accepted")
+	}
+	if _, err := db.RepairKey(tb, []int{9}, 2); err == nil {
+		t.Fatal("bad key column accepted")
+	}
+	// Negative weight.
+	bad := ctable.New("b", "k", "w")
+	bad.MustAppend(ctable.NewTuple(ctable.String_("a"), ctable.Float(-1)))
+	if _, err := db.RepairKey(bad, []int{0}, 1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// Zero total weight.
+	zero := ctable.New("z", "k", "w")
+	zero.MustAppend(ctable.NewTuple(ctable.String_("a"), ctable.Float(0)))
+	if _, err := db.RepairKey(zero, []int{0}, 1); err == nil {
+		t.Fatal("zero-weight group accepted")
+	}
+	// Probabilistic input is rejected.
+	v, _ := db.CreateVariable("Uniform", 0, 1)
+	prob := ctable.New("p", "k", "w")
+	tup := ctable.NewTuple(ctable.String_("a"), ctable.Float(1))
+	tup.Cond = condFromVar(v)
+	prob.MustAppend(tup)
+	if _, err := db.RepairKey(prob, []int{0}, 1); err == nil {
+		t.Fatal("probabilistic input accepted")
+	}
+}
+
+func TestRepairKeyWholeTableKey(t *testing.T) {
+	// Keying on a constant column makes the whole table one choice.
+	db := testDB()
+	tb := ctable.New("t", "k", "v", "w")
+	tb.MustAppend(ctable.NewTuple(ctable.String_("x"), ctable.Float(1), ctable.Float(1)))
+	tb.MustAppend(ctable.NewTuple(ctable.String_("x"), ctable.Float(2), ctable.Float(1)))
+	tb.MustAppend(ctable.NewTuple(ctable.String_("x"), ctable.Float(3), ctable.Float(2)))
+	out, err := db.RepairKey(tb, []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := db.Sampler().ExpectedCount(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cnt.Value-1) > 1e-9 {
+		t.Fatalf("E[count] = %v, want 1", cnt.Value)
+	}
+}

@@ -1,0 +1,256 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pip/internal/dist"
+)
+
+func testVar(id uint64) *Variable {
+	return &Variable{
+		Key:  VarKey{ID: id},
+		Dist: dist.MustInstance(dist.Normal{}, 0, 1),
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	if got := Const(3.5).Eval(nil); got != 3.5 {
+		t.Fatalf("Const eval = %v", got)
+	}
+	if Const(1).Degree() != 0 {
+		t.Fatal("const degree != 0")
+	}
+}
+
+func TestVarEval(t *testing.T) {
+	v := testVar(1)
+	e := NewVar(v)
+	asn := Assignment{v.Key: 7}
+	if got := e.Eval(asn); got != 7 {
+		t.Fatalf("var eval = %v", got)
+	}
+	if !math.IsNaN(e.Eval(Assignment{})) {
+		t.Fatal("unassigned variable should evaluate to NaN")
+	}
+}
+
+func TestArithmeticEval(t *testing.T) {
+	x, y := testVar(1), testVar(2)
+	asn := Assignment{x.Key: 6, y.Key: 3}
+	cases := []struct {
+		e    Expr
+		want float64
+	}{
+		{Add(NewVar(x), NewVar(y)), 9},
+		{Sub(NewVar(x), NewVar(y)), 3},
+		{Mul(NewVar(x), NewVar(y)), 18},
+		{Div(NewVar(x), NewVar(y)), 2},
+		{Negate(NewVar(x)), -6},
+		{Add(Mul(Const(2), NewVar(x)), Const(1)), 13},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(asn); got != c.want {
+			t.Fatalf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	if _, ok := Add(Const(2), Const(3)).(Const); !ok {
+		t.Fatal("2+3 did not fold")
+	}
+	x := NewVar(testVar(1))
+	if e := Add(x, Const(0)); e != Expr(x) {
+		t.Fatalf("x+0 did not simplify: %s", e)
+	}
+	if e := Mul(x, Const(1)); e != Expr(x) {
+		t.Fatalf("x*1 did not simplify: %s", e)
+	}
+	if c, ok := Mul(x, Const(0)).(Const); !ok || c != 0 {
+		t.Fatal("x*0 did not fold to 0")
+	}
+	if c, ok := Negate(Const(4)).(Const); !ok || c != -4 {
+		t.Fatal("-4 did not fold")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	x, y := NewVar(testVar(1)), NewVar(testVar(2))
+	cases := []struct {
+		e    Expr
+		want int
+	}{
+		{x, 1},
+		{Add(x, y), 1},
+		{Mul(x, y), 2},
+		{Mul(Mul(x, x), x), 3},
+		{Div(x, Const(2)), 1},
+		{Div(Const(2), x), -1}, // variable in divisor: not polynomial
+		{Div(Mul(x, y), y), -1},
+	}
+	for _, c := range cases {
+		if got := c.e.Degree(); got != c.want {
+			t.Fatalf("degree(%s) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCollectVars(t *testing.T) {
+	x, y := testVar(1), testVar(2)
+	e := Add(Mul(NewVar(x), NewVar(y)), NewVar(x))
+	keys, vars := Vars(e)
+	if len(keys) != 2 {
+		t.Fatalf("got %d vars", len(keys))
+	}
+	if keys[0] != x.Key || keys[1] != y.Key {
+		t.Fatalf("keys unsorted: %v", keys)
+	}
+	if vars[x.Key] != x {
+		t.Fatal("variable pointer lost")
+	}
+}
+
+func TestIsDeterministic(t *testing.T) {
+	if !IsDeterministic(Add(Const(1), Const(2))) {
+		t.Fatal("constant expression reported probabilistic")
+	}
+	if IsDeterministic(NewVar(testVar(1))) {
+		t.Fatal("variable reported deterministic")
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	x, y := testVar(1), testVar(2)
+	// 2*x - 3*y + 4 + x => 3x - 3y + 4
+	e := Add(Add(Sub(Mul(Const(2), NewVar(x)), Mul(Const(3), NewVar(y))), Const(4)), NewVar(x))
+	lf, ok := Linearize(e)
+	if !ok {
+		t.Fatal("linearize failed")
+	}
+	if lf.Constant != 4 {
+		t.Fatalf("constant %v", lf.Constant)
+	}
+	if lf.Coeffs[x.Key] != 3 || lf.Coeffs[y.Key] != -3 {
+		t.Fatalf("coeffs %v", lf.Coeffs)
+	}
+}
+
+func TestLinearizeDivByConst(t *testing.T) {
+	x := testVar(1)
+	lf, ok := Linearize(Div(NewVar(x), Const(4)))
+	if !ok || lf.Coeffs[x.Key] != 0.25 {
+		t.Fatalf("x/4: %v ok=%v", lf.Coeffs, ok)
+	}
+	if _, ok := Linearize(Div(Const(1), NewVar(x))); ok {
+		t.Fatal("1/x should not linearize")
+	}
+}
+
+func TestLinearizeRejectsQuadratic(t *testing.T) {
+	x := NewVar(testVar(1))
+	if _, ok := Linearize(Mul(x, x)); ok {
+		t.Fatal("x*x should not linearize")
+	}
+}
+
+func TestLinearizeCancellation(t *testing.T) {
+	x := testVar(1)
+	// x - x => coefficient cancels to zero and is dropped.
+	lf, ok := Linearize(Sub(NewVar(x), NewVar(x)))
+	if !ok {
+		t.Fatal("linearize failed")
+	}
+	if len(lf.Coeffs) != 0 {
+		t.Fatalf("expected empty coeffs, got %v", lf.Coeffs)
+	}
+}
+
+func TestLinearizeAgreesWithEval(t *testing.T) {
+	// Property: for random linear combos, the linear form evaluates to the
+	// same value as the tree.
+	x, y := testVar(1), testVar(2)
+	f := func(a, b, c, vx, vy float64) bool {
+		if anyBad(a, b, c, vx, vy) {
+			return true
+		}
+		e := Add(Add(Mul(Const(a), NewVar(x)), Mul(Const(b), NewVar(y))), Const(c))
+		lf, ok := Linearize(e)
+		if !ok {
+			return false
+		}
+		asn := Assignment{x.Key: vx, y.Key: vy}
+		want := e.Eval(asn)
+		got := lf.Constant + lf.Coeffs[x.Key]*vx + lf.Coeffs[y.Key]*vy
+		return math.Abs(want-got) <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSampleVariableConsistency(t *testing.T) {
+	v := testVar(9)
+	a := SampleVariable(v, 1, 5)
+	b := SampleVariable(v, 1, 5)
+	if a != b {
+		t.Fatal("same (seed, sample) gave different values")
+	}
+	c := SampleVariable(v, 1, 6)
+	if a == c {
+		t.Fatal("different sample indices gave identical values")
+	}
+	d := SampleVariable(v, 2, 5)
+	if a == d {
+		t.Fatal("different world seeds gave identical values")
+	}
+}
+
+func TestSampleVariableJoint(t *testing.T) {
+	l, _ := dist.CholeskyFromCovariance([][]float64{{1, 0.9}, {0.9, 1}})
+	params := dist.MVNormalParams([]float64{0, 0}, l)
+	inst := dist.MustInstance(dist.MVNormal{}, params...)
+	v0 := &Variable{Key: VarKey{ID: 7, Subscript: 0}, Dist: inst}
+	v1 := &Variable{Key: VarKey{ID: 7, Subscript: 1}, Dist: inst}
+	// Strong positive correlation must survive component-wise sampling.
+	var sxy, sx, sy float64
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		a := SampleVariable(v0, 3, i)
+		b := SampleVariable(v1, 3, i)
+		sx += a
+		sy += b
+		sxy += a * b
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	if cov < 0.8 {
+		t.Fatalf("joint correlation lost: cov = %v", cov)
+	}
+}
+
+func TestVarKeyString(t *testing.T) {
+	if got := (VarKey{ID: 3}).String(); got != "X3" {
+		t.Fatalf("got %q", got)
+	}
+	if got := (VarKey{ID: 3, Subscript: 2}).String(); got != "X3[2]" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	x := &Variable{Key: VarKey{ID: 1}, Dist: dist.MustInstance(dist.Normal{}, 0, 1), Name: "Price"}
+	e := Add(Mul(NewVar(x), Const(3)), Const(1))
+	if got := e.String(); got != "((Price * 3) + 1)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

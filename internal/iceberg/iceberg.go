@@ -1,0 +1,118 @@
+// Package iceberg generates the synthetic stand-in for the NSIDC Iceberg
+// Sighting Database used by the paper's final experiment (§VI, Fig. 8).
+//
+// Substitution note (see DESIGN.md): the real dataset records iceberg
+// sightings (position, date) in the North Atlantic over several years. The
+// experiment only consumes each iceberg's last sighting position and its
+// age, placing a Normal positional uncertainty around the sighting that
+// grows with age and an exponentially decaying danger level. This generator
+// reproduces exactly that schema with deterministic pseudorandom content,
+// so the query's statistical structure — and PIP's ability to answer it
+// exactly via CDFs while Sample-First must sample — is preserved.
+package iceberg
+
+import (
+	"math"
+
+	"pip/internal/prng"
+)
+
+// Sighting is an iceberg's most recent sighting.
+type Sighting struct {
+	IcebergID int
+	// Lat/Lon in degrees (North Atlantic box).
+	Lat, Lon float64
+	// AgeDays is the time since the sighting.
+	AgeDays float64
+}
+
+// PositionStd returns the standard deviation (degrees) of the iceberg's
+// present position around its last sighting: drift uncertainty grows with
+// the square root of age.
+func (s Sighting) PositionStd() float64 {
+	return 0.05 + 0.03*math.Sqrt(s.AgeDays)
+}
+
+// Danger returns the iceberg's danger level, decaying exponentially with
+// age: recent sightings are high-confidence threats, historic sightings
+// mark potential new iceberg locations.
+func (s Sighting) Danger() float64 {
+	return math.Exp(-s.AgeDays / 365)
+}
+
+// Ship is one virtual ship placed in the North Atlantic.
+type Ship struct {
+	ShipID   int
+	Lat, Lon float64
+}
+
+// Data is the generated scenario.
+type Data struct {
+	Sightings []Sighting
+	Ships     []Ship
+}
+
+// Generate builds a scenario with the given numbers of iceberg sightings
+// (spanning 4 years of ages) and ships, deterministically from seed.
+func Generate(nSightings, nShips int, seed uint64) *Data {
+	r := prng.NewKeyed(seed, 0x1ceb)
+	d := &Data{}
+	// North Atlantic iceberg alley: roughly 40-55N, 40-60W.
+	for i := 0; i < nSightings; i++ {
+		d.Sightings = append(d.Sightings, Sighting{
+			IcebergID: i + 1,
+			Lat:       40 + 15*r.Float64(),
+			Lon:       -60 + 20*r.Float64(),
+			AgeDays:   4 * 365 * r.Float64(),
+		})
+	}
+	for i := 0; i < nShips; i++ {
+		d.Ships = append(d.Ships, Ship{
+			ShipID: i + 1,
+			Lat:    40 + 15*r.Float64(),
+			Lon:    -60 + 20*r.Float64(),
+		})
+	}
+	return d
+}
+
+// ProximityRadius is the "near the ship" box half-width in degrees used by
+// the danger query.
+const ProximityRadius = 0.5
+
+// DangerThreshold is the minimum proximity probability (0.1%) for an
+// iceberg to be counted as a potential threat.
+const DangerThreshold = 0.001
+
+// ExactProximityProb computes P[iceberg within the proximity box of the
+// ship] exactly: the present position is Normal(last sighting, std^2) per
+// axis (independent axes), so the box probability is a product of two CDF
+// differences — the closed form PIP's CDF-equipped expectation operator
+// evaluates.
+func ExactProximityProb(s Sighting, ship Ship) float64 {
+	std := s.PositionStd()
+	return normBoxProb(s.Lat, std, ship.Lat-ProximityRadius, ship.Lat+ProximityRadius) *
+		normBoxProb(s.Lon, std, ship.Lon-ProximityRadius, ship.Lon+ProximityRadius)
+}
+
+func normBoxProb(mu, std, lo, hi float64) float64 {
+	return normCDF((hi-mu)/std) - normCDF((lo-mu)/std)
+}
+
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// ExactThreat computes the ship's total threat exactly: the sum over
+// icebergs whose proximity probability exceeds DangerThreshold of
+// danger * P[near].
+func ExactThreat(d *Data, ship Ship) float64 {
+	total := 0.0
+	for _, s := range d.Sightings {
+		p := ExactProximityProb(s, ship)
+		if p > DangerThreshold {
+			total += s.Danger() * p
+		}
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+package iceberg
+
+import (
+	"math"
+	"testing"
+
+	"pip/internal/prng"
+)
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(100, 10, 3)
+	b := Generate(100, 10, 3)
+	if len(a.Sightings) != 100 || len(a.Ships) != 10 {
+		t.Fatalf("sizes %d/%d", len(a.Sightings), len(a.Ships))
+	}
+	if a.Sightings[42] != b.Sightings[42] || a.Ships[5] != b.Ships[5] {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestSightingBounds(t *testing.T) {
+	d := Generate(500, 50, 9)
+	for _, s := range d.Sightings {
+		if s.Lat < 40 || s.Lat > 55 || s.Lon < -60 || s.Lon > -40 {
+			t.Fatalf("sighting outside box: %+v", s)
+		}
+		if s.AgeDays < 0 || s.AgeDays > 4*365 {
+			t.Fatalf("age out of range: %v", s.AgeDays)
+		}
+		if s.PositionStd() <= 0 {
+			t.Fatal("non-positive position std")
+		}
+		if d := s.Danger(); d <= 0 || d > 1 {
+			t.Fatalf("danger %v out of (0, 1]", d)
+		}
+	}
+}
+
+func TestDangerDecay(t *testing.T) {
+	recent := Sighting{AgeDays: 1}
+	old := Sighting{AgeDays: 1000}
+	if recent.Danger() <= old.Danger() {
+		t.Fatal("danger should decay with age")
+	}
+	if math.Abs(Sighting{AgeDays: 365}.Danger()-math.Exp(-1)) > 1e-12 {
+		t.Fatal("decay constant wrong")
+	}
+}
+
+func TestExactProximityProb(t *testing.T) {
+	// An iceberg sighted exactly at the ship's position with tiny age:
+	// probability of being within the box is essentially 1.
+	s := Sighting{Lat: 45, Lon: -50, AgeDays: 0}
+	ship := Ship{Lat: 45, Lon: -50}
+	if p := ExactProximityProb(s, ship); p < 0.99 {
+		t.Fatalf("co-located probability %v", p)
+	}
+	// A far-away iceberg has essentially zero probability.
+	far := Ship{Lat: 54, Lon: -41}
+	if p := ExactProximityProb(s, far); p > 1e-6 {
+		t.Fatalf("distant probability %v", p)
+	}
+}
+
+func TestExactProximityMatchesMonteCarlo(t *testing.T) {
+	s := Sighting{Lat: 45, Lon: -50, AgeDays: 200}
+	ship := Ship{Lat: 45.3, Lon: -50.2}
+	want := ExactProximityProb(s, ship)
+	// Monte Carlo reference.
+	const n = 200000
+	std := s.PositionStd()
+	r := prng.New(11)
+	hits := 0
+	for i := 0; i < n; i++ {
+		la := s.Lat + std*r.NormFloat64()
+		lo := s.Lon + std*r.NormFloat64()
+		if math.Abs(la-ship.Lat) < ProximityRadius && math.Abs(lo-ship.Lon) < ProximityRadius {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("MC %v vs exact %v", got, want)
+	}
+}
+
+func TestExactThreatMonotoneInSightings(t *testing.T) {
+	d := Generate(500, 1, 13)
+	ship := d.Ships[0]
+	full := ExactThreat(d, ship)
+	half := &Data{Sightings: d.Sightings[:250], Ships: d.Ships}
+	if ExactThreat(half, ship) > full+1e-12 {
+		t.Fatal("threat decreased when adding sightings")
+	}
+}

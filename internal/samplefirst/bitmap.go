@@ -1,0 +1,95 @@
+// Package samplefirst reimplements the MCDB-style "Sample-First" approach
+// the paper benchmarks PIP against (§VI): samples of entire databases are
+// computed first, then queries are processed over those samples.
+//
+// Following the paper's own reimplementation, a sampled variable is
+// represented as an array of floats (one entry per sampled world) and a
+// tuple bundle's presence in each world as a densely packed array of
+// booleans. Query operators evaluate per world: a selection predicate
+// clears presence bits of worlds that violate it, arithmetic combines
+// sample arrays elementwise, and aggregates reduce each world independently
+// before averaging across worlds.
+//
+// The approach's defining weakness — the one PIP's deferred sampling
+// removes — is that samples are committed before the query is known:
+// selective predicates silently discard sample mass (reducing accuracy at
+// fixed cost), and obtaining more samples requires re-running the entire
+// query.
+package samplefirst
+
+import "math/bits"
+
+// Bitmap is a densely packed boolean array marking the worlds in which a
+// tuple bundle is present.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns a bitmap of n bits, all set (present in every world).
+func NewBitmap(n int) *Bitmap {
+	b := &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << r) - 1
+	}
+	return b
+}
+
+// NewEmptyBitmap returns a bitmap of n bits, all clear.
+func NewEmptyBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) {
+	b.words[i/64] |= 1 << (i % 64)
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	b.words[i/64] &^= 1 << (i % 64)
+}
+
+// And intersects o into b (b &= o).
+func (b *Bitmap) And(o *Bitmap) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// Any reports whether any bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,275 @@
+package samplefirst
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pip/internal/ctable"
+	"pip/internal/dist"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(100)
+	if b.Len() != 100 || b.Count() != 100 {
+		t.Fatalf("len %d count %d", b.Len(), b.Count())
+	}
+	b.Clear(5)
+	b.Clear(99)
+	if b.Count() != 98 || b.Get(5) || !b.Get(4) {
+		t.Fatal("Clear/Get broken")
+	}
+	b.Set(5)
+	if !b.Get(5) || b.Count() != 99 {
+		t.Fatal("Set broken")
+	}
+	e := NewEmptyBitmap(64)
+	if e.Any() || e.Count() != 0 {
+		t.Fatal("empty bitmap not empty")
+	}
+	e.Set(63)
+	if !e.Any() || e.Count() != 1 {
+		t.Fatal("Set on word boundary broken")
+	}
+}
+
+func TestBitmapAnd(t *testing.T) {
+	a := NewBitmap(130)
+	b := NewEmptyBitmap(130)
+	b.Set(0)
+	b.Set(128)
+	a.And(b)
+	if a.Count() != 2 || !a.Get(0) || !a.Get(128) {
+		t.Fatalf("And: count %d", a.Count())
+	}
+}
+
+func TestBitmapCountProperty(t *testing.T) {
+	f := func(clears []uint8) bool {
+		b := NewBitmap(256)
+		seen := map[int]bool{}
+		for _, c := range clears {
+			i := int(c)
+			b.Clear(i)
+			seen[i] = true
+		}
+		return b.Count() == 256-len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateColumnAndExpectedSum(t *testing.T) {
+	// Two bundles with N(10,1) and N(20,1): E[sum] ~ 30.
+	tb := New("t", 2000, "k")
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.Float(10))}})
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.Float(20))}})
+	err := tb.GenerateColumn("v", 42, func(tp *Tuple) (dist.Instance, error) {
+		mu, _ := tp.Cells[0].Det.AsFloat()
+		return dist.NewInstance(dist.Normal{}, mu, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tb.ExpectedSum(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-30) > 0.2 {
+		t.Fatalf("E[sum] = %v", got)
+	}
+}
+
+func TestSelectWorldsDiscardsSampleMass(t *testing.T) {
+	// The defining Sample-First weakness: a selective predicate leaves few
+	// live worlds per bundle.
+	tb := New("t", 1000, "k")
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.Float(0))}})
+	err := tb.GenerateColumn("v", 7, func(*Tuple) (dist.Instance, error) {
+		return dist.NewInstance(dist.Normal{}, 0, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := tb.SelectWorlds(Col(1), GT, Lit{ctable.Float(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 1 {
+		t.Fatalf("bundle dropped entirely: %d", sel.Len())
+	}
+	live := sel.Tuples[0].Present.Count()
+	// P[N(0,1) > 2] ~ 0.0228 -> ~23 live worlds of 1000.
+	if live < 5 || live > 60 {
+		t.Fatalf("live worlds %d, expected ~23", live)
+	}
+	// Estimate E[V | V > 2] from surviving samples: should be near 2.37.
+	sum, n := 0.0, 0
+	for w := 0; w < 1000; w++ {
+		if sel.Tuples[0].Present.Get(w) {
+			v, _ := sel.Tuples[0].Cells[1].At(w)
+			sum += v
+			n++
+		}
+	}
+	if n != live {
+		t.Fatal("presence bookkeeping inconsistent")
+	}
+	if math.Abs(sum/float64(n)-2.37) > 0.35 {
+		t.Fatalf("conditional mean %v", sum/float64(n))
+	}
+}
+
+func TestSelectWorldsDropsEmptyBundles(t *testing.T) {
+	tb := New("t", 100, "k")
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.Float(0))}})
+	err := tb.GenerateColumn("v", 9, func(*Tuple) (dist.Instance, error) {
+		return dist.NewInstance(dist.Uniform{}, 0, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := tb.SelectWorlds(Col(1), GT, Lit{ctable.Float(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 0 {
+		t.Fatal("impossible bundle kept")
+	}
+}
+
+func TestSelectDet(t *testing.T) {
+	tb := New("t", 10, "k")
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.String_("a"))}})
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.String_("b"))}})
+	sel, err := tb.SelectDet(func(tp *Tuple) (bool, error) {
+		return tp.Cells[0].Det.S == "a", nil
+	})
+	if err != nil || sel.Len() != 1 {
+		t.Fatalf("SelectDet: %v len %d", err, sel.Len())
+	}
+}
+
+func TestProjectArithmetic(t *testing.T) {
+	tb := New("t", 500, "base")
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.Float(100))}})
+	err := tb.GenerateColumn("u", 3, func(*Tuple) (dist.Instance, error) {
+		return dist.NewInstance(dist.Uniform{}, 0, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base * (1 + u): expectation 150.
+	proj, err := tb.Project([]string{"scaled"}, []Scalar{
+		BinOp{Op: '*', Left: Col(0), Right: BinOp{Op: '+', Left: Lit{ctable.Float(1)}, Right: Col(1)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := proj.ExpectedSum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-150) > 2 {
+		t.Fatalf("E[scaled] = %v", got)
+	}
+}
+
+func TestEquiJoinPresenceIntersection(t *testing.T) {
+	a := New("a", 100, "k")
+	b := New("b", 100, "k")
+	ta := Tuple{Cells: []Cell{DetCell(ctable.String_("x"))}, Present: NewEmptyBitmap(100)}
+	tb_ := Tuple{Cells: []Cell{DetCell(ctable.String_("x"))}, Present: NewEmptyBitmap(100)}
+	for w := 0; w < 50; w++ {
+		ta.Present.Set(w)
+	}
+	for w := 25; w < 75; w++ {
+		tb_.Present.Set(w)
+	}
+	a.MustAppend(ta)
+	b.MustAppend(tb_)
+	j, err := EquiJoin(a, b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("join rows %d", j.Len())
+	}
+	if got := j.Tuples[0].Present.Count(); got != 25 {
+		t.Fatalf("intersected presence %d, want 25", got)
+	}
+}
+
+func TestMaxAndCountPerWorld(t *testing.T) {
+	tb := New("t", 4, "v")
+	t1 := Tuple{Cells: []Cell{SampledCell([]float64{1, 5, 3, 7})}, Present: NewBitmap(4)}
+	t2 := Tuple{Cells: []Cell{SampledCell([]float64{2, 1, 9, 0})}, Present: NewEmptyBitmap(4)}
+	t2.Present.Set(0)
+	t2.Present.Set(2)
+	tb.MustAppend(t1)
+	tb.MustAppend(t2)
+	maxes, err := tb.MaxPerWorld(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 5, 9, 7}
+	for i := range want {
+		if maxes[i] != want[i] {
+			t.Fatalf("world %d max %v, want %v", i, maxes[i], want[i])
+		}
+	}
+	counts := tb.CountPerWorld()
+	wantC := []float64{2, 1, 2, 1}
+	for i := range wantC {
+		if counts[i] != wantC[i] {
+			t.Fatalf("world %d count %v", i, counts[i])
+		}
+	}
+}
+
+func TestGroupedExpectedSum(t *testing.T) {
+	tb := New("t", 100, "g")
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.String_("a"))}})
+	tb.MustAppend(Tuple{Cells: []Cell{DetCell(ctable.String_("b"))}})
+	err := tb.GenerateColumn("v", 5, func(tp *Tuple) (dist.Instance, error) {
+		if tp.Cells[0].Det.S == "a" {
+			return dist.NewInstance(dist.Normal{}, 10, 0.5)
+		}
+		return dist.NewInstance(dist.Normal{}, 20, 0.5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, live, err := tb.GroupedExpectedSum(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sums["a"]-10) > 0.5 || math.Abs(sums["b"]-20) > 0.5 {
+		t.Fatalf("group sums %v", sums)
+	}
+	if live["a"] != 100 || live["b"] != 100 {
+		t.Fatalf("live counts %v", live)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty series")
+	}
+}
+
+func TestAppendArityCheck(t *testing.T) {
+	tb := New("t", 10, "a", "b")
+	if err := tb.Append(Tuple{Cells: []Cell{DetCell(ctable.Float(1))}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestWorldCountMismatchJoin(t *testing.T) {
+	a := New("a", 10, "k")
+	b := New("b", 20, "k")
+	if _, err := EquiJoin(a, b, 0, 0); err == nil {
+		t.Fatal("world count mismatch accepted")
+	}
+}

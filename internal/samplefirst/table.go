@@ -1,0 +1,492 @@
+package samplefirst
+
+import (
+	"fmt"
+	"strings"
+
+	"pip/internal/ctable"
+	"pip/internal/dist"
+	"pip/internal/prng"
+)
+
+// Cell is one tuple-bundle field: either a deterministic value shared by
+// all worlds, or an array of per-world samples.
+type Cell struct {
+	Det     ctable.Value
+	Samples []float64 // non-nil marks a sampled cell
+}
+
+// DetCell wraps a deterministic value.
+func DetCell(v ctable.Value) Cell { return Cell{Det: v} }
+
+// SampledCell wraps a per-world sample array.
+func SampledCell(s []float64) Cell { return Cell{Samples: s} }
+
+// IsSampled reports whether the cell varies across worlds.
+func (c Cell) IsSampled() bool { return c.Samples != nil }
+
+// At returns the cell's value in world w as a float; ok is false for
+// non-numeric deterministic cells.
+func (c Cell) At(w int) (float64, bool) {
+	if c.Samples != nil {
+		return c.Samples[w], true
+	}
+	return c.Det.AsFloat()
+}
+
+// Tuple is a tuple bundle: cells plus the presence bitmap.
+type Tuple struct {
+	Cells   []Cell
+	Present *Bitmap
+}
+
+// Table is a Sample-First relation over a fixed number of sampled worlds.
+type Table struct {
+	Name   string
+	Schema ctable.Schema
+	Worlds int
+	Tuples []Tuple
+}
+
+// New creates an empty Sample-First table over n worlds.
+func New(name string, worlds int, cols ...string) *Table {
+	sch := make(ctable.Schema, len(cols))
+	for i, c := range cols {
+		sch[i] = ctable.Column{Name: c}
+	}
+	return &Table{Name: name, Schema: sch, Worlds: worlds}
+}
+
+// Append adds a bundle with all-present bitmap if t.Present is nil.
+func (tb *Table) Append(t Tuple) error {
+	if len(t.Cells) != len(tb.Schema) {
+		return fmt.Errorf("samplefirst: tuple arity %d vs schema %d", len(t.Cells), len(tb.Schema))
+	}
+	if t.Present == nil {
+		t.Present = NewBitmap(tb.Worlds)
+	}
+	tb.Tuples = append(tb.Tuples, t)
+	return nil
+}
+
+// MustAppend panics on arity mismatch.
+func (tb *Table) MustAppend(t Tuple) {
+	if err := tb.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the bundle count.
+func (tb *Table) Len() int { return len(tb.Tuples) }
+
+// ColIndex resolves a column name.
+func (tb *Table) ColIndex(name string) int { return tb.Schema.ColIndex(name) }
+
+// GenerateColumn samples a fresh per-world array for each tuple from the
+// instance produced by mk (which may parametrize the distribution from the
+// tuple's deterministic cells). This is the sample-first moment: values for
+// every world are drawn before the rest of the query is known.
+func (tb *Table) GenerateColumn(name string, seed uint64, mk func(t *Tuple) (dist.Instance, error)) error {
+	tb.Schema = append(tb.Schema, ctable.Column{Name: name})
+	for i := range tb.Tuples {
+		t := &tb.Tuples[i]
+		inst, err := mk(t)
+		if err != nil {
+			return err
+		}
+		samples := make([]float64, tb.Worlds)
+		for w := 0; w < tb.Worlds; w++ {
+			r := prng.NewKeyed(seed, uint64(i), uint64(w))
+			samples[w] = inst.Generate(r)
+		}
+		t.Cells = append(t.Cells, SampledCell(samples))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Scalars (per-world arithmetic)
+
+// Scalar resolves to a Cell against a bundle; sampled operands broadcast
+// per world.
+type Scalar interface {
+	Resolve(tb *Table, t *Tuple) (Cell, error)
+	String() string
+}
+
+// Col references a column.
+type Col int
+
+// Resolve implements Scalar.
+func (c Col) Resolve(tb *Table, t *Tuple) (Cell, error) {
+	if int(c) < 0 || int(c) >= len(t.Cells) {
+		return Cell{}, fmt.Errorf("samplefirst: column %d out of range", int(c))
+	}
+	return t.Cells[c], nil
+}
+
+// String implements Scalar.
+func (c Col) String() string { return fmt.Sprintf("$%d", int(c)) }
+
+// Lit is a literal.
+type Lit struct{ V ctable.Value }
+
+// Resolve implements Scalar.
+func (l Lit) Resolve(*Table, *Tuple) (Cell, error) { return DetCell(l.V), nil }
+
+// String implements Scalar.
+func (l Lit) String() string { return l.V.String() }
+
+// BinOp is elementwise arithmetic over cells.
+type BinOp struct {
+	Op          byte // '+', '-', '*', '/'
+	Left, Right Scalar
+}
+
+// Resolve implements Scalar.
+func (b BinOp) Resolve(tb *Table, t *Tuple) (Cell, error) {
+	l, err := b.Left.Resolve(tb, t)
+	if err != nil {
+		return Cell{}, err
+	}
+	r, err := b.Right.Resolve(tb, t)
+	if err != nil {
+		return Cell{}, err
+	}
+	apply := func(a, c float64) float64 {
+		switch b.Op {
+		case '+':
+			return a + c
+		case '-':
+			return a - c
+		case '*':
+			return a * c
+		case '/':
+			return a / c
+		default:
+			return 0
+		}
+	}
+	if !l.IsSampled() && !r.IsSampled() {
+		lf, ok1 := l.Det.AsFloat()
+		rf, ok2 := r.Det.AsFloat()
+		if !ok1 || !ok2 {
+			return Cell{}, fmt.Errorf("samplefirst: non-numeric arithmetic operands")
+		}
+		return DetCell(ctable.Float(apply(lf, rf))), nil
+	}
+	out := make([]float64, tb.Worlds)
+	for w := 0; w < tb.Worlds; w++ {
+		lf, ok1 := l.At(w)
+		rf, ok2 := r.At(w)
+		if !ok1 || !ok2 {
+			return Cell{}, fmt.Errorf("samplefirst: non-numeric arithmetic operands")
+		}
+		out[w] = apply(lf, rf)
+	}
+	return SampledCell(out), nil
+}
+
+// String implements Scalar.
+func (b BinOp) String() string {
+	return "(" + b.Left.String() + " " + string(b.Op) + " " + b.Right.String() + ")"
+}
+
+// ---------------------------------------------------------------------------
+// Relational operators
+
+// SelectDet filters bundles by a deterministic predicate (no per-world
+// work; the bundle is kept or dropped outright).
+func (tb *Table) SelectDet(pred func(t *Tuple) (bool, error)) (*Table, error) {
+	out := &Table{Name: tb.Name, Schema: tb.Schema, Worlds: tb.Worlds}
+	for i := range tb.Tuples {
+		ok, err := pred(&tb.Tuples[i])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Tuples = append(out.Tuples, tb.Tuples[i])
+		}
+	}
+	return out, nil
+}
+
+// CmpOpSF enumerates per-world comparison operators.
+type CmpOpSF int
+
+// Comparison operators.
+const (
+	LT CmpOpSF = iota
+	LE
+	GT
+	GE
+	EQ
+	NEQ
+)
+
+func (o CmpOpSF) holds(a, b float64) bool {
+	switch o {
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	case EQ:
+		return a == b
+	case NEQ:
+		return a != b
+	default:
+		return false
+	}
+}
+
+// SelectWorlds applies a per-world comparison: the presence bit of each
+// world where the comparison fails is cleared. This is where Sample-First
+// discards sample mass on selective predicates — the bundles stay, but
+// carry fewer live worlds. Bundles left present in no world are dropped.
+func (tb *Table) SelectWorlds(left Scalar, op CmpOpSF, right Scalar) (*Table, error) {
+	out := &Table{Name: tb.Name, Schema: tb.Schema, Worlds: tb.Worlds}
+	for i := range tb.Tuples {
+		t := tb.Tuples[i]
+		l, err := left.Resolve(tb, &t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := right.Resolve(tb, &t)
+		if err != nil {
+			return nil, err
+		}
+		if !l.IsSampled() && !r.IsSampled() {
+			lf, ok1 := l.Det.AsFloat()
+			rf, ok2 := r.Det.AsFloat()
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("samplefirst: non-numeric comparison")
+			}
+			if op.holds(lf, rf) {
+				out.Tuples = append(out.Tuples, t)
+			}
+			continue
+		}
+		present := t.Present.Clone()
+		for w := 0; w < tb.Worlds; w++ {
+			if !present.Get(w) {
+				continue
+			}
+			lf, _ := l.At(w)
+			rf, _ := r.At(w)
+			if !op.holds(lf, rf) {
+				present.Clear(w)
+			}
+		}
+		if !present.Any() {
+			continue
+		}
+		out.Tuples = append(out.Tuples, Tuple{Cells: t.Cells, Present: present})
+	}
+	return out, nil
+}
+
+// Project computes new columns from scalars.
+func (tb *Table) Project(names []string, targets []Scalar) (*Table, error) {
+	if len(names) != len(targets) {
+		return nil, fmt.Errorf("samplefirst: %d names for %d targets", len(names), len(targets))
+	}
+	sch := make(ctable.Schema, len(names))
+	for i, n := range names {
+		sch[i] = ctable.Column{Name: n}
+	}
+	out := &Table{Name: tb.Name, Schema: sch, Worlds: tb.Worlds}
+	for i := range tb.Tuples {
+		t := &tb.Tuples[i]
+		cells := make([]Cell, len(targets))
+		for j, tgt := range targets {
+			c, err := tgt.Resolve(tb, t)
+			if err != nil {
+				return nil, err
+			}
+			cells[j] = c
+		}
+		out.Tuples = append(out.Tuples, Tuple{Cells: cells, Present: t.Present})
+	}
+	return out, nil
+}
+
+// EquiJoin hash-joins on deterministic key columns; presence bitmaps
+// intersect (a joined bundle exists only in worlds where both sides exist).
+func EquiJoin(a, b *Table, aCol, bCol int) (*Table, error) {
+	if a.Worlds != b.Worlds {
+		return nil, fmt.Errorf("samplefirst: joining tables with %d vs %d worlds", a.Worlds, b.Worlds)
+	}
+	sch := make(ctable.Schema, 0, len(a.Schema)+len(b.Schema))
+	sch = append(sch, a.Schema...)
+	sch = append(sch, b.Schema...)
+	out := &Table{Name: a.Name + "_join_" + b.Name, Schema: sch, Worlds: a.Worlds}
+	idx := map[string][]int{}
+	for j := range b.Tuples {
+		c := b.Tuples[j].Cells[bCol]
+		if c.IsSampled() {
+			return nil, fmt.Errorf("samplefirst: sampled join key")
+		}
+		idx[cellKey(c)] = append(idx[cellKey(c)], j)
+	}
+	for i := range a.Tuples {
+		ta := &a.Tuples[i]
+		c := ta.Cells[aCol]
+		if c.IsSampled() {
+			return nil, fmt.Errorf("samplefirst: sampled join key")
+		}
+		for _, j := range idx[cellKey(c)] {
+			tbp := &b.Tuples[j]
+			present := ta.Present.Clone()
+			present.And(tbp.Present)
+			if !present.Any() {
+				continue
+			}
+			cells := make([]Cell, 0, len(ta.Cells)+len(tbp.Cells))
+			cells = append(cells, ta.Cells...)
+			cells = append(cells, tbp.Cells...)
+			out.Tuples = append(out.Tuples, Tuple{Cells: cells, Present: present})
+		}
+	}
+	return out, nil
+}
+
+func cellKey(c Cell) string {
+	var b strings.Builder
+	b.WriteString(c.Det.String())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+
+// SumPerWorld returns, for each world, the sum of col over bundles present
+// in that world.
+func (tb *Table) SumPerWorld(col int) ([]float64, error) {
+	out := make([]float64, tb.Worlds)
+	for i := range tb.Tuples {
+		t := &tb.Tuples[i]
+		c := t.Cells[col]
+		for w := 0; w < tb.Worlds; w++ {
+			if !t.Present.Get(w) {
+				continue
+			}
+			v, ok := c.At(w)
+			if !ok {
+				return nil, fmt.Errorf("samplefirst: non-numeric sum target")
+			}
+			out[w] += v
+		}
+	}
+	return out, nil
+}
+
+// MaxPerWorld returns, for each world, the max of col over present bundles
+// (0 when no bundle is present, matching the PIP convention).
+func (tb *Table) MaxPerWorld(col int) ([]float64, error) {
+	out := make([]float64, tb.Worlds)
+	seen := make([]bool, tb.Worlds)
+	for i := range tb.Tuples {
+		t := &tb.Tuples[i]
+		c := t.Cells[col]
+		for w := 0; w < tb.Worlds; w++ {
+			if !t.Present.Get(w) {
+				continue
+			}
+			v, ok := c.At(w)
+			if !ok {
+				return nil, fmt.Errorf("samplefirst: non-numeric max target")
+			}
+			if !seen[w] || v > out[w] {
+				out[w] = v
+				seen[w] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// CountPerWorld returns the number of present bundles per world.
+func (tb *Table) CountPerWorld() []float64 {
+	out := make([]float64, tb.Worlds)
+	for i := range tb.Tuples {
+		t := &tb.Tuples[i]
+		for w := 0; w < tb.Worlds; w++ {
+			if t.Present.Get(w) {
+				out[w]++
+			}
+		}
+	}
+	return out
+}
+
+// Mean averages a per-world series — the final expectation step.
+func Mean(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, v := range series {
+		t += v
+	}
+	return t / float64(len(series))
+}
+
+// ExpectedSum is the Sample-First estimate of E[sum(col)].
+func (tb *Table) ExpectedSum(col int) (float64, error) {
+	s, err := tb.SumPerWorld(col)
+	if err != nil {
+		return 0, err
+	}
+	return Mean(s), nil
+}
+
+// ExpectedMax is the Sample-First estimate of E[max(col)].
+func (tb *Table) ExpectedMax(col int) (float64, error) {
+	s, err := tb.MaxPerWorld(col)
+	if err != nil {
+		return 0, err
+	}
+	return Mean(s), nil
+}
+
+// GroupedExpectedSum groups bundles by a deterministic key column and
+// returns per-group Sample-First sum expectations along with the number of
+// live (present-in-some-world) samples that survived selection per group —
+// the quantity whose erosion under selective predicates drives Fig. 7.
+func (tb *Table) GroupedExpectedSum(keyCol, aggCol int) (map[string]float64, map[string]int, error) {
+	sums := map[string][]float64{}
+	live := map[string]int{}
+	for i := range tb.Tuples {
+		t := &tb.Tuples[i]
+		kc := t.Cells[keyCol]
+		if kc.IsSampled() {
+			return nil, nil, fmt.Errorf("samplefirst: sampled group key")
+		}
+		k := kc.Det.String()
+		if _, ok := sums[k]; !ok {
+			sums[k] = make([]float64, tb.Worlds)
+		}
+		s := sums[k]
+		c := t.Cells[aggCol]
+		for w := 0; w < tb.Worlds; w++ {
+			if !t.Present.Get(w) {
+				continue
+			}
+			v, ok := c.At(w)
+			if !ok {
+				return nil, nil, fmt.Errorf("samplefirst: non-numeric sum target")
+			}
+			s[w] += v
+			live[k]++
+		}
+	}
+	out := map[string]float64{}
+	for k, s := range sums {
+		out[k] = Mean(s)
+	}
+	return out, live, nil
+}

@@ -1,0 +1,399 @@
+package sampler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pip/internal/cond"
+	"pip/internal/ctable"
+	"pip/internal/expr"
+)
+
+// AggregateResult reports a per-table aggregate.
+type AggregateResult struct {
+	Value float64
+	// N is the total number of samples spent across all rows.
+	N int
+	// Exact reports whether every per-row computation was closed-form.
+	Exact bool
+	// RowsScanned counts rows actually processed (the early-terminating
+	// expected_max may stop before the end of the table).
+	RowsScanned int
+}
+
+// ExpectedSum computes E[sum(col)] over a c-table under per-table sampling
+// semantics (paper §IV-C): by linearity of expectation the result is the
+// sum over rows of P[phi_r] * E[h_r | phi_r], which holds under arbitrary
+// inter-row correlation.
+//
+// Following the paper's variance observation (the sum of N estimates with
+// equal per-element standard deviation has standard deviation sigma/sqrt N),
+// the per-row relative precision target is relaxed by sqrt(len(rows)) when
+// adaptive sampling is active.
+func (s *Sampler) ExpectedSum(tb *ctable.Table, col int) (AggregateResult, error) {
+	if err := checkCol(tb, col); err != nil {
+		return AggregateResult{}, err
+	}
+	rowSampler := s.forRowCount(tb.Len())
+	total := 0.0
+	samples := 0
+	exact := true
+	for i := range tb.Tuples {
+		t := &tb.Tuples[i]
+		contrib, r, err := rowSampler.rowContribution(t, col)
+		if err != nil {
+			return AggregateResult{}, err
+		}
+		total += contrib
+		samples += r.N
+		exact = exact && r.Exact
+	}
+	return AggregateResult{Value: total, N: samples, Exact: exact, RowsScanned: tb.Len()}, nil
+}
+
+// ExpectedCount computes E[count(*)] = sum of row confidences.
+func (s *Sampler) ExpectedCount(tb *ctable.Table) (AggregateResult, error) {
+	total := 0.0
+	samples := 0
+	exact := true
+	for i := range tb.Tuples {
+		r := s.AConf(tb.Tuples[i].Cond)
+		total += r.Prob
+		samples += r.N
+		exact = exact && r.Exact
+	}
+	return AggregateResult{Value: total, N: samples, Exact: exact, RowsScanned: tb.Len()}, nil
+}
+
+// ExpectedAvg approximates E[avg(col)] by the ratio E[sum]/E[count]. The
+// ratio-of-expectations is the standard first-order estimator for the
+// expectation of a ratio; it is exact when the row count is deterministic.
+func (s *Sampler) ExpectedAvg(tb *ctable.Table, col int) (AggregateResult, error) {
+	sum, err := s.ExpectedSum(tb, col)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	cnt, err := s.ExpectedCount(tb)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	if cnt.Value == 0 {
+		return AggregateResult{Value: math.NaN(), N: sum.N + cnt.N}, nil
+	}
+	return AggregateResult{
+		Value:       sum.Value / cnt.Value,
+		N:           sum.N + cnt.N,
+		Exact:       sum.Exact && cnt.Exact,
+		RowsScanned: tb.Len(),
+	}, nil
+}
+
+// ExpectedMax computes E[max(col)] with the early-terminating algorithm of
+// Example 4.4 when every target value is deterministic: rows are sorted by
+// value descending, row i is the maximum exactly when it is present and
+// rows 0..i-1 are absent (assuming independent row conditions — the
+// algorithm verifies pairwise variable disjointness and falls back to
+// per-world sampling otherwise), and scanning stops once the largest
+// possible remaining change drops below precision. Worlds where no row is
+// present contribute 0, matching the paper's example.
+func (s *Sampler) ExpectedMax(tb *ctable.Table, col int, precision float64) (AggregateResult, error) {
+	if err := checkCol(tb, col); err != nil {
+		return AggregateResult{}, err
+	}
+	if tb.Len() == 0 {
+		return AggregateResult{Value: 0, Exact: true}, nil
+	}
+	allDet := true
+	for i := range tb.Tuples {
+		if tb.Tuples[i].Values[col].IsSymbolic() {
+			allDet = false
+			break
+		}
+	}
+	if !allDet || !rowsIndependent(tb) {
+		return s.expectedMaxByWorlds(tb, col)
+	}
+
+	type row struct {
+		v float64
+		i int
+	}
+	rows := make([]row, 0, tb.Len())
+	for i := range tb.Tuples {
+		f, ok := tb.Tuples[i].Values[col].AsFloat()
+		if !ok {
+			return AggregateResult{}, fmt.Errorf("sampler: non-numeric max target %s", tb.Tuples[i].Values[col])
+		}
+		rows = append(rows, row{v: f, i: i})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].v > rows[b].v })
+
+	total := 0.0
+	pNone := 1.0 // probability that no earlier (larger) row is present
+	samples := 0
+	exact := true
+	scanned := 0
+	for _, rw := range rows {
+		scanned++
+		// Early termination: the most any remaining row can add is
+		// bounded by |value| * P[none of the larger rows present].
+		if precision > 0 && math.Abs(rw.v)*pNone < precision {
+			break
+		}
+		cr := s.AConf(tb.Tuples[rw.i].Cond)
+		samples += cr.N
+		exact = exact && cr.Exact
+		total += rw.v * cr.Prob * pNone
+		pNone *= 1 - cr.Prob
+		if pNone <= 0 {
+			break
+		}
+	}
+	return AggregateResult{Value: total, N: samples, Exact: exact, RowsScanned: scanned}, nil
+}
+
+// ExpectedMaxNaive is the worst-case per-world implementation the paper
+// describes for aggregates without linearity (kept for ablation benches).
+func (s *Sampler) ExpectedMaxNaive(tb *ctable.Table, col int) (AggregateResult, error) {
+	if err := checkCol(tb, col); err != nil {
+		return AggregateResult{}, err
+	}
+	return s.expectedMaxByWorlds(tb, col)
+}
+
+func (s *Sampler) expectedMaxByWorlds(tb *ctable.Table, col int) (AggregateResult, error) {
+	samples, err := s.AggregateHistogram(tb, col, maxFold, s.histogramSize())
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	total := 0.0
+	for _, v := range samples {
+		total += v
+	}
+	n := len(samples)
+	if n == 0 {
+		return AggregateResult{Value: math.NaN()}, nil
+	}
+	return AggregateResult{Value: total / float64(n), N: n, RowsScanned: tb.Len()}, nil
+}
+
+// rowsIndependent reports whether no two rows of the table share a random
+// variable (in conditions or target cells) — the premise of the sorted
+// expected-max algorithm.
+func rowsIndependent(tb *ctable.Table) bool {
+	seen := map[expr.VarKey]bool{}
+	for i := range tb.Tuples {
+		local := map[expr.VarKey]*expr.Variable{}
+		tb.Tuples[i].Cond.CollectVars(local)
+		for _, v := range tb.Tuples[i].Values {
+			v.CollectVars(local)
+		}
+		for k := range local {
+			if seen[k] {
+				return false
+			}
+		}
+		for k := range local {
+			seen[k] = true
+		}
+	}
+	return true
+}
+
+// histogramSize returns the world-sample count used by per-world fallbacks.
+func (s *Sampler) histogramSize() int {
+	if s.cfg.FixedSamples > 0 {
+		return s.cfg.FixedSamples
+	}
+	n := s.cfg.MaxSamples
+	if n <= 0 {
+		n = 1000
+	}
+	if n > 10000 {
+		n = 10000
+	}
+	return n
+}
+
+// FoldFunc combines per-row values into a per-world aggregate. present
+// lists the evaluated target values of rows whose condition holds in the
+// world.
+type FoldFunc func(present []float64) float64
+
+// SumFold is the per-world sum.
+func SumFold(present []float64) float64 {
+	t := 0.0
+	for _, v := range present {
+		t += v
+	}
+	return t
+}
+
+func maxFold(present []float64) float64 {
+	if len(present) == 0 {
+		return 0
+	}
+	m := present[0]
+	for _, v := range present[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxFold is the per-world max (0 when no row is present).
+func MaxFold(present []float64) float64 { return maxFold(present) }
+
+// AvgFold is the per-world average (0 when no row is present).
+func AvgFold(present []float64) float64 {
+	if len(present) == 0 {
+		return 0
+	}
+	return SumFold(present) / float64(len(present))
+}
+
+// StdDevFold is the per-world population standard deviation across present
+// rows (0 for fewer than two rows) — the fold behind the expected_stddev
+// aggregate (paper §IV-C lists stddev among the aggregate operators).
+func StdDevFold(present []float64) float64 {
+	return math.Sqrt(VarianceFold(present))
+}
+
+// VarianceFold is the per-world population variance across present rows.
+func VarianceFold(present []float64) float64 {
+	n := len(present)
+	if n < 2 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range present {
+		sum += v
+		sumSq += v * v
+	}
+	fn := float64(n)
+	mean := sum / fn
+	variance := sumSq/fn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return variance
+}
+
+// AggregateHistogram implements the expected_*_hist operators (§V-C): it
+// draws n complete worlds over every variable of the table and returns the
+// per-world aggregate values, suitable for histogram construction. Unlike
+// the per-row expectation path this is an unconditioned world sample: row
+// conditions act as presence indicators, and inter-row variable sharing is
+// honored exactly.
+func (s *Sampler) AggregateHistogram(tb *ctable.Table, col int, fold FoldFunc, n int) ([]float64, error) {
+	if err := checkCol(tb, col); err != nil {
+		return nil, err
+	}
+	vars := ctable.VarsOf(tb)
+	keys := sortedKeys(vars)
+	out := make([]float64, 0, n)
+	asn := expr.Assignment{}
+	var present []float64
+	for i := 0; i < n; i++ {
+		drawWorld(asn, keys, vars, s.cfg.WorldSeed, uint64(i))
+		present = present[:0]
+		for r := range tb.Tuples {
+			t := &tb.Tuples[r]
+			if !t.Cond.Holds(asn) {
+				continue
+			}
+			v := t.Values[col].EvalWorld(asn)
+			f, ok := v.AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("sampler: non-numeric histogram target %s", v)
+			}
+			present = append(present, f)
+		}
+		out = append(out, fold(present))
+	}
+	return out, nil
+}
+
+// rowContribution computes P[cond] * E[value | cond] for one tuple.
+func (s *Sampler) rowContribution(t *ctable.Tuple, col int) (float64, Result, error) {
+	v := t.Values[col]
+	if v.IsNull() {
+		return 0, Result{Exact: true, Prob: 0}, nil
+	}
+	e, ok := v.AsExpr()
+	if !ok {
+		return 0, Result{}, fmt.Errorf("sampler: non-numeric aggregate target %s", v)
+	}
+	var r Result
+	if len(t.Cond.Clauses) == 1 {
+		r = s.Expectation(e, t.Cond.Clauses[0], true)
+	} else {
+		r = s.ExpectationDNF(e, t.Cond, true)
+	}
+	if r.Prob == 0 {
+		return 0, r, nil
+	}
+	if math.IsNaN(r.Mean) {
+		return 0, r, nil
+	}
+	return r.Mean * r.Prob, r, nil
+}
+
+// forRowCount relaxes the per-row precision target by sqrt(rows) for
+// adaptive aggregation over many rows (paper §IV-C variance argument).
+func (s *Sampler) forRowCount(rows int) *Sampler {
+	if rows <= 1 || s.cfg.FixedSamples > 0 {
+		return s
+	}
+	cfg := s.cfg
+	cfg.Delta = cfg.Delta * math.Sqrt(float64(rows))
+	if cfg.Delta > 0.5 {
+		cfg.Delta = 0.5
+	}
+	return &Sampler{cfg: cfg}
+}
+
+func checkCol(tb *ctable.Table, col int) error {
+	if col < 0 || col >= len(tb.Schema) {
+		return fmt.Errorf("sampler: column %d out of range for %s", col, tb.Name)
+	}
+	return nil
+}
+
+// ExpectationHistogram draws n conditional samples of an expression given a
+// clause (the per-row expected_*_hist variant): the returned values are
+// samples of e restricted to worlds satisfying c.
+func (s *Sampler) ExpectationHistogram(e expr.Expr, c cond.Clause, n int) ([]float64, error) {
+	eKeys, eVars := expr.Vars(e)
+	extras := make([]*expr.Variable, 0, len(eKeys))
+	for _, k := range eKeys {
+		extras = append(extras, eVars[k])
+	}
+	groups := s.partition(c, extras)
+	samplers := make([]*groupSampler, 0, len(groups))
+	for _, g := range groups {
+		gs := newGroupSampler(g, &s.cfg)
+		if gs.inconsistent {
+			return nil, nil
+		}
+		samplers = append(samplers, gs)
+	}
+	out := make([]float64, 0, n)
+	asn := expr.Assignment{}
+	for i := 0; i < n; i++ {
+		ok := true
+		for _, gs := range samplers {
+			if !gs.drawInto(asn, uint64(i)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, e.Eval(asn))
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+// Package sampler implements PIP's sampling and integration layer
+// (paper §IV): the expectation operator of Algorithm 4.3, goal-directed
+// sampling strategies (rejection, inverse-CDF constrained sampling,
+// independence partitioning, Metropolis fallback), exact CDF integration of
+// single-variable conditions, confidence computation, and the aggregate
+// operators (expected_sum, expected_max, expected_avg, histograms).
+//
+// The deferred, symbolic representation is what makes these strategies
+// possible: by the time an expectation is requested, the full constraint
+// clause and target expression are known, so the sampler can partition the
+// constraints into independent groups, derive per-variable bounds, pick the
+// cheapest sound strategy per group, and stop adaptively.
+package sampler
+
+import (
+	"math"
+
+	"pip/internal/dist"
+)
+
+// Config tunes the sampling process. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Epsilon and Delta give the (epsilon, delta) stopping goal of
+	// Algorithm 4.3: with confidence 1-Epsilon the relative error of the
+	// reported expectation is below Delta.
+	Epsilon float64
+	Delta   float64
+
+	// MinSamples and MaxSamples bracket the adaptive sample count.
+	MinSamples int
+	MaxSamples int
+
+	// FixedSamples, when positive, disables adaptive stopping and draws
+	// exactly this many accepted samples (the paper's fixed-1000-sample
+	// experiments).
+	FixedSamples int
+
+	// MetropolisThreshold is the rejection-rate threshold beyond which a
+	// group escalates from rejection sampling to the Metropolis random
+	// walk (Algorithm 4.3 line 19). 0.995 means: switch once fewer than
+	// 1 in 200 proposals are accepted.
+	MetropolisThreshold float64
+	// MetropolisBurnIn is the number of initial random-walk steps
+	// discarded before the chain is considered mixed.
+	MetropolisBurnIn int
+	// MetropolisThin is the number of random-walk steps between samples.
+	MetropolisThin int
+
+	// RejectionCap bounds the attempts for a single accepted sample before
+	// the group gives up (returning NaN per the paper's semantics for
+	// unsatisfiable contexts).
+	RejectionCap int
+
+	// WorldSeed parameterizes every pseudorandom draw; two runs with equal
+	// seeds produce identical results.
+	WorldSeed uint64
+
+	// Ablation switches (all false in normal operation).
+	DisableCDFInversion bool // force natural generation + rejection
+	DisableIndependence bool // treat all constraint atoms as one group
+	DisableMetropolis   bool // never escalate to Metropolis
+	DisableExactCDF     bool // never integrate exactly; always sample
+	DisableClosedForm   bool // never use closed-form means; always sample
+}
+
+// DefaultConfig returns the configuration used by the paper's experiments:
+// 95% confidence, 5% relative error, adaptive up to 10k samples.
+func DefaultConfig() Config {
+	return Config{
+		Epsilon:             0.05,
+		Delta:               0.05,
+		MinSamples:          30,
+		MaxSamples:          10000,
+		MetropolisThreshold: 0.995,
+		MetropolisBurnIn:    500,
+		MetropolisThin:      10,
+		RejectionCap:        200000,
+		WorldSeed:           0x5eed,
+	}
+}
+
+// zTarget returns sqrt(2) * erfinv(1 - epsilon): the z-score half-width of
+// the (1-epsilon) confidence interval (Algorithm 4.3 line 3).
+func (c Config) zTarget() float64 {
+	eps := c.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+	if eps >= 1 {
+		eps = 0.99
+	}
+	return math.Sqrt2 * dist.ErfInv(1-eps)
+}
+
+// wantSamples reports whether sampling should continue after n accepted
+// samples with running sums sum and sumSq.
+func (c Config) wantSamples(n int, sum, sumSq float64) bool {
+	if c.FixedSamples > 0 {
+		return n < c.FixedSamples
+	}
+	if n < c.MinSamples {
+		return true
+	}
+	if n >= c.MaxSamples {
+		return false
+	}
+	fn := float64(n)
+	mean := sum / fn
+	variance := sumSq/fn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	stderr := math.Sqrt(variance / fn)
+	// Stop when the confidence half-width is within Delta relative error
+	// (with a small absolute floor so a zero mean can converge).
+	tol := c.Delta * math.Max(math.Abs(mean), 1e-9)
+	return c.zTarget()*stderr > tol
+}

@@ -1,0 +1,324 @@
+package sampler
+
+import (
+	"math"
+
+	"pip/internal/cond"
+	"pip/internal/expr"
+)
+
+// Result reports the outcome of an expectation or confidence computation.
+type Result struct {
+	// Mean is the conditional expectation E[expr | condition]. NaN when
+	// the condition is unsatisfiable (paper §IV-B: "If the context is
+	// unsatisfiable, a value of NAN will result").
+	Mean float64
+	// Prob is P[condition] when requested, else 1.
+	Prob float64
+	// N is the number of accepted samples used for the mean (0 when the
+	// result was computed exactly).
+	N int
+	// StdErr is the standard error of the mean estimate (0 when exact).
+	StdErr float64
+	// Exact is true when no sampling was necessary (closed-form mean on an
+	// unconstrained variable, or CDF-integrated probability).
+	Exact bool
+	// UsedMetropolis reports whether any group escalated to the random
+	// walk (in which case Prob falls back to sampling, see Algorithm 4.3).
+	UsedMetropolis bool
+}
+
+// Sampler evaluates expectations, probabilities and aggregates against
+// symbolic conditions. It is stateless across calls apart from its
+// configuration; all randomness derives from Config.WorldSeed.
+type Sampler struct {
+	cfg Config
+}
+
+// New returns a sampler with the given configuration.
+func New(cfg Config) *Sampler { return &Sampler{cfg: cfg} }
+
+// Config returns the sampler's configuration.
+func (s *Sampler) Config() Config { return s.cfg }
+
+// Expectation implements Algorithm 4.3: compute E[e | c] and, when getP is
+// set, P[c]. The clause is partitioned into minimal independent groups;
+// only groups sharing variables with e need sampling for the mean, and
+// groups disjoint from e contribute to the probability only — computed
+// exactly via CDF integration when possible (line 32–33).
+func (s *Sampler) Expectation(e expr.Expr, c cond.Clause, getP bool) Result {
+	// Fast path: deterministic expression under a trivially-true clause.
+	eKeys, eVars := expr.Vars(e)
+	if len(eKeys) == 0 && c.IsTrue() {
+		return Result{Mean: e.Eval(nil), Prob: 1, Exact: true}
+	}
+
+	// Exact path: unconstrained linear target with closed-form variable
+	// means ("potentially even sidestep [sampling] entirely", §III-A).
+	if c.IsTrue() && !s.cfg.DisableClosedForm {
+		if mean, ok := linearClosedFormMean(e, eVars); ok {
+			return Result{Mean: mean, Prob: 1, Exact: true}
+		}
+	}
+
+	extras := make([]*expr.Variable, 0, len(eKeys))
+	for _, k := range eKeys {
+		extras = append(extras, eVars[k])
+	}
+	groups := s.partition(c, extras)
+
+	// Identify groups relevant to the target expression.
+	eKeySet := map[expr.VarKey]bool{}
+	for _, k := range eKeys {
+		eKeySet[k] = true
+	}
+
+	var samplingGroups []*groupSampler // groups overlapping e: must be sampled
+	var probGroups []*groupSampler     // groups disjoint from e: probability only
+	for _, g := range groups {
+		gs := newGroupSampler(g, &s.cfg)
+		if gs.inconsistent {
+			return Result{Mean: math.NaN(), Prob: 0, Exact: true}
+		}
+		if g.Touches(eKeySet) {
+			samplingGroups = append(samplingGroups, gs)
+		} else {
+			probGroups = append(probGroups, gs)
+		}
+	}
+
+	res := Result{Prob: 1}
+
+	// Independence + closed form: if no constraint atom touches any
+	// variable of e (all of e's groups are atom-free), the conditional
+	// mean equals the unconditional mean — use the closed form when the
+	// target is linear with known variable means. Constrained groups then
+	// only contribute probability.
+	if !s.cfg.DisableClosedForm {
+		atomFree := true
+		for _, gs := range samplingGroups {
+			if len(gs.group.Atoms) > 0 {
+				atomFree = false
+				break
+			}
+		}
+		if atomFree {
+			if mean, ok := linearClosedFormMean(e, eVars); ok {
+				res.Mean = mean
+				res.Exact = true
+				if !getP {
+					return res
+				}
+				prob := 1.0
+				for _, gs := range probGroups {
+					prob *= s.clauseProb(gs.group)
+				}
+				res.Prob = prob
+				return res
+			}
+		}
+	}
+
+	// Sample the groups the mean depends on.
+	if len(samplingGroups) > 0 || len(eKeys) > 0 {
+		asn := expr.Assignment{}
+		var sum, sumSq float64
+		n := 0
+		for s.cfg.wantSamples(n, sum, sumSq) {
+			idx := uint64(n)
+			ok := true
+			for _, gs := range samplingGroups {
+				if !gs.drawInto(asn, idx) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				// Constraint region unreachable within budget.
+				return Result{Mean: math.NaN(), Prob: 0}
+			}
+			v := e.Eval(asn)
+			sum += v
+			sumSq += v * v
+			n++
+		}
+		res.N = n
+		if n > 0 {
+			res.Mean = sum / float64(n)
+			variance := sumSq/float64(n) - res.Mean*res.Mean
+			if variance < 0 {
+				variance = 0
+			}
+			res.StdErr = math.Sqrt(variance / float64(n))
+		} else {
+			res.Mean = math.NaN()
+		}
+		for _, gs := range samplingGroups {
+			if gs.usingMetropolis() {
+				res.UsedMetropolis = true
+			}
+		}
+	} else {
+		// Deterministic expression under a purely probabilistic condition.
+		res.Mean = e.Eval(nil)
+		res.Exact = true
+	}
+
+	if !getP {
+		return res
+	}
+
+	// Probability: accumulate per-group contributions. Groups that were
+	// sampled give N/Count for free (line 29) unless they escalated to
+	// Metropolis, in which case they are re-integrated by rejection.
+	prob := 1.0
+	for _, gs := range samplingGroups {
+		if p, ok := gs.probEstimate(); ok {
+			prob *= p
+			continue
+		}
+		p := s.clauseProb(gs.group)
+		prob *= p
+	}
+	for _, gs := range probGroups {
+		prob *= s.clauseProb(gs.group)
+	}
+	res.Prob = prob
+	return res
+}
+
+// ExpectationDNF generalizes Expectation to DNF conditions: single-clause
+// conditions take the goal-directed path; multi-clause conditions fall back
+// to world sampling over the union region.
+func (s *Sampler) ExpectationDNF(e expr.Expr, d cond.Condition, getP bool) Result {
+	if d.IsFalse() {
+		return Result{Mean: math.NaN(), Prob: 0, Exact: true}
+	}
+	if d.IsTrue() {
+		return s.Expectation(e, cond.TrueClause(), getP)
+	}
+	if len(d.Clauses) == 1 {
+		return s.Expectation(e, d.Clauses[0], getP)
+	}
+	return s.worldSampleDNF(e, d, getP)
+}
+
+// worldSampleDNF estimates E[e | d] and P[d] by naive world sampling over
+// every variable of (e, d). It is the general fallback for disjunctive
+// contexts (the aconf path).
+func (s *Sampler) worldSampleDNF(e expr.Expr, d cond.Condition, getP bool) Result {
+	vars := map[expr.VarKey]*expr.Variable{}
+	d.CollectVars(vars)
+	if e != nil {
+		e.CollectVars(vars)
+	}
+	keys := sortedKeys(vars)
+
+	asn := expr.Assignment{}
+	var sum, sumSq float64
+	accepted, attempts := 0, 0
+	maxAttempts := s.cfg.MaxSamples * 100
+	if s.cfg.FixedSamples > 0 {
+		maxAttempts = s.cfg.FixedSamples * 1000
+	}
+	for s.cfg.wantSamples(accepted, sum, sumSq) && attempts < maxAttempts {
+		drawWorld(asn, keys, vars, s.cfg.WorldSeed, uint64(attempts))
+		attempts++
+		if !d.Holds(asn) {
+			continue
+		}
+		var v float64
+		if e != nil {
+			v = e.Eval(asn)
+		}
+		sum += v
+		sumSq += v * v
+		accepted++
+	}
+	res := Result{N: accepted}
+	if accepted == 0 {
+		res.Mean = math.NaN()
+		res.Prob = 0
+		return res
+	}
+	res.Mean = sum / float64(accepted)
+	variance := sumSq/float64(accepted) - res.Mean*res.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	res.StdErr = math.Sqrt(variance / float64(accepted))
+	res.Prob = 1
+	if getP {
+		res.Prob = float64(accepted) / float64(attempts)
+	}
+	return res
+}
+
+// drawWorld samples every listed variable naturally into asn; multivariate
+// vectors are drawn jointly.
+func drawWorld(asn expr.Assignment, keys []expr.VarKey, vars map[expr.VarKey]*expr.Variable, seed, idx uint64) {
+	for _, k := range keys {
+		asn[k] = expr.SampleVariable(vars[k], seed, idx)
+	}
+}
+
+// partition wraps cond.Partition with the DisableIndependence ablation: when
+// disabled, all atoms and variables are merged into one group.
+func (s *Sampler) partition(c cond.Clause, extras []*expr.Variable) []cond.Group {
+	groups := cond.Partition(c, extras)
+	if !s.cfg.DisableIndependence || len(groups) <= 1 {
+		return groups
+	}
+	merged := cond.Group{Vars: map[expr.VarKey]*expr.Variable{}}
+	for _, g := range groups {
+		merged.Atoms = append(merged.Atoms, g.Atoms...)
+		for k, v := range g.Vars {
+			if _, seen := merged.Vars[k]; !seen {
+				merged.Vars[k] = v
+				merged.Keys = append(merged.Keys, k)
+			}
+		}
+	}
+	sortVarKeys(merged.Keys)
+	return []cond.Group{merged}
+}
+
+// linearClosedFormMean computes E[e] exactly when e is linear
+// (c0 + sum ci*Xi) and every variable has a closed-form mean. Linearity of
+// expectation needs no independence assumption.
+func linearClosedFormMean(e expr.Expr, vars map[expr.VarKey]*expr.Variable) (float64, bool) {
+	lf, ok := expr.Linearize(e)
+	if !ok {
+		return 0, false
+	}
+	mean := lf.Constant
+	for k, c := range lf.Coeffs {
+		v := vars[k]
+		if v == nil {
+			v = lf.Vars[k]
+		}
+		m, ok := v.Dist.Mean()
+		if !ok {
+			return 0, false
+		}
+		mean += c * m
+	}
+	return mean, true
+}
+
+func sortedKeys(vars map[expr.VarKey]*expr.Variable) []expr.VarKey {
+	keys := make([]expr.VarKey, 0, len(vars))
+	for k := range vars {
+		keys = append(keys, k)
+	}
+	sortVarKeys(keys)
+	return keys
+}
+
+func sortVarKeys(keys []expr.VarKey) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j].Less(keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package sampler
+
+import (
+	"math"
+
+	"pip/internal/cond"
+	"pip/internal/dist"
+	"pip/internal/expr"
+	"pip/internal/prng"
+)
+
+// varMode selects the per-variable generation strategy inside a group
+// (Algorithm 4.3 lines 6–10).
+type varMode int
+
+const (
+	modeNatural varMode = iota // plain Generate
+	modeCDF                    // inverse-CDF restricted to the bounds interval
+)
+
+// groupSampler draws joint values for one minimal independent constraint
+// group. It owns the accept/attempt counters that feed both the Metropolis
+// escalation decision and the free probability estimate of Algorithm 4.3
+// line 29 (Prob = prod_K N/Count[K]).
+type groupSampler struct {
+	group  cond.Group
+	bounds cond.Bounds
+	cfg    *Config
+
+	// keys in deterministic order; multivariate components are drawn
+	// jointly via their subscript-0 seed.
+	keys  []expr.VarKey
+	modes map[expr.VarKey]varMode
+	// massFraction is the product over CDF-mode variables of the prior
+	// mass of their bounds interval; it multiplies the acceptance rate to
+	// recover the unconditioned constraint probability.
+	massFraction float64
+
+	attempts int // total candidate draws
+	accepts  int // accepted (constraint-satisfying) draws
+
+	inconsistent bool
+	metro        *metroState
+}
+
+// newGroupSampler runs the consistency check for the group and chooses
+// per-variable strategies.
+func newGroupSampler(g cond.Group, cfg *Config) *groupSampler {
+	gs := &groupSampler{
+		group:        g,
+		cfg:          cfg,
+		keys:         g.Keys,
+		modes:        map[expr.VarKey]varMode{},
+		massFraction: 1,
+	}
+	res := cond.CheckConsistency(g.Atoms)
+	gs.bounds = res.Bounds
+	if res.Verdict == cond.Inconsistent {
+		gs.inconsistent = true
+		return gs
+	}
+	for _, k := range g.Keys {
+		gs.modes[k] = modeNatural
+		if cfg.DisableCDFInversion {
+			continue
+		}
+		v := g.Vars[k]
+		if _, multi := v.Dist.Class.(dist.Multivariater); multi {
+			// Joint draws cannot be bound per-component; leave natural.
+			continue
+		}
+		iv := gs.bounds.Get(k)
+		if !iv.Bounded() {
+			continue
+		}
+		_, hasCDF := v.Dist.Class.(dist.CDFer)
+		_, hasInv := v.Dist.Class.(dist.InvCDFer)
+		if !hasCDF || !hasInv {
+			continue
+		}
+		pLo, pHi := intervalMass(v.Dist, iv)
+		if pHi <= pLo {
+			// The bounds carry zero prior mass: the group is
+			// (numerically) unsatisfiable.
+			gs.inconsistent = true
+			return gs
+		}
+		gs.modes[k] = modeCDF
+		gs.massFraction *= pHi - pLo
+	}
+	gs.maybePreEscalate()
+	return gs
+}
+
+// maybePreEscalate implements the paper's upfront cost comparison
+// (§IV-A-d): a small pilot estimates P[reject]; if the expected rejection
+// work W_naive = n / (1 - P[reject]) exceeds the Metropolis cost
+// W_metropolis = C_burnin + n * C_step, the group starts on the random walk
+// immediately instead of discovering the rejection rate the hard way.
+func (gs *groupSampler) maybePreEscalate() {
+	if gs.cfg.DisableMetropolis || gs.inconsistent || len(gs.group.Atoms) == 0 {
+		return
+	}
+	// Single-variable CDF-bounded groups never reject on bounds; the pilot
+	// is only worth running when some constraint survives the bounds
+	// (multi-variable atoms, or variables without CDF support).
+	multiVarAtom := false
+	for _, a := range gs.group.Atoms {
+		set := map[expr.VarKey]*expr.Variable{}
+		a.CollectVars(set)
+		if len(set) > 1 {
+			multiVarAtom = true
+			break
+		}
+	}
+	if !multiVarAtom {
+		return
+	}
+	const pilot = 200
+	pReject := gs.estimateRejectProb(pilot)
+	// Expected samples this group will be asked for.
+	n := float64(gs.cfg.FixedSamples)
+	if n <= 0 {
+		n = float64(gs.cfg.MinSamples)
+		if n <= 0 {
+			n = 30
+		}
+	}
+	if pReject >= 1 {
+		pReject = 1 - 1e-9
+	}
+	wNaive := n / (1 - pReject)
+	wMetropolis := float64(gs.cfg.MetropolisBurnIn) + n*float64(gs.cfg.MetropolisThin)
+	// Escalate only when the rejection rate is past the threshold AND the
+	// cost model favors the walk: moderate selectivities stay on rejection
+	// (independent samples beat a correlated chain when affordable).
+	if pReject > gs.cfg.MetropolisThreshold && wNaive > wMetropolis {
+		if m := newMetroState(gs, 0); m != nil {
+			gs.metro = m
+		}
+	}
+}
+
+// intervalMass returns (CDF(lo), CDF(hi)) clamped to [0,1].
+func intervalMass(in dist.Instance, iv cond.Interval) (float64, float64) {
+	lo, hi := 0.0, 1.0
+	if !math.IsInf(iv.Lo, -1) {
+		if v, ok := in.CDF(iv.Lo); ok {
+			lo = v
+		}
+	}
+	if !math.IsInf(iv.Hi, 1) {
+		if v, ok := in.CDF(iv.Hi); ok {
+			hi = v
+		}
+	}
+	return math.Max(0, math.Min(1, lo)), math.Max(0, math.Min(1, hi))
+}
+
+// usable reports whether the group can produce samples at all.
+func (gs *groupSampler) usable() bool { return !gs.inconsistent }
+
+// usingMetropolis reports whether the group has escalated.
+func (gs *groupSampler) usingMetropolis() bool { return gs.metro != nil }
+
+// probEstimate returns this group's contribution to P[C]: the prior mass of
+// the CDF-restricted box times the in-box acceptance rate. It is undefined
+// (ok=false) for Metropolis-mode groups (Algorithm 4.3 line 31 note).
+func (gs *groupSampler) probEstimate() (float64, bool) {
+	if gs.inconsistent {
+		return 0, true
+	}
+	if gs.usingMetropolis() {
+		return 0, false
+	}
+	if gs.attempts == 0 {
+		return 0, false
+	}
+	return gs.massFraction * float64(gs.accepts) / float64(gs.attempts), true
+}
+
+// drawInto draws one constraint-satisfying joint value for the group into
+// asn. It returns false if the rejection cap is exhausted and Metropolis is
+// unavailable (the context is effectively unsatisfiable: NAN result per
+// Algorithm 4.3 line 25).
+func (gs *groupSampler) drawInto(asn expr.Assignment, sampleIdx uint64) bool {
+	if gs.inconsistent {
+		return false
+	}
+	if gs.metro != nil {
+		return gs.metro.next(asn, sampleIdx)
+	}
+	capN := gs.cfg.RejectionCap
+	if capN <= 0 {
+		capN = 200000
+	}
+	for local := 0; local < capN; local++ {
+		gs.attempts++
+		gs.generateCandidate(asn, sampleIdx, uint64(local))
+		if gs.group.Atoms.Holds(asn) {
+			gs.accepts++
+			return true
+		}
+		// Escalation check (Algorithm 4.3 lines 19–24): once the observed
+		// rejection rate crosses the threshold, switch to Metropolis if
+		// every variable has a PDF.
+		if !gs.cfg.DisableMetropolis && gs.attempts >= 1000 {
+			rejRate := 1 - float64(gs.accepts)/float64(gs.attempts)
+			if rejRate > gs.cfg.MetropolisThreshold {
+				if m := newMetroState(gs, sampleIdx); m != nil {
+					gs.metro = m
+					return gs.metro.next(asn, sampleIdx)
+				}
+				// No PDFs: keep rejecting until the cap.
+			}
+		}
+	}
+	return false
+}
+
+// generateCandidate writes one unconditioned (or CDF-box-conditioned) draw
+// for every variable of the group into asn.
+func (gs *groupSampler) generateCandidate(asn expr.Assignment, sampleIdx, attempt uint64) {
+	drawnJoint := map[uint64]bool{}
+	for _, k := range gs.keys {
+		v := gs.group.Vars[k]
+		if mv, ok := v.Dist.Class.(dist.Multivariater); ok {
+			if drawnJoint[k.ID] {
+				continue
+			}
+			drawnJoint[k.ID] = true
+			r := prng.NewKeyed(gs.cfg.WorldSeed, k.ID, 0, sampleIdx, attempt)
+			vec := mv.GenerateJoint(v.Dist.Params, r)
+			for sub, val := range vec {
+				asn[expr.VarKey{ID: k.ID, Subscript: sub}] = val
+			}
+			continue
+		}
+		r := prng.NewKeyed(gs.cfg.WorldSeed, k.ID, uint64(k.Subscript), sampleIdx, attempt)
+		switch gs.modes[k] {
+		case modeCDF:
+			iv := gs.bounds.Get(k)
+			pLo, pHi := intervalMass(v.Dist, iv)
+			u := pLo + (pHi-pLo)*r.Float64()
+			x, _ := v.Dist.InvCDF(u)
+			// Clamp against numeric drift at the interval edges.
+			if x < iv.Lo {
+				x = iv.Lo
+			}
+			if x > iv.Hi {
+				x = iv.Hi
+			}
+			asn[k] = x
+		default:
+			asn[k] = v.Dist.Generate(r)
+		}
+	}
+}
+
+// estimateRejectProb draws a small pilot to estimate P[reject] for the
+// group, used by the W_metropolis vs W_naive cost comparison (§IV-A-d).
+func (gs *groupSampler) estimateRejectProb(pilot int) float64 {
+	if gs.inconsistent {
+		return 1
+	}
+	asn := expr.Assignment{}
+	ok := 0
+	for i := 0; i < pilot; i++ {
+		gs.generateCandidate(asn, ^uint64(0)-uint64(i), 0)
+		if gs.group.Atoms.Holds(asn) {
+			ok++
+		}
+	}
+	return 1 - float64(ok)/float64(pilot)
+}

@@ -1,0 +1,256 @@
+package sampler
+
+import (
+	"math"
+
+	"pip/internal/cond"
+	"pip/internal/dist"
+	"pip/internal/expr"
+	"pip/internal/prng"
+)
+
+// metroState runs a Metropolis random walk over one constraint group
+// (paper §IV-A-d). The target density is the prior joint density of the
+// group's variables restricted to the constraint region (the indicator
+// enters the acceptance test), so samples taken at thinned intervals are
+// approximately distributed as the conditional distribution given the
+// group's atoms.
+//
+// Metropolis carries an expensive burn-in but cheap per-sample steps; the
+// group sampler escalates to it only when rejection sampling's observed
+// rejection rate crosses the configured threshold, mirroring the
+// W_metropolis vs W_naive comparison in the paper.
+type metroState struct {
+	gs   *groupSampler
+	keys []expr.VarKey // scalar variables of the walk, fixed order
+	cur  map[expr.VarKey]float64
+	step map[expr.VarKey]float64
+	logP float64
+	rng  *prng.Rand
+}
+
+// newMetroState builds the walk if every group variable has a PDF
+// (Algorithm 4.3 line 20) and a satisfying start point can be found
+// (line 22–23); otherwise it returns nil.
+func newMetroState(gs *groupSampler, sampleIdx uint64) *metroState {
+	m := &metroState{
+		gs:   gs,
+		cur:  map[expr.VarKey]float64{},
+		step: map[expr.VarKey]float64{},
+		rng:  prng.NewKeyed(gs.cfg.WorldSeed, 0x4d657472, sampleIdx), // "Metr"
+	}
+	for _, k := range gs.keys {
+		v := gs.group.Vars[k]
+		if _, ok := v.Dist.Class.(dist.PDFer); !ok {
+			return nil
+		}
+		if _, multi := v.Dist.Class.(dist.Multivariater); multi {
+			// Joint densities are not exposed; the walk cannot target them.
+			return nil
+		}
+		m.keys = append(m.keys, k)
+		// Step size: distribution scale if known, else bounds width, else 1.
+		s := 1.0
+		if variance, ok := v.Dist.Variance(); ok && variance > 0 {
+			s = math.Sqrt(variance) / 2
+		} else if iv := gs.bounds.Get(k); iv.Bounded() && !math.IsInf(iv.Hi-iv.Lo, 1) {
+			s = (iv.Hi - iv.Lo) / 4
+		}
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			s = 1
+		}
+		m.step[k] = s
+	}
+	if !m.findStart() {
+		return nil
+	}
+	// Burn-in.
+	asn := expr.Assignment{}
+	for i := 0; i < gs.cfg.MetropolisBurnIn; i++ {
+		m.walkStep(asn)
+	}
+	return m
+}
+
+// findStart scans for a constraint-satisfying start point (Algorithm 4.3
+// line 22): first by natural sampling, then by bounds midpoints.
+func (m *metroState) findStart() bool {
+	asn := expr.Assignment{}
+	const scanAttempts = 5000
+	for i := 0; i < scanAttempts; i++ {
+		for _, k := range m.keys {
+			v := m.gs.group.Vars[k]
+			asn[k] = v.Dist.Generate(m.rng)
+		}
+		if m.gs.group.Atoms.Holds(asn) {
+			m.adopt(asn)
+			return true
+		}
+	}
+	// Bounds midpoints as a deterministic fallback.
+	for _, k := range m.keys {
+		iv := m.gs.bounds.Get(k)
+		switch {
+		case iv.Bounded() && !math.IsInf(iv.Lo, -1) && !math.IsInf(iv.Hi, 1):
+			asn[k] = (iv.Lo + iv.Hi) / 2
+		case !math.IsInf(iv.Lo, -1):
+			asn[k] = iv.Lo + 1
+		case !math.IsInf(iv.Hi, 1):
+			asn[k] = iv.Hi - 1
+		default:
+			asn[k] = 0
+		}
+	}
+	if m.gs.group.Atoms.Holds(asn) {
+		m.adopt(asn)
+		return true
+	}
+	// Constraint repair: walk each violated linear atom into satisfaction
+	// by moving its largest-coefficient variable. This finds start points
+	// for deep-tail constraints (e.g. Y1+Y2 > 6 for standard normals)
+	// where natural scanning is hopeless.
+	if m.repairStart(asn) {
+		m.adopt(asn)
+		return true
+	}
+	return false
+}
+
+// repairStart iteratively fixes violated linear atoms in place. Returns
+// true once every atom holds.
+func (m *metroState) repairStart(asn expr.Assignment) bool {
+	const rounds = 500
+	for round := 0; round < rounds; round++ {
+		violated := false
+		for _, a := range m.gs.group.Atoms {
+			if a.Holds(asn) {
+				continue
+			}
+			violated = true
+			lf, ok := expr.Linearize(expr.Sub(a.Left, a.Right))
+			if !ok {
+				return false // non-linear atoms cannot be repaired
+			}
+			// Current value of coef-sum; move the variable with the
+			// largest coefficient magnitude to restore the inequality
+			// with a margin.
+			val := lf.Constant
+			var bestK expr.VarKey
+			bestC := 0.0
+			for vk, c := range lf.Coeffs {
+				val += c * asn[vk]
+				if math.Abs(c) > math.Abs(bestC) {
+					bestC, bestK = c, vk
+				}
+			}
+			if bestC == 0 {
+				return false
+			}
+			margin := math.Abs(val)*0.1 + 1e-3
+			var target float64
+			switch a.Op {
+			case cond.GT, cond.GE:
+				target = margin // want val' = +margin
+			case cond.LT, cond.LE:
+				target = -margin
+			case cond.EQ:
+				target = 0
+			case cond.NEQ:
+				target = margin
+			}
+			asn[bestK] += (target - val) / bestC
+			// Respect hard bounds if known.
+			if iv := m.gs.bounds.Get(bestK); iv.Bounded() {
+				if asn[bestK] < iv.Lo {
+					asn[bestK] = iv.Lo
+				}
+				if asn[bestK] > iv.Hi {
+					asn[bestK] = iv.Hi
+				}
+			}
+		}
+		if !violated {
+			return true
+		}
+	}
+	return m.gs.group.Atoms.Holds(asn)
+}
+
+func (m *metroState) adopt(asn expr.Assignment) {
+	for _, k := range m.keys {
+		m.cur[k] = asn[k]
+	}
+	m.logP = m.logDensity(m.cur)
+}
+
+// logDensity returns the log prior density of a point.
+func (m *metroState) logDensity(pt map[expr.VarKey]float64) float64 {
+	lp := 0.0
+	for _, k := range m.keys {
+		v := m.gs.group.Vars[k]
+		p, _ := v.Dist.PDF(pt[k])
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		lp += math.Log(p)
+	}
+	return lp
+}
+
+// walkStep proposes a Gaussian move on every coordinate and accepts with
+// the Metropolis ratio restricted to the constraint region.
+func (m *metroState) walkStep(scratch expr.Assignment) {
+	prop := map[expr.VarKey]float64{}
+	for _, k := range m.keys {
+		prop[k] = m.cur[k] + m.step[k]*m.rng.NormFloat64()
+	}
+	for k, v := range prop {
+		scratch[k] = v
+	}
+	if !m.gs.group.Atoms.Holds(scratch) {
+		// Restore scratch to the current point for the caller.
+		for _, k := range m.keys {
+			scratch[k] = m.cur[k]
+		}
+		return
+	}
+	lp := m.logDensity(prop)
+	if lp >= m.logP || m.rng.Float64() < math.Exp(lp-m.logP) {
+		m.cur = prop
+		m.logP = lp
+		return
+	}
+	for _, k := range m.keys {
+		scratch[k] = m.cur[k]
+	}
+}
+
+// next advances the chain by the thinning interval and writes the current
+// point into asn.
+func (m *metroState) next(asn expr.Assignment, _ uint64) bool {
+	thin := m.gs.cfg.MetropolisThin
+	if thin < 1 {
+		thin = 1
+	}
+	for i := 0; i < thin; i++ {
+		m.walkStep(asn)
+	}
+	for _, k := range m.keys {
+		asn[k] = m.cur[k]
+	}
+	return true
+}
+
+// metropolisViable reports whether a clause's groups could all support a
+// Metropolis walk; exposed for tests and ablation benches.
+func metropolisViable(groups []cond.Group) bool {
+	for _, g := range groups {
+		for _, k := range g.Keys {
+			v := g.Vars[k]
+			if _, ok := v.Dist.Class.(dist.PDFer); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

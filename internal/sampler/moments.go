@@ -1,0 +1,182 @@
+package sampler
+
+import (
+	"fmt"
+	"math"
+
+	"pip/internal/cond"
+	"pip/internal/ctable"
+	"pip/internal/expr"
+)
+
+// MomentResult reports a higher-moment computation.
+type MomentResult struct {
+	// Moment is the k-th conditional raw moment E[e^k | c].
+	Moment float64
+	// N is the number of samples used (0 when exact).
+	N int
+	// Exact reports a closed-form result.
+	Exact bool
+}
+
+// Moment computes the k-th raw moment E[e^k | c] (paper §III-D: the
+// framework exposes "the higher moments" to statistical methods). k = 1 is
+// the plain expectation; k = 2 feeds variance. Closed forms are used for
+// unconstrained single variables with known mean/variance at k <= 2;
+// everything else samples through the same goal-directed machinery as
+// Expectation.
+func (s *Sampler) Moment(e expr.Expr, c cond.Clause, k int) MomentResult {
+	if k < 1 {
+		return MomentResult{Moment: math.NaN()}
+	}
+	// Closed form: raw second moment of a bare variable, unconstrained.
+	if k <= 2 && c.IsTrue() && !s.cfg.DisableClosedForm {
+		if v, ok := e.(expr.Var); ok {
+			mean, okM := v.V.Dist.Mean()
+			if k == 1 && okM {
+				return MomentResult{Moment: mean, Exact: true}
+			}
+			variance, okV := v.V.Dist.Variance()
+			if k == 2 && okM && okV {
+				return MomentResult{Moment: variance + mean*mean, Exact: true}
+			}
+		}
+	}
+	powed := e
+	for i := 1; i < k; i++ {
+		powed = expr.Mul(powed, e)
+	}
+	r := s.Expectation(powed, c, false)
+	return MomentResult{Moment: r.Mean, N: r.N, Exact: r.Exact}
+}
+
+// VarianceResult reports a conditional variance computation.
+type VarianceResult struct {
+	Variance float64
+	StdDev   float64
+	Mean     float64
+	N        int
+	Exact    bool
+}
+
+// Variance computes Var[e | c] = E[e^2 | c] - E[e | c]^2. To avoid the
+// catastrophic cancellation of estimating the two moments independently,
+// the sampled path draws one set of conditional samples and computes both
+// moments from it.
+func (s *Sampler) Variance(e expr.Expr, c cond.Clause) VarianceResult {
+	// Closed form for a bare unconstrained variable.
+	if c.IsTrue() && !s.cfg.DisableClosedForm {
+		if v, ok := e.(expr.Var); ok {
+			if variance, okV := v.V.Dist.Variance(); okV {
+				mean, _ := v.V.Dist.Mean()
+				return VarianceResult{
+					Variance: variance,
+					StdDev:   math.Sqrt(variance),
+					Mean:     mean,
+					Exact:    true,
+				}
+			}
+		}
+	}
+	n := s.cfg.FixedSamples
+	if n <= 0 {
+		n = s.cfg.MaxSamples
+		if n <= 0 || n > 10000 {
+			n = 2000
+		}
+	}
+	samples, err := s.ExpectationHistogram(e, c, n)
+	if err != nil || len(samples) == 0 {
+		return VarianceResult{Variance: math.NaN(), StdDev: math.NaN(), Mean: math.NaN()}
+	}
+	var sum, sumSq float64
+	for _, v := range samples {
+		sum += v
+		sumSq += v * v
+	}
+	fn := float64(len(samples))
+	mean := sum / fn
+	variance := sumSq/fn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return VarianceResult{
+		Variance: variance,
+		StdDev:   math.Sqrt(variance),
+		Mean:     mean,
+		N:        len(samples),
+	}
+}
+
+// AggregateVariance computes Var[fold over the table] (e.g. the variance
+// of sum(col) across possible worlds) by world sampling — the per-table
+// analogue of Variance, honoring inter-row variable sharing exactly.
+func (s *Sampler) AggregateVariance(tb *ctable.Table, col int, fold FoldFunc, n int) (VarianceResult, error) {
+	samples, err := s.AggregateHistogram(tb, col, fold, n)
+	if err != nil {
+		return VarianceResult{}, err
+	}
+	if len(samples) == 0 {
+		return VarianceResult{Variance: math.NaN(), StdDev: math.NaN(), Mean: math.NaN()}, nil
+	}
+	var sum, sumSq float64
+	for _, v := range samples {
+		sum += v
+		sumSq += v * v
+	}
+	fn := float64(len(samples))
+	mean := sum / fn
+	variance := sumSq/fn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return VarianceResult{
+		Variance: variance,
+		StdDev:   math.Sqrt(variance),
+		Mean:     mean,
+		N:        len(samples),
+	}, nil
+}
+
+// HistogramBuckets bins samples into count equal-width buckets over
+// [min, max] of the data, returning bucket lower edges and counts — the
+// visualization helper behind expected_sum_hist (§V-C: "This array may be
+// used to generate histograms and similar visualizations").
+func HistogramBuckets(samples []float64, count int) (edges []float64, counts []int, err error) {
+	if count < 1 {
+		return nil, nil, fmt.Errorf("sampler: bucket count %d < 1", count)
+	}
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("sampler: no samples to bucket")
+	}
+	lo, hi := samples[0], samples[0]
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			return nil, nil, fmt.Errorf("sampler: NaN sample")
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		// Degenerate: all mass in one bucket.
+		return []float64{lo}, []int{len(samples)}, nil
+	}
+	width := (hi - lo) / float64(count)
+	edges = make([]float64, count)
+	counts = make([]int, count)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, v := range samples {
+		b := int((v - lo) / width)
+		if b >= count {
+			b = count - 1
+		}
+		counts[b]++
+	}
+	return edges, counts, nil
+}

@@ -1,0 +1,165 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"pip/internal/cond"
+	"pip/internal/ctable"
+	"pip/internal/dist"
+	"pip/internal/expr"
+)
+
+func TestMomentClosedForms(t *testing.T) {
+	s := testSampler()
+	y := mkVar(t, dist.Normal{}, 3, 2)
+	m1 := s.Moment(expr.NewVar(y), cond.TrueClause(), 1)
+	if !m1.Exact || m1.Moment != 3 {
+		t.Fatalf("first moment %+v", m1)
+	}
+	// E[Y^2] = var + mean^2 = 4 + 9 = 13.
+	m2 := s.Moment(expr.NewVar(y), cond.TrueClause(), 2)
+	if !m2.Exact || m2.Moment != 13 {
+		t.Fatalf("second moment %+v", m2)
+	}
+}
+
+func TestMomentSampledThird(t *testing.T) {
+	// Third raw moment of N(0,1) is 0; of N(1,1) is mu^3+3*mu*sigma^2 = 4.
+	cfg := DefaultConfig()
+	cfg.WorldSeed = 4
+	cfg.FixedSamples = 20000
+	s := New(cfg)
+	y := mkVar(t, dist.Normal{}, 1, 1)
+	m3 := s.Moment(expr.NewVar(y), cond.TrueClause(), 3)
+	if m3.Exact {
+		t.Fatal("third moment should be sampled")
+	}
+	if math.Abs(m3.Moment-4) > 0.3 {
+		t.Fatalf("third moment %v, want 4", m3.Moment)
+	}
+}
+
+func TestMomentInvalidOrder(t *testing.T) {
+	s := testSampler()
+	y := mkVar(t, dist.Normal{}, 0, 1)
+	if m := s.Moment(expr.NewVar(y), cond.TrueClause(), 0); !math.IsNaN(m.Moment) {
+		t.Fatalf("k=0 moment %v", m.Moment)
+	}
+}
+
+func TestVarianceClosedForm(t *testing.T) {
+	s := testSampler()
+	y := mkVar(t, dist.Exponential{}, 0.5)
+	v := s.Variance(expr.NewVar(y), cond.TrueClause())
+	if !v.Exact || v.Variance != 4 || v.StdDev != 2 || v.Mean != 2 {
+		t.Fatalf("%+v", v)
+	}
+}
+
+func TestVarianceConditional(t *testing.T) {
+	// Var[U | U > 0.5] for U ~ Uniform(0,1) = (0.5)^2/12.
+	cfg := DefaultConfig()
+	cfg.WorldSeed = 4
+	cfg.FixedSamples = 20000
+	s := New(cfg)
+	u := mkVar(t, dist.Uniform{}, 0, 1)
+	c := cond.Clause{atom(expr.NewVar(u), cond.GT, expr.Const(0.5))}
+	v := s.Variance(expr.NewVar(u), c)
+	want := 0.25 / 12
+	if math.Abs(v.Variance-want) > 0.1*want {
+		t.Fatalf("conditional variance %v, want %v", v.Variance, want)
+	}
+	if math.Abs(v.Mean-0.75) > 0.01 {
+		t.Fatalf("conditional mean %v", v.Mean)
+	}
+}
+
+func TestVarianceOfExpression(t *testing.T) {
+	// Var[2Y + 5] = 4*Var[Y].
+	cfg := DefaultConfig()
+	cfg.WorldSeed = 4
+	cfg.FixedSamples = 20000
+	s := New(cfg)
+	y := mkVar(t, dist.Normal{}, 0, 3)
+	e := expr.Add(expr.Mul(expr.Const(2), expr.NewVar(y)), expr.Const(5))
+	v := s.Variance(e, cond.TrueClause())
+	if math.Abs(v.Variance-36) > 2 {
+		t.Fatalf("Var[2Y+5] = %v, want 36", v.Variance)
+	}
+}
+
+func TestAggregateVariance(t *testing.T) {
+	// Sum of two independent N(0,2) rows: Var = 8.
+	s := testSampler()
+	y1 := mkVar(t, dist.Normal{}, 0, 2)
+	y2 := mkVar(t, dist.Normal{}, 0, 2)
+	tb := ctable.New("t", "v")
+	tb.MustAppend(ctable.NewTuple(ctable.Symbolic(expr.NewVar(y1))))
+	tb.MustAppend(ctable.NewTuple(ctable.Symbolic(expr.NewVar(y2))))
+	v, err := s.AggregateVariance(tb, 0, SumFold, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Variance-8) > 0.5 {
+		t.Fatalf("Var[sum] = %v, want 8", v.Variance)
+	}
+	// Shared variable: sum = 2Y, Var = 4*Var[Y] = 16, not 8.
+	tb2 := ctable.New("t2", "v")
+	tb2.MustAppend(ctable.NewTuple(ctable.Symbolic(expr.NewVar(y1))))
+	tb2.MustAppend(ctable.NewTuple(ctable.Symbolic(expr.NewVar(y1))))
+	v2, err := s.AggregateVariance(tb2, 0, SumFold, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v2.Variance-16) > 1 {
+		t.Fatalf("Var[2Y] = %v, want 16 (correlation lost?)", v2.Variance)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	samples := []float64{0, 0.1, 0.2, 0.9, 1.0}
+	edges, counts, err := HistogramBuckets(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 || len(counts) != 2 {
+		t.Fatalf("edges %v counts %v", edges, counts)
+	}
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Fatalf("counts %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(samples) {
+		t.Fatal("bucket counts do not sum to sample count")
+	}
+}
+
+func TestHistogramBucketsDegenerate(t *testing.T) {
+	edges, counts, err := HistogramBuckets([]float64{5, 5, 5}, 4)
+	if err != nil || len(edges) != 1 || counts[0] != 3 {
+		t.Fatalf("degenerate: %v %v %v", edges, counts, err)
+	}
+	if _, _, err := HistogramBuckets(nil, 3); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, _, err := HistogramBuckets([]float64{1}, 0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+	if _, _, err := HistogramBuckets([]float64{math.NaN()}, 2); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestVarianceUnsatisfiable(t *testing.T) {
+	s := testSampler()
+	y := mkVar(t, dist.Exponential{}, 1)
+	c := cond.Clause{atom(expr.NewVar(y), cond.LT, expr.Const(-1))}
+	v := s.Variance(expr.NewVar(y), c)
+	if !math.IsNaN(v.Variance) {
+		t.Fatalf("unsatisfiable variance %v", v.Variance)
+	}
+}

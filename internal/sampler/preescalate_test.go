@@ -1,0 +1,80 @@
+package sampler
+
+import (
+	"testing"
+
+	"pip/internal/cond"
+	"pip/internal/dist"
+	"pip/internal/expr"
+)
+
+// TestPreEscalationDeepTail: the pilot cost model (§IV-A-d) must put a
+// deep-tail two-variable group onto Metropolis immediately, without burning
+// a thousand rejected candidates first.
+func TestPreEscalationDeepTail(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WorldSeed = 5
+	cfg.FixedSamples = 100
+	y1 := mkVar(t, dist.Normal{}, 0, 1)
+	y2 := mkVar(t, dist.Normal{}, 0, 1)
+	c := cond.Clause{
+		atom(expr.Add(expr.NewVar(y1), expr.NewVar(y2)), cond.GT, expr.Const(7)),
+	}
+	groups := cond.Partition(c, nil)
+	gs := newGroupSampler(groups[0], &cfg)
+	if !gs.usingMetropolis() {
+		t.Fatal("deep-tail group did not pre-escalate to Metropolis")
+	}
+	// And the walk produces satisfying samples.
+	asn := expr.Assignment{}
+	for i := 0; i < 20; i++ {
+		if !gs.drawInto(asn, uint64(i)) {
+			t.Fatal("metropolis draw failed")
+		}
+		if !groups[0].Atoms.Holds(asn) {
+			t.Fatal("metropolis sample violates constraints")
+		}
+	}
+}
+
+// TestNoPreEscalationModerateSelectivity: at ~5% acceptance, independent
+// rejection sampling is both affordable and statistically preferable; the
+// cost model must keep the group on rejection (matching the paper's Q5:
+// "the comparison of 2 random variables necessitates the use of rejection
+// sampling").
+func TestNoPreEscalationModerateSelectivity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WorldSeed = 5
+	cfg.FixedSamples = 1000
+	d := mkVar(t, dist.Exponential{}, 1.0/100)
+	s := mkVar(t, dist.Exponential{}, 1.0/1900) // P[D > S] = 0.05
+	c := cond.Clause{atom(expr.NewVar(d), cond.GT, expr.NewVar(s))}
+	groups := cond.Partition(c, nil)
+	gs := newGroupSampler(groups[0], &cfg)
+	if gs.usingMetropolis() {
+		t.Fatal("moderate-selectivity group pre-escalated; should stay on rejection")
+	}
+}
+
+// TestNoPreEscalationSingleVarCDF: single-variable interval constraints are
+// handled by CDF inversion and must never consider the walk.
+func TestNoPreEscalationSingleVarCDF(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WorldSeed = 5
+	cfg.FixedSamples = 1000
+	y := mkVar(t, dist.Normal{}, 0, 1)
+	c := cond.Clause{atom(expr.NewVar(y), cond.GT, expr.Const(5))} // P ~ 3e-7
+	groups := cond.Partition(c, nil)
+	gs := newGroupSampler(groups[0], &cfg)
+	if gs.usingMetropolis() {
+		t.Fatal("CDF-invertible group pre-escalated")
+	}
+	// Draws still succeed: CDF inversion never rejects.
+	asn := expr.Assignment{}
+	if !gs.drawInto(asn, 0) {
+		t.Fatal("CDF draw failed")
+	}
+	if gs.attempts != gs.accepts {
+		t.Fatal("CDF-bounded sampling rejected")
+	}
+}

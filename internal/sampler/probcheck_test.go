@@ -1,0 +1,37 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"pip/internal/cond"
+	"pip/internal/dist"
+	"pip/internal/expr"
+)
+
+// TestMixedModeProbability: a group where one variable is CDF-bounded and
+// another (joined by a shared atom) rejects — the probability estimate must
+// compose massFraction with the in-box acceptance rate correctly.
+// Model: U ~ Uniform(0,1), V ~ Uniform(0,1), atoms U > 0.9 AND U > V.
+// P = integral_{0.9}^{1} u du = (1 - 0.81)/2 = 0.095.
+func TestMixedModeProbability(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WorldSeed = 12
+	cfg.FixedSamples = 20000
+	s := New(cfg)
+	u := mkVar(t, dist.Uniform{}, 0, 1)
+	v := mkVar(t, dist.Uniform{}, 0, 1)
+	c := cond.Clause{
+		atom(expr.NewVar(u), cond.GT, expr.Const(0.9)),
+		atom(expr.NewVar(u), cond.GT, expr.NewVar(v)),
+	}
+	r := s.Expectation(expr.NewVar(u), c, true)
+	if math.Abs(r.Prob-0.095) > 0.01 {
+		t.Fatalf("P = %v, want 0.095", r.Prob)
+	}
+	// E[U | U>0.9, U>V] = int u^2 du / int u du over [0.9, 1] = 0.271/0.285.
+	want := ((1 - 0.729) / 3) / ((1 - 0.81) / 2)
+	if math.Abs(r.Mean-want) > 0.01 {
+		t.Fatalf("E = %v, want %v", r.Mean, want)
+	}
+}

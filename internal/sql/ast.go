@@ -1,0 +1,132 @@
+package sql
+
+import "strings"
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE name (col1, col2, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []string
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// InsertStmt is INSERT INTO name VALUES (e1, ...), (e1, ...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Node
+}
+
+func (*InsertStmt) stmt() {}
+
+// SelectStmt is the query form:
+//
+//	SELECT targets FROM tables [WHERE conj] [GROUP BY cols] [ORDER BY col] [LIMIT n]
+type SelectStmt struct {
+	Targets  []Target
+	From     []TableRef
+	Where    []Comparison
+	GroupBy  []ColRef
+	OrderBy  *ColRef
+	Desc     bool
+	Limit    int // 0 = no limit
+	Distinct bool
+}
+
+func (*SelectStmt) stmt() {}
+
+// DropStmt is DROP TABLE name.
+type DropStmt struct{ Name string }
+
+func (*DropStmt) stmt() {}
+
+// Target is one SELECT target: an expression (possibly an aggregate call)
+// with an optional alias.
+type Target struct {
+	Expr  Node
+	Alias string
+	Star  bool // SELECT *
+}
+
+// TableRef names a FROM table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Comparison is one WHERE conjunct: left op right.
+type Comparison struct {
+	Op          string // =, <>, <, <=, >, >=
+	Left, Right Node
+}
+
+// Node is a scalar AST node.
+type Node interface{ node() }
+
+// NumLit is a numeric literal.
+type NumLit float64
+
+func (NumLit) node() {}
+
+// StrLit is a string literal.
+type StrLit string
+
+func (StrLit) node() {}
+
+// ColRef is a (possibly qualified) column reference.
+type ColRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+func (ColRef) node() {}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// BinExpr is arithmetic.
+type BinExpr struct {
+	Op          byte // + - * /
+	Left, Right Node
+}
+
+func (BinExpr) node() {}
+
+// NegExpr is unary minus.
+type NegExpr struct{ X Node }
+
+func (NegExpr) node() {}
+
+// FuncCall is a function or aggregate invocation. Star marks f(*).
+type FuncCall struct {
+	Name string
+	Args []Node
+	Star bool
+}
+
+func (FuncCall) node() {}
+
+// IsAggregate reports whether the call is one of PIP's expectation
+// aggregates (the probability-removing functions of §V-A). conf() is
+// per-row by default and becomes the group aggregate aconf() only under
+// GROUP BY; see IsConf.
+func (f FuncCall) IsAggregate() bool {
+	switch strings.ToLower(f.Name) {
+	case "expected_sum", "expected_count", "expected_avg", "expected_max",
+		"expected_stddev", "expected_variance",
+		"expected_sum_hist", "expected_max_hist", "aconf":
+		return true
+	default:
+		return false
+	}
+}
+
+// IsConf reports whether the call is conf().
+func (f FuncCall) IsConf() bool { return strings.EqualFold(f.Name, "conf") }

@@ -1,0 +1,151 @@
+// Package sql implements the SQL subset PIP exposes (paper §V-A): enough of
+// SELECT/FROM/WHERE/GROUP BY plus CREATE TABLE / INSERT / CREATE_VARIABLE to
+// express the paper's queries, with the CTYPE rewrite applied by the planner
+// — probabilistic comparisons in WHERE move into c-table conditions while
+// deterministic ones filter rows, exactly as in the Postgres embedding.
+//
+// The pipeline is lexer -> recursive-descent parser -> planner; plans
+// execute against a core.DB.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+// Lexer tokenizes a SQL string.
+type Lexer struct {
+	src  string
+	pos  int
+	toks []Token
+}
+
+// Lex tokenizes the input, returning an error with position info on an
+// invalid character or unterminated string.
+func Lex(src string) ([]Token, error) {
+	l := &Lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *Lexer) next() (Token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: TokEOF, Pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot := false
+		seenExp := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			switch {
+			case ch >= '0' && ch <= '9':
+				l.pos++
+			case ch == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.pos++
+			case (ch == 'e' || ch == 'E') && !seenExp && l.pos > start:
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+			default:
+				return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+			}
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'') // escaped quote
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+	default:
+		// Multi-character operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+		}
+		switch c {
+		case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', ';', '.':
+			l.pos++
+			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: invalid character %q at offset %d", c, l.pos)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

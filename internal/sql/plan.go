@@ -1,0 +1,714 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pip/internal/cond"
+	"pip/internal/core"
+	"pip/internal/ctable"
+	"pip/internal/expr"
+	"pip/internal/sampler"
+)
+
+// Exec parses and executes one statement against the database, returning
+// the result table (nil for DDL/DML statements).
+func Exec(db *core.DB, src string) (*ctable.Table, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStmt(db, st)
+}
+
+// ExecStmt executes a parsed statement.
+func ExecStmt(db *core.DB, st Stmt) (*ctable.Table, error) {
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		db.Register(ctable.New(s.Name, s.Columns...))
+		return nil, nil
+	case *DropStmt:
+		db.Drop(s.Name)
+		return nil, nil
+	case *InsertStmt:
+		return nil, execInsert(db, s)
+	case *SelectStmt:
+		return execSelect(db, s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+// execInsert evaluates row expressions (including CREATE_VARIABLE calls,
+// which allocate fresh random variables per occurrence) and appends tuples.
+func execInsert(db *core.DB, st *InsertStmt) error {
+	tb, err := db.Table(st.Table)
+	if err != nil {
+		return err
+	}
+	for _, row := range st.Rows {
+		if len(row) != len(tb.Schema) {
+			return fmt.Errorf("sql: INSERT arity %d does not match %s arity %d",
+				len(row), st.Table, len(tb.Schema))
+		}
+		vals := make([]ctable.Value, len(row))
+		for i, n := range row {
+			v, err := evalConstNode(db, n)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		if err := tb.Append(ctable.NewTuple(vals...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalConstNode evaluates a tuple-independent expression: literals,
+// arithmetic and CREATE_VARIABLE.
+func evalConstNode(db *core.DB, n Node) (ctable.Value, error) {
+	switch t := n.(type) {
+	case NumLit:
+		return ctable.Float(float64(t)), nil
+	case StrLit:
+		return ctable.String_(string(t)), nil
+	case NegExpr:
+		v, err := evalConstNode(db, t.X)
+		if err != nil {
+			return ctable.Value{}, err
+		}
+		e, ok := v.AsExpr()
+		if !ok {
+			return ctable.Value{}, fmt.Errorf("sql: cannot negate %s", v)
+		}
+		return ctable.Symbolic(expr.Negate(e)), nil
+	case BinExpr:
+		l, err := evalConstNode(db, t.Left)
+		if err != nil {
+			return ctable.Value{}, err
+		}
+		r, err := evalConstNode(db, t.Right)
+		if err != nil {
+			return ctable.Value{}, err
+		}
+		le, ok1 := l.AsExpr()
+		re, ok2 := r.AsExpr()
+		if !ok1 || !ok2 {
+			return ctable.Value{}, fmt.Errorf("sql: non-numeric arithmetic operand")
+		}
+		switch t.Op {
+		case '+':
+			return ctable.Symbolic(expr.Add(le, re)), nil
+		case '-':
+			return ctable.Symbolic(expr.Sub(le, re)), nil
+		case '*':
+			return ctable.Symbolic(expr.Mul(le, re)), nil
+		case '/':
+			return ctable.Symbolic(expr.Div(le, re)), nil
+		}
+		return ctable.Value{}, fmt.Errorf("sql: unknown operator %c", t.Op)
+	case FuncCall:
+		if strings.EqualFold(t.Name, "create_variable") {
+			if len(t.Args) < 1 {
+				return ctable.Value{}, fmt.Errorf("sql: CREATE_VARIABLE needs a distribution name")
+			}
+			name, ok := t.Args[0].(StrLit)
+			if !ok {
+				return ctable.Value{}, fmt.Errorf("sql: CREATE_VARIABLE first argument must be a string")
+			}
+			params := make([]float64, 0, len(t.Args)-1)
+			for _, a := range t.Args[1:] {
+				v, err := evalConstNode(db, a)
+				if err != nil {
+					return ctable.Value{}, err
+				}
+				f, ok := v.AsFloat()
+				if !ok {
+					return ctable.Value{}, fmt.Errorf("sql: CREATE_VARIABLE parameters must be numeric constants")
+				}
+				params = append(params, f)
+			}
+			v, err := db.CreateVariable(string(name), params...)
+			if err != nil {
+				return ctable.Value{}, err
+			}
+			return ctable.Symbolic(expr.NewVar(v)), nil
+		}
+		return ctable.Value{}, fmt.Errorf("sql: unknown function %q in constant context", t.Name)
+	case ColRef:
+		return ctable.Value{}, fmt.Errorf("sql: column reference %s in constant context", t)
+	default:
+		return ctable.Value{}, fmt.Errorf("sql: unsupported expression %T", n)
+	}
+}
+
+// resolver maps (qualified) column names to positions in a combined schema.
+type resolver struct {
+	cols []resolvedCol
+}
+
+type resolvedCol struct {
+	table string // lowered alias
+	name  string // lowered column name
+	idx   int
+}
+
+func newResolver(tables []TableRef, schemas []ctable.Schema) *resolver {
+	r := &resolver{}
+	idx := 0
+	for ti, ref := range tables {
+		alias := ref.Alias
+		if alias == "" {
+			alias = ref.Name
+		}
+		for _, c := range schemas[ti] {
+			r.cols = append(r.cols, resolvedCol{
+				table: strings.ToLower(alias),
+				name:  strings.ToLower(c.Name),
+				idx:   idx,
+			})
+			idx++
+		}
+	}
+	return r
+}
+
+func (r *resolver) resolve(ref ColRef) (int, error) {
+	name := strings.ToLower(ref.Column)
+	table := strings.ToLower(ref.Table)
+	found := -1
+	for _, c := range r.cols {
+		if c.name != name {
+			continue
+		}
+		if table != "" && c.table != table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %s", ref)
+		}
+		found = c.idx
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %s", ref)
+	}
+	return found, nil
+}
+
+// compileScalar lowers a scalar AST node to a c-table Scalar.
+func compileScalar(n Node, r *resolver) (ctable.Scalar, error) {
+	switch t := n.(type) {
+	case NumLit:
+		return ctable.LitFloat(float64(t)), nil
+	case StrLit:
+		return ctable.LitString(string(t)), nil
+	case ColRef:
+		idx, err := r.resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		return ctable.Col(idx), nil
+	case NegExpr:
+		x, err := compileScalar(t.X, r)
+		if err != nil {
+			return nil, err
+		}
+		return ctable.Arith{Op: expr.OpSub, Left: ctable.LitFloat(0), Right: x}, nil
+	case BinExpr:
+		l, err := compileScalar(t.Left, r)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := compileScalar(t.Right, r)
+		if err != nil {
+			return nil, err
+		}
+		var op expr.Op
+		switch t.Op {
+		case '+':
+			op = expr.OpAdd
+		case '-':
+			op = expr.OpSub
+		case '*':
+			op = expr.OpMul
+		case '/':
+			op = expr.OpDiv
+		}
+		return ctable.Arith{Op: op, Left: l, Right: rr}, nil
+	case FuncCall:
+		return nil, fmt.Errorf("sql: function %q not allowed inside scalar expressions", t.Name)
+	default:
+		return nil, fmt.Errorf("sql: unsupported scalar %T", n)
+	}
+}
+
+func cmpOpFromString(op string) (cond.CmpOp, error) {
+	switch op {
+	case "=":
+		return cond.EQ, nil
+	case "<>":
+		return cond.NEQ, nil
+	case "<":
+		return cond.LT, nil
+	case "<=":
+		return cond.LE, nil
+	case ">":
+		return cond.GT, nil
+	case ">=":
+		return cond.GE, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown comparison %q", op)
+	}
+}
+
+// execSelect plans and runs a SELECT.
+func execSelect(db *core.DB, st *SelectStmt) (*ctable.Table, error) {
+	// FROM: fetch and cross-product (conditions conjoin per Fig. 1).
+	if len(st.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires FROM")
+	}
+	schemas := make([]ctable.Schema, len(st.From))
+	inputs := make([]*ctable.Table, len(st.From))
+	for i, ref := range st.From {
+		tb, err := db.Table(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = tb
+		schemas[i] = tb.Schema
+	}
+	r := newResolver(st.From, schemas)
+
+	cur := inputs[0]
+	for i := 1; i < len(inputs); i++ {
+		cur = ctable.Product(cur, inputs[i])
+	}
+
+	// WHERE: compile to a conjunctive predicate; the CTYPE rewrite is
+	// inherent in Compare (deterministic -> filter, symbolic -> atom).
+	if len(st.Where) > 0 {
+		var preds ctable.AndPred
+		for _, cmp := range st.Where {
+			op, err := cmpOpFromString(cmp.Op)
+			if err != nil {
+				return nil, err
+			}
+			l, err := compileScalar(cmp.Left, r)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := compileScalar(cmp.Right, r)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, ctable.Compare{Op: op, Left: l, Right: rr})
+		}
+		var err error
+		cur, err = ctable.Select(cur, preds)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Split targets into aggregates and plain expressions. conf() counts
+	// as an aggregate (meaning aconf) only under GROUP BY.
+	hasAgg := false
+	for _, tgt := range st.Targets {
+		if fc, ok := tgt.Expr.(FuncCall); ok {
+			if fc.IsAggregate() || (fc.IsConf() && len(st.GroupBy) > 0) {
+				hasAgg = true
+			}
+		}
+	}
+	var out *ctable.Table
+	var err error
+	if hasAgg {
+		out, err = execAggregateSelect(db, st, cur, r)
+	} else {
+		out, err = execPlainSelect(db, st, cur, r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if st.Distinct {
+		out = ctable.Distinct(out)
+	}
+	if st.OrderBy != nil {
+		if err := orderTable(out, *st.OrderBy, st.Desc); err != nil {
+			return nil, err
+		}
+	}
+	if st.Limit > 0 && out.Len() > st.Limit {
+		out.Tuples = out.Tuples[:st.Limit]
+	}
+	return out, nil
+}
+
+// execPlainSelect handles SELECT without aggregates: projection plus the
+// per-row functions conf() and expectation(col).
+func execPlainSelect(db *core.DB, st *SelectStmt, cur *ctable.Table, r *resolver) (*ctable.Table, error) {
+	var names []string
+	var targets []ctable.Scalar
+	confCols := map[int]bool{}  // output positions computed by conf()
+	expCols := map[int]int{}    // output position -> input col for expectation()
+	varCols := map[int]string{} // output position -> "variance"|"stddev"
+
+	for _, tgt := range st.Targets {
+		if tgt.Star {
+			for i, c := range cur.Schema {
+				names = append(names, c.Name)
+				targets = append(targets, ctable.Col(i))
+			}
+			continue
+		}
+		name := tgt.Alias
+		if fc, ok := tgt.Expr.(FuncCall); ok {
+			switch strings.ToLower(fc.Name) {
+			case "conf":
+				if name == "" {
+					name = "conf"
+				}
+				confCols[len(targets)] = true
+				names = append(names, name)
+				targets = append(targets, ctable.LitFloat(0)) // placeholder
+				continue
+			case "expectation":
+				if len(fc.Args) != 1 {
+					return nil, fmt.Errorf("sql: expectation() takes one argument")
+				}
+				sc, err := compileScalar(fc.Args[0], r)
+				if err != nil {
+					return nil, err
+				}
+				if name == "" {
+					name = "expectation"
+				}
+				expCols[len(targets)] = len(targets)
+				names = append(names, name)
+				targets = append(targets, sc)
+				continue
+			case "variance", "stddev":
+				if len(fc.Args) != 1 {
+					return nil, fmt.Errorf("sql: %s() takes one argument", strings.ToLower(fc.Name))
+				}
+				sc, err := compileScalar(fc.Args[0], r)
+				if err != nil {
+					return nil, err
+				}
+				if name == "" {
+					name = strings.ToLower(fc.Name)
+				}
+				varCols[len(targets)] = strings.ToLower(fc.Name)
+				names = append(names, name)
+				targets = append(targets, sc)
+				continue
+			}
+		}
+		sc, err := compileScalar(tgt.Expr, r)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = defaultName(tgt.Expr)
+		}
+		names = append(names, name)
+		targets = append(targets, sc)
+	}
+
+	out, err := ctable.Project(cur, names, targets)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(expCols) > 0 {
+		for i := range out.Tuples {
+			t := &out.Tuples[i]
+			for outPos := range expCols {
+				if !t.Values[outPos].IsSymbolic() {
+					continue
+				}
+				res, err := db.Expectation(t, outPos, false)
+				if err != nil {
+					return nil, err
+				}
+				t.Values[outPos] = ctable.Float(res.Mean)
+			}
+		}
+	}
+	if len(varCols) > 0 {
+		for i := range out.Tuples {
+			t := &out.Tuples[i]
+			for outPos, kind := range varCols {
+				e, ok := t.Values[outPos].AsExpr()
+				if !ok {
+					return nil, fmt.Errorf("sql: non-numeric %s() target %s", kind, t.Values[outPos])
+				}
+				var clause cond.Clause
+				switch len(t.Cond.Clauses) {
+				case 0:
+					t.Values[outPos] = ctable.Float(0)
+					continue
+				case 1:
+					clause = t.Cond.Clauses[0]
+				default:
+					return nil, fmt.Errorf("sql: %s() over disjunctive conditions is not supported", kind)
+				}
+				v := db.Sampler().Variance(e, clause)
+				if kind == "stddev" {
+					t.Values[outPos] = ctable.Float(v.StdDev)
+				} else {
+					t.Values[outPos] = ctable.Float(v.Variance)
+				}
+			}
+		}
+	}
+	if len(confCols) > 0 {
+		// conf() is probability-removing: fill in the probabilities and
+		// strip conditions.
+		for i := range out.Tuples {
+			t := &out.Tuples[i]
+			res := db.Conf(t)
+			for pos := range confCols {
+				t.Values[pos] = ctable.Float(res.Prob)
+			}
+			t.Cond = cond.TrueCondition()
+		}
+	}
+	return out, nil
+}
+
+// execAggregateSelect handles SELECT with expectation aggregates and
+// optional GROUP BY.
+func execAggregateSelect(db *core.DB, st *SelectStmt, cur *ctable.Table, r *resolver) (*ctable.Table, error) {
+	// Resolve group keys.
+	keyCols := make([]int, 0, len(st.GroupBy))
+	for _, g := range st.GroupBy {
+		idx, err := r.resolve(g)
+		if err != nil {
+			return nil, err
+		}
+		keyCols = append(keyCols, idx)
+	}
+
+	// Compile aggregate argument expressions into a staging projection:
+	// [input columns..., aggArg1, aggArg2, ...].
+	type aggTarget struct {
+		kind    string
+		argCol  int // column in the staged table, -1 for count(*)/conf
+		outName string
+	}
+	var staged []ctable.Scalar
+	var stagedNames []string
+	for i, c := range cur.Schema {
+		staged = append(staged, ctable.Col(i))
+		stagedNames = append(stagedNames, c.Name)
+	}
+
+	var aggs []aggTarget
+	type outCol struct {
+		isKey  bool
+		keyIdx int // index into keyCols
+		aggIdx int // index into aggs
+		name   string
+	}
+	var outCols []outCol
+
+	for _, tgt := range st.Targets {
+		if tgt.Star {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregates")
+		}
+		if fc, ok := tgt.Expr.(FuncCall); ok && (fc.IsAggregate() || fc.IsConf()) {
+			kind := strings.ToLower(fc.Name)
+			name := tgt.Alias
+			if name == "" {
+				name = kind
+			}
+			at := aggTarget{kind: kind, argCol: -1, outName: name}
+			switch kind {
+			case "expected_count", "conf", "aconf":
+				// no argument column needed
+			case "expected_sum_hist", "expected_max_hist":
+				return nil, fmt.Errorf("sql: %s is available through the Go API (core.DB.Histogram), not SQL", kind)
+			default:
+				if fc.Star || len(fc.Args) != 1 {
+					return nil, fmt.Errorf("sql: %s takes exactly one argument", kind)
+				}
+				sc, err := compileScalar(fc.Args[0], r)
+				if err != nil {
+					return nil, err
+				}
+				at.argCol = len(staged)
+				staged = append(staged, sc)
+				stagedNames = append(stagedNames, fmt.Sprintf("_agg%d", len(aggs)))
+			}
+			outCols = append(outCols, outCol{aggIdx: len(aggs), name: name})
+			aggs = append(aggs, at)
+			continue
+		}
+		// Non-aggregate target must be a group key column.
+		ref, ok := tgt.Expr.(ColRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: non-aggregate target %v must be a GROUP BY column", tgt.Expr)
+		}
+		idx, err := r.resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		ki := -1
+		for i, k := range keyCols {
+			if k == idx {
+				ki = i
+			}
+		}
+		if ki < 0 {
+			return nil, fmt.Errorf("sql: target %s is not in GROUP BY", ref)
+		}
+		name := tgt.Alias
+		if name == "" {
+			name = ref.Column
+		}
+		outCols = append(outCols, outCol{isKey: true, keyIdx: ki, name: name})
+	}
+
+	stagedTb, err := ctable.Project(cur, stagedNames, staged)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group.
+	var groups []ctable.GroupRows
+	if len(keyCols) == 0 {
+		all := make([]int, stagedTb.Len())
+		for i := range all {
+			all[i] = i
+		}
+		groups = []ctable.GroupRows{{Rows: all}}
+	} else {
+		groups, err = ctable.GroupBy(stagedTb, keyCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sch := make(ctable.Schema, len(outCols))
+	for i, oc := range outCols {
+		sch[i] = ctable.Column{Name: oc.name}
+	}
+	out := &ctable.Table{Name: "result", Schema: sch}
+
+	smp := db.Sampler()
+	for _, g := range groups {
+		sub := &ctable.Table{Name: stagedTb.Name, Schema: stagedTb.Schema}
+		for _, ri := range g.Rows {
+			sub.Tuples = append(sub.Tuples, stagedTb.Tuples[ri])
+		}
+		aggVals := make([]ctable.Value, len(aggs))
+		for ai, at := range aggs {
+			switch at.kind {
+			case "expected_sum":
+				res, err := smp.ExpectedSum(sub, at.argCol)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[ai] = ctable.Float(res.Value)
+			case "expected_count":
+				res, err := smp.ExpectedCount(sub)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[ai] = ctable.Float(res.Value)
+			case "expected_avg":
+				res, err := smp.ExpectedAvg(sub, at.argCol)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[ai] = ctable.Float(res.Value)
+			case "expected_max":
+				res, err := smp.ExpectedMax(sub, at.argCol, 0)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[ai] = ctable.Float(res.Value)
+			case "expected_stddev", "expected_variance":
+				// Per-world spread across the group's rows, averaged over
+				// sampled worlds (per-table semantics).
+				fold := sampler.StdDevFold
+				if at.kind == "expected_variance" {
+					fold = sampler.VarianceFold
+				}
+				n := db.Config().FixedSamples
+				if n <= 0 {
+					n = 1000
+				}
+				hist, err := smp.AggregateHistogram(sub, at.argCol, fold, n)
+				if err != nil {
+					return nil, err
+				}
+				total := 0.0
+				for _, v := range hist {
+					total += v
+				}
+				if len(hist) > 0 {
+					total /= float64(len(hist))
+				}
+				aggVals[ai] = ctable.Float(total)
+			case "conf", "aconf":
+				// Joint probability that at least one row of the group
+				// exists (aconf over the disjunction of row conditions).
+				d := cond.FalseCondition()
+				for i := range sub.Tuples {
+					d = d.Or(sub.Tuples[i].Cond)
+				}
+				res := smp.AConf(d)
+				aggVals[ai] = ctable.Float(res.Prob)
+			default:
+				return nil, fmt.Errorf("sql: unhandled aggregate %s", at.kind)
+			}
+		}
+		vals := make([]ctable.Value, len(outCols))
+		for i, oc := range outCols {
+			if oc.isKey {
+				vals[i] = g.Key[oc.keyIdx]
+			} else {
+				vals[i] = aggVals[oc.aggIdx]
+			}
+		}
+		out.Tuples = append(out.Tuples, ctable.NewTuple(vals...))
+	}
+	return out, nil
+}
+
+func defaultName(n Node) string {
+	switch t := n.(type) {
+	case ColRef:
+		return t.Column
+	case FuncCall:
+		return strings.ToLower(t.Name)
+	default:
+		return "expr"
+	}
+}
+
+// orderTable sorts deterministically by the named column.
+func orderTable(tb *ctable.Table, ref ColRef, desc bool) error {
+	idx := tb.Schema.ColIndex(ref.Column)
+	if idx < 0 {
+		return fmt.Errorf("sql: ORDER BY column %s not in result", ref)
+	}
+	var sortErr error
+	sort.SliceStable(tb.Tuples, func(i, j int) bool {
+		c, ok := tb.Tuples[i].Values[idx].Compare(tb.Tuples[j].Values[idx])
+		if !ok {
+			sortErr = fmt.Errorf("sql: ORDER BY over symbolic column %s", ref)
+			return false
+		}
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	return sortErr
+}

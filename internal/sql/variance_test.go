@@ -1,0 +1,73 @@
+package sql
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerRowVarianceAndStddev(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "CREATE TABLE m (v)")
+	mustExec(t, db, "INSERT INTO m VALUES (CREATE_VARIABLE('Normal', 10, 3))")
+	out := mustExec(t, db, "SELECT variance(v) AS vv, stddev(v) AS sv FROM m")
+	vv := cell(t, out, 0, 0)
+	sv := cell(t, out, 0, 1)
+	if math.Abs(vv-9) > 1e-9 || math.Abs(sv-3) > 1e-9 {
+		t.Fatalf("variance %v stddev %v (closed form expected)", vv, sv)
+	}
+}
+
+func TestPerRowVarianceConditional(t *testing.T) {
+	// Var[U | U > 0.5] = (0.5)^2 / 12 for U ~ Uniform(0,1).
+	db := testDB(t)
+	mustExec(t, db, "CREATE TABLE m (v)")
+	mustExec(t, db, "INSERT INTO m VALUES (CREATE_VARIABLE('Uniform', 0, 1))")
+	out := mustExec(t, db, "SELECT variance(v) AS vv FROM m WHERE v > 0.5")
+	want := 0.25 / 12
+	if got := cell(t, out, 0, 0); math.Abs(got-want) > 0.25*want {
+		t.Fatalf("conditional variance %v, want %v", got, want)
+	}
+}
+
+func TestExpectedStddevAggregate(t *testing.T) {
+	// Deterministic rows 10 and 20: per-world stddev is always 5.
+	db := testDB(t)
+	mustExec(t, db, "CREATE TABLE t (v)")
+	mustExec(t, db, "INSERT INTO t VALUES (10), (20)")
+	out := mustExec(t, db, "SELECT expected_stddev(v) AS s, expected_variance(v) AS vr FROM t")
+	if got := cell(t, out, 0, 0); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("expected_stddev %v, want 5", got)
+	}
+	if got := cell(t, out, 0, 1); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("expected_variance %v, want 25", got)
+	}
+}
+
+func TestExpectedStddevGrouped(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "CREATE TABLE t (g, v)")
+	mustExec(t, db, "INSERT INTO t VALUES ('a', 0), ('a', 10), ('b', 7)")
+	out := mustExec(t, db, "SELECT g, expected_stddev(v) AS s FROM t GROUP BY g ORDER BY g")
+	if got := cell(t, out, 0, 1); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("group a stddev %v", got)
+	}
+	// Single-row group has zero spread.
+	if got := cell(t, out, 1, 1); got != 0 {
+		t.Fatalf("group b stddev %v", got)
+	}
+}
+
+func TestVarianceArityErrors(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "CREATE TABLE t (v)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	for _, q := range []string{
+		"SELECT variance() FROM t",
+		"SELECT stddev(v, v) FROM t",
+		"SELECT expected_stddev(v, v) FROM t",
+	} {
+		if _, err := Exec(db, q); err == nil {
+			t.Fatalf("accepted %q", q)
+		}
+	}
+}

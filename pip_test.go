@@ -1,0 +1,155 @@
+package pip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpenDefaults(t *testing.T) {
+	db := Open(Options{})
+	if db == nil || db.Core() == nil {
+		t.Fatal("Open returned nil")
+	}
+	cfg := db.Core().Config()
+	if cfg.Epsilon != 0.05 || cfg.Delta != 0.05 {
+		t.Fatalf("default epsilon/delta: %v/%v", cfg.Epsilon, cfg.Delta)
+	}
+}
+
+func TestOpenOverrides(t *testing.T) {
+	db := Open(Options{Seed: 9, Epsilon: 0.01, Delta: 0.02, FixedSamples: 50, MaxSamples: 500})
+	cfg := db.Core().Config()
+	if cfg.WorldSeed != 9 || cfg.Epsilon != 0.01 || cfg.Delta != 0.02 ||
+		cfg.FixedSamples != 50 || cfg.MaxSamples != 500 {
+		t.Fatalf("overrides lost: %+v", cfg)
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	db := Open(Options{Seed: 5})
+	db.MustExec("CREATE TABLE t (name, v)")
+	db.MustExec("INSERT INTO t VALUES ('a', CREATE_VARIABLE('Normal', 3, 1))")
+	res := db.MustQuery("SELECT expectation(v) FROM t")
+	got, _ := res.Tuples[0].Values[0].AsFloat()
+	if math.Abs(got-3) > 1e-9 {
+		t.Fatalf("expectation %v", got)
+	}
+	if err := db.Exec("SELECT FROM nowhere"); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+}
+
+func TestProgrammaticAPI(t *testing.T) {
+	db := Open(Options{Seed: 5})
+	x := db.NormalVar(10, 2)
+	u := db.UniformVar(0, 1)
+	e := db.ExponentialVar(0.5)
+	p := db.PoissonVar(3)
+	for _, v := range []*Variable{x, u, e, p} {
+		if v == nil {
+			t.Fatal("variable constructor returned nil")
+		}
+	}
+	r := db.Conf(LT(V(u), C(0.3)))
+	if !r.Exact || math.Abs(r.Prob-0.3) > 1e-12 {
+		t.Fatalf("conf %v", r.Prob)
+	}
+	r = db.Expectation(Add(Mul(C(2), V(x)), C(1)))
+	if !r.Exact || r.Mean != 21 {
+		t.Fatalf("E[2x+1] = %v exact=%v", r.Mean, r.Exact)
+	}
+}
+
+func TestTableBuildingAndAggregates(t *testing.T) {
+	db := Open(Options{Seed: 5})
+	tb := db.NewTable("sales", "region", "amount")
+	if err := db.Insert(tb, Str("east"), Float(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(tb, Str("west"), VarValue(db.NormalVar(20, 1))); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := db.ExpectedSum(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-30) > 1e-9 {
+		t.Fatalf("sum %v", sum)
+	}
+	max, err := db.ExpectedMax(tb, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(max-20) > 0.5 {
+		t.Fatalf("max %v", max)
+	}
+	hist, err := db.Histogram(tb, 1, 100)
+	if err != nil || len(hist) != 100 {
+		t.Fatalf("hist: %v len %d", err, len(hist))
+	}
+}
+
+func TestMaterializeAndLookup(t *testing.T) {
+	db := Open(Options{Seed: 5})
+	tb := db.NewTable("src", "v")
+	if err := db.Insert(tb, Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	db.Materialize("view1", tb)
+	got, err := db.Table("view1")
+	if err != nil || got.Len() != 1 {
+		t.Fatalf("view: %v", err)
+	}
+}
+
+func TestCreateVariableErrors(t *testing.T) {
+	db := Open(Options{})
+	if _, err := db.CreateVariable("bogus"); err == nil {
+		t.Fatal("bogus distribution accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NormalVar with bad sigma did not panic")
+		}
+	}()
+	db.NormalVar(0, -1)
+}
+
+func TestExprValueAndAtoms(t *testing.T) {
+	db := Open(Options{Seed: 8})
+	x := db.NormalVar(0, 1)
+	atoms := []struct {
+		name string
+		r    Result
+		want float64
+	}{
+		{"GE", db.Conf(GE(V(x), C(0))), 0.5},
+		{"LE", db.Conf(LE(V(x), C(0))), 0.5},
+		{"NEQ", db.Conf(NEQ(V(x), C(0))), 1},
+	}
+	for _, a := range atoms {
+		if math.Abs(a.r.Prob-a.want) > 0.02 {
+			t.Fatalf("%s: %v, want %v", a.name, a.r.Prob, a.want)
+		}
+	}
+}
+
+func TestDistributionsList(t *testing.T) {
+	names := Distributions()
+	if len(names) < 10 {
+		t.Fatalf("too few distributions: %v", names)
+	}
+}
+
+func TestDeterministicAcrossOpens(t *testing.T) {
+	run := func() float64 {
+		db := Open(Options{Seed: 123})
+		x := db.NormalVar(0, 1)
+		y := db.NormalVar(0, 1)
+		r := db.Expectation(V(x), GT(Add(V(x), V(y)), C(1)))
+		return r.Mean
+	}
+	if run() != run() {
+		t.Fatal("results differ across identical runs")
+	}
+}
