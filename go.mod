@@ -1,0 +1,3 @@
+module pip
+
+go 1.24

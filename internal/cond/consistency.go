@@ -98,7 +98,10 @@ func CheckConsistencyOpt(c Clause, treatContinuousEq bool) CheckResult {
 		// Single-variable equality to a constant?
 		if k, val, ok := varEqualsConst(a); ok {
 			v := vars[k]
-			discrete := v != nil && v.Dist.Discrete()
+			// Integer-valued classes (including countable ones like
+			// Poisson) carry positive mass at integer points; only truly
+			// continuous equalities are zero-mass.
+			discrete := v != nil && v.Dist.IntegerValued()
 			if !discrete {
 				// Continuous equality: zero mass (§III-C item 3).
 				if treatContinuousEq {

@@ -1,0 +1,436 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"pip/internal/prng"
+)
+
+// ---------------------------------------------------------------------------
+// Normal(mu, sigma)
+
+// Normal is the Gaussian distribution with parameters (mean, stddev).
+// It exposes the full analytic capability set, so single-variable interval
+// constraints over normal variables integrate exactly and bounded
+// constraints generate through the inverse CDF with zero rejections.
+type Normal struct{}
+
+// Name implements Class.
+func (Normal) Name() string { return "Normal" }
+
+// CheckParams implements Class.
+func (Normal) CheckParams(params []float64) error {
+	if err := needParams(params, 2, "mean, stddev"); err != nil {
+		return err
+	}
+	if params[1] <= 0 {
+		return fmt.Errorf("stddev %g must be positive", params[1])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Normal) Generate(params []float64, r *prng.Rand) float64 {
+	return params[0] + params[1]*r.NormFloat64()
+}
+
+// PDF implements PDFer.
+func (Normal) PDF(params []float64, x float64) float64 {
+	mu, sigma := params[0], params[1]
+	z := (x - mu) / sigma
+	return math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements CDFer.
+func (Normal) CDF(params []float64, x float64) float64 {
+	return normCDF((x - params[0]) / params[1])
+}
+
+// InvCDF implements InvCDFer.
+func (Normal) InvCDF(params []float64, u float64) float64 {
+	return params[0] + params[1]*normInvCDF(u)
+}
+
+// Mean implements Meaner.
+func (Normal) Mean(params []float64) float64 { return params[0] }
+
+// Variance implements Variancer.
+func (Normal) Variance(params []float64) float64 { return params[1] * params[1] }
+
+// ---------------------------------------------------------------------------
+// Uniform(a, b)
+
+// Uniform is the continuous uniform distribution on [a, b).
+type Uniform struct{}
+
+// Name implements Class.
+func (Uniform) Name() string { return "Uniform" }
+
+// CheckParams implements Class.
+func (Uniform) CheckParams(params []float64) error {
+	if err := needParams(params, 2, "lo, hi"); err != nil {
+		return err
+	}
+	if params[0] >= params[1] {
+		return fmt.Errorf("lo %g must be below hi %g", params[0], params[1])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Uniform) Generate(params []float64, r *prng.Rand) float64 {
+	return params[0] + (params[1]-params[0])*r.Float64()
+}
+
+// PDF implements PDFer.
+func (Uniform) PDF(params []float64, x float64) float64 {
+	if x < params[0] || x > params[1] {
+		return 0
+	}
+	return 1 / (params[1] - params[0])
+}
+
+// CDF implements CDFer.
+func (Uniform) CDF(params []float64, x float64) float64 {
+	switch {
+	case x <= params[0]:
+		return 0
+	case x >= params[1]:
+		return 1
+	default:
+		return (x - params[0]) / (params[1] - params[0])
+	}
+}
+
+// InvCDF implements InvCDFer.
+func (Uniform) InvCDF(params []float64, u float64) float64 {
+	return params[0] + (params[1]-params[0])*clampUnit(u)
+}
+
+// Mean implements Meaner.
+func (Uniform) Mean(params []float64) float64 { return (params[0] + params[1]) / 2 }
+
+// Variance implements Variancer.
+func (Uniform) Variance(params []float64) float64 {
+	w := params[1] - params[0]
+	return w * w / 12
+}
+
+// Support implements Supporter.
+func (Uniform) Support(params []float64) (float64, float64) { return params[0], params[1] }
+
+// ---------------------------------------------------------------------------
+// Exponential(rate)
+
+// Exponential is the exponential distribution parametrized by rate
+// (mean 1/rate).
+type Exponential struct{}
+
+// Name implements Class.
+func (Exponential) Name() string { return "Exponential" }
+
+// CheckParams implements Class.
+func (Exponential) CheckParams(params []float64) error {
+	if err := needParams(params, 1, "rate"); err != nil {
+		return err
+	}
+	if params[0] <= 0 {
+		return fmt.Errorf("rate %g must be positive", params[0])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Exponential) Generate(params []float64, r *prng.Rand) float64 {
+	return r.ExpFloat64() / params[0]
+}
+
+// PDF implements PDFer.
+func (Exponential) PDF(params []float64, x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	rate := params[0]
+	return rate * math.Exp(-rate*x)
+}
+
+// CDF implements CDFer.
+func (Exponential) CDF(params []float64, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-params[0] * x)
+}
+
+// InvCDF implements InvCDFer.
+func (Exponential) InvCDF(params []float64, u float64) float64 {
+	u = clampUnit(u)
+	if u >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-u) / params[0]
+}
+
+// Mean implements Meaner.
+func (Exponential) Mean(params []float64) float64 { return 1 / params[0] }
+
+// Variance implements Variancer.
+func (Exponential) Variance(params []float64) float64 { return 1 / (params[0] * params[0]) }
+
+// Support implements Supporter.
+func (Exponential) Support(params []float64) (float64, float64) { return 0, math.Inf(1) }
+
+// ---------------------------------------------------------------------------
+// Lognormal(mu, sigma)
+
+// Lognormal is the log-normal distribution: exp(N(mu, sigma)). Parameters
+// are the mean and stddev of the underlying normal.
+type Lognormal struct{}
+
+// Name implements Class.
+func (Lognormal) Name() string { return "Lognormal" }
+
+// CheckParams implements Class.
+func (Lognormal) CheckParams(params []float64) error {
+	if err := needParams(params, 2, "mu, sigma of log"); err != nil {
+		return err
+	}
+	if params[1] <= 0 {
+		return fmt.Errorf("sigma %g must be positive", params[1])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Lognormal) Generate(params []float64, r *prng.Rand) float64 {
+	return math.Exp(params[0] + params[1]*r.NormFloat64())
+}
+
+// PDF implements PDFer.
+func (Lognormal) PDF(params []float64, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	mu, sigma := params[0], params[1]
+	z := (math.Log(x) - mu) / sigma
+	return math.Exp(-z*z/2) / (x * sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements CDFer.
+func (Lognormal) CDF(params []float64, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return normCDF((math.Log(x) - params[0]) / params[1])
+}
+
+// InvCDF implements InvCDFer.
+func (Lognormal) InvCDF(params []float64, u float64) float64 {
+	return math.Exp(params[0] + params[1]*normInvCDF(clampUnit(u)))
+}
+
+// Mean implements Meaner.
+func (Lognormal) Mean(params []float64) float64 {
+	return math.Exp(params[0] + params[1]*params[1]/2)
+}
+
+// Variance implements Variancer.
+func (Lognormal) Variance(params []float64) float64 {
+	s2 := params[1] * params[1]
+	return math.Expm1(s2) * math.Exp(2*params[0]+s2)
+}
+
+// Support implements Supporter.
+func (Lognormal) Support(params []float64) (float64, float64) { return 0, math.Inf(1) }
+
+// ---------------------------------------------------------------------------
+// Gamma(shape, rate)
+
+// Gamma is the gamma distribution parametrized by (shape k, rate lambda),
+// mean k/lambda. Sampling uses the Marsaglia–Tsang squeeze method, with the
+// standard power-of-uniform boost for shape < 1.
+type Gamma struct{}
+
+// Name implements Class.
+func (Gamma) Name() string { return "Gamma" }
+
+// CheckParams implements Class.
+func (Gamma) CheckParams(params []float64) error {
+	if err := needParams(params, 2, "shape, rate"); err != nil {
+		return err
+	}
+	if params[0] <= 0 || params[1] <= 0 {
+		return fmt.Errorf("shape %g and rate %g must be positive", params[0], params[1])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Gamma) Generate(params []float64, r *prng.Rand) float64 {
+	return gammaDraw(params[0], r) / params[1]
+}
+
+// gammaDraw samples Gamma(shape, rate 1) via Marsaglia–Tsang (2000).
+func gammaDraw(shape float64, r *prng.Rand) float64 {
+	if shape < 1 {
+		// G(a) = G(a+1) * U^{1/a}.
+		u := r.Float64Open()
+		return gammaDraw(shape+1, r) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// PDF implements PDFer.
+func (Gamma) PDF(params []float64, x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	k, rate := params[0], params[1]
+	if x == 0 {
+		switch {
+		case k < 1:
+			return math.Inf(1)
+		case k == 1:
+			return rate
+		default:
+			return 0
+		}
+	}
+	return math.Exp(k*math.Log(rate) + (k-1)*math.Log(x) - rate*x - lgamma(k))
+}
+
+// CDF implements CDFer.
+func (Gamma) CDF(params []float64, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regGammaP(params[0], params[1]*x)
+}
+
+// InvCDF implements InvCDFer.
+func (Gamma) InvCDF(params []float64, u float64) float64 {
+	c := Gamma{}
+	return invCDFBisect(func(x float64) float64 { return c.CDF(params, x) },
+		clampUnit(u), 0, math.Inf(1))
+}
+
+// Mean implements Meaner.
+func (Gamma) Mean(params []float64) float64 { return params[0] / params[1] }
+
+// Variance implements Variancer.
+func (Gamma) Variance(params []float64) float64 { return params[0] / (params[1] * params[1]) }
+
+// Support implements Supporter.
+func (Gamma) Support(params []float64) (float64, float64) { return 0, math.Inf(1) }
+
+// ---------------------------------------------------------------------------
+// Beta(alpha, beta)
+
+// Beta is the beta distribution on [0, 1], sampled as the gamma ratio
+// G(alpha) / (G(alpha) + G(beta)).
+type Beta struct{}
+
+// Name implements Class.
+func (Beta) Name() string { return "Beta" }
+
+// CheckParams implements Class.
+func (Beta) CheckParams(params []float64) error {
+	if err := needParams(params, 2, "alpha, beta"); err != nil {
+		return err
+	}
+	if params[0] <= 0 || params[1] <= 0 {
+		return fmt.Errorf("alpha %g and beta %g must be positive", params[0], params[1])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Beta) Generate(params []float64, r *prng.Rand) float64 {
+	x := gammaDraw(params[0], r)
+	y := gammaDraw(params[1], r)
+	return x / (x + y)
+}
+
+// PDF implements PDFer.
+func (Beta) PDF(params []float64, x float64) float64 {
+	a, b := params[0], params[1]
+	if x < 0 || x > 1 {
+		return 0
+	}
+	if x == 0 || x == 1 {
+		// Edge densities: finite only at interior-regular parameters.
+		if (x == 0 && a < 1) || (x == 1 && b < 1) {
+			return math.Inf(1)
+		}
+		if (x == 0 && a > 1) || (x == 1 && b > 1) {
+			return 0
+		}
+	}
+	// Skip zero-exponent log terms so the a = 1 / b = 1 edges avoid 0 * inf.
+	lt := lgamma(a+b) - lgamma(a) - lgamma(b)
+	if a != 1 {
+		lt += (a - 1) * math.Log(x)
+	}
+	if b != 1 {
+		lt += (b - 1) * math.Log1p(-x)
+	}
+	return math.Exp(lt)
+}
+
+// CDF implements CDFer.
+func (Beta) CDF(params []float64, x float64) float64 {
+	return regIncBeta(params[0], params[1], x)
+}
+
+// InvCDF implements InvCDFer.
+func (Beta) InvCDF(params []float64, u float64) float64 {
+	c := Beta{}
+	return invCDFBisect(func(x float64) float64 { return c.CDF(params, x) },
+		clampUnit(u), 0, 1)
+}
+
+// Mean implements Meaner.
+func (Beta) Mean(params []float64) float64 { return params[0] / (params[0] + params[1]) }
+
+// Variance implements Variancer.
+func (Beta) Variance(params []float64) float64 {
+	a, b := params[0], params[1]
+	s := a + b
+	return a * b / (s * s * (s + 1))
+}
+
+// Support implements Supporter.
+func (Beta) Support(params []float64) (float64, float64) { return 0, 1 }
+
+// clampUnit clamps u into [0, 1]; quantile callers may overshoot the unit
+// interval by an ulp when composing CDF and interval arithmetic.
+func clampUnit(u float64) float64 {
+	switch {
+	case u < 0:
+		return 0
+	case u > 1:
+		return 1
+	default:
+		return u
+	}
+}

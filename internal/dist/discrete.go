@@ -1,0 +1,391 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"pip/internal/prng"
+)
+
+// ---------------------------------------------------------------------------
+// Poisson(lambda)
+
+// Poisson is the Poisson distribution with mean lambda. It is integer-
+// valued but deliberately does not implement Discreter (countably infinite
+// support — see the Discreter docs); it implements IntegerValued instead,
+// which is what the sampler checks where integer semantics matter.
+type Poisson struct{}
+
+// Name implements Class.
+func (Poisson) Name() string { return "Poisson" }
+
+// CheckParams implements Class.
+func (Poisson) CheckParams(params []float64) error {
+	if err := needParams(params, 1, "lambda"); err != nil {
+		return err
+	}
+	if params[0] <= 0 {
+		return fmt.Errorf("lambda %g must be positive", params[0])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Poisson) Generate(params []float64, r *prng.Rand) float64 {
+	return float64(r.Poisson(params[0]))
+}
+
+// PDF implements PDFer; it is the probability mass function, zero off the
+// integers.
+func (Poisson) PDF(params []float64, x float64) float64 {
+	if x < 0 || x != math.Floor(x) {
+		return 0
+	}
+	lambda := params[0]
+	return math.Exp(x*math.Log(lambda) - lambda - lgamma(x+1))
+}
+
+// CDF implements CDFer: P[N <= x] = Q(floor(x)+1, lambda), the regularized
+// upper incomplete gamma identity.
+func (Poisson) CDF(params []float64, x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	k := math.Floor(x)
+	return 1 - regGammaP(k+1, params[0])
+}
+
+// InvCDF implements InvCDFer with the generalized inverse: the smallest
+// integer k with CDF(k) >= u, found by binary search on the analytic CDF.
+func (Poisson) InvCDF(params []float64, u float64) float64 {
+	u = clampUnit(u)
+	if u == 0 {
+		return 0
+	}
+	lambda := params[0]
+	c := Poisson{}
+	// Upper bracket: mean + 10 sigma + slack covers any u < 1 we can
+	// represent; expand geometrically as a safety net.
+	hi := math.Ceil(lambda + 10*math.Sqrt(lambda) + 20)
+	for c.CDF(params, hi) < u {
+		if u >= 1 || hi > 1e18 {
+			return math.Inf(1)
+		}
+		hi *= 2
+	}
+	lo := 0.0
+	for lo < hi {
+		mid := math.Floor((lo + hi) / 2)
+		if c.CDF(params, mid) < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// IntegerValued implements IntegerValued.
+func (Poisson) IntegerValued(params []float64) bool { return true }
+
+// Mean implements Meaner.
+func (Poisson) Mean(params []float64) float64 { return params[0] }
+
+// Variance implements Variancer.
+func (Poisson) Variance(params []float64) float64 { return params[0] }
+
+// Support implements Supporter.
+func (Poisson) Support(params []float64) (float64, float64) { return 0, math.Inf(1) }
+
+// ---------------------------------------------------------------------------
+// Bernoulli(p)
+
+// Bernoulli is the {0, 1} coin with success probability p.
+type Bernoulli struct{}
+
+// Name implements Class.
+func (Bernoulli) Name() string { return "Bernoulli" }
+
+// CheckParams implements Class.
+func (Bernoulli) CheckParams(params []float64) error {
+	if err := needParams(params, 1, "p"); err != nil {
+		return err
+	}
+	if params[0] < 0 || params[0] > 1 {
+		return fmt.Errorf("p %g must be in [0, 1]", params[0])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Bernoulli) Generate(params []float64, r *prng.Rand) float64 {
+	if r.Float64() < params[0] {
+		return 1
+	}
+	return 0
+}
+
+// PDF implements PDFer (probability mass).
+func (Bernoulli) PDF(params []float64, x float64) float64 {
+	switch x {
+	case 0:
+		return 1 - params[0]
+	case 1:
+		return params[0]
+	default:
+		return 0
+	}
+}
+
+// CDF implements CDFer.
+func (Bernoulli) CDF(params []float64, x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x < 1:
+		return 1 - params[0]
+	default:
+		return 1
+	}
+}
+
+// InvCDF implements InvCDFer.
+func (Bernoulli) InvCDF(params []float64, u float64) float64 {
+	if clampUnit(u) <= 1-params[0] {
+		return 0
+	}
+	return 1
+}
+
+// IntegerValued implements IntegerValued.
+func (Bernoulli) IntegerValued(params []float64) bool { return true }
+
+// Mean implements Meaner.
+func (Bernoulli) Mean(params []float64) float64 { return params[0] }
+
+// Variance implements Variancer.
+func (Bernoulli) Variance(params []float64) float64 { return params[0] * (1 - params[0]) }
+
+// Support implements Supporter.
+func (Bernoulli) Support(params []float64) (float64, float64) { return 0, 1 }
+
+// Discrete implements Discreter.
+func (Bernoulli) Discrete(params []float64) bool { return true }
+
+// ---------------------------------------------------------------------------
+// DiscreteUniform(lo, hi)
+
+// DiscreteUniform is the uniform distribution over the integers
+// lo, lo+1, ..., hi inclusive.
+type DiscreteUniform struct{}
+
+// Name implements Class.
+func (DiscreteUniform) Name() string { return "DiscreteUniform" }
+
+// CheckParams implements Class.
+func (DiscreteUniform) CheckParams(params []float64) error {
+	if err := needParams(params, 2, "lo, hi"); err != nil {
+		return err
+	}
+	if params[0] != math.Floor(params[0]) || params[1] != math.Floor(params[1]) {
+		return fmt.Errorf("bounds %g, %g must be integers", params[0], params[1])
+	}
+	if params[0] > params[1] {
+		return fmt.Errorf("lo %g must not exceed hi %g", params[0], params[1])
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (DiscreteUniform) Generate(params []float64, r *prng.Rand) float64 {
+	n := int(params[1]-params[0]) + 1
+	return params[0] + float64(r.Intn(n))
+}
+
+// PDF implements PDFer (probability mass).
+func (DiscreteUniform) PDF(params []float64, x float64) float64 {
+	if x < params[0] || x > params[1] || x != math.Floor(x) {
+		return 0
+	}
+	return 1 / (params[1] - params[0] + 1)
+}
+
+// CDF implements CDFer.
+func (DiscreteUniform) CDF(params []float64, x float64) float64 {
+	switch {
+	case x < params[0]:
+		return 0
+	case x >= params[1]:
+		return 1
+	default:
+		return (math.Floor(x) - params[0] + 1) / (params[1] - params[0] + 1)
+	}
+}
+
+// InvCDF implements InvCDFer (generalized inverse).
+func (DiscreteUniform) InvCDF(params []float64, u float64) float64 {
+	u = clampUnit(u)
+	n := params[1] - params[0] + 1
+	k := math.Ceil(u*n) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	return params[0] + k
+}
+
+// IntegerValued implements IntegerValued.
+func (DiscreteUniform) IntegerValued(params []float64) bool { return true }
+
+// Mean implements Meaner.
+func (DiscreteUniform) Mean(params []float64) float64 { return (params[0] + params[1]) / 2 }
+
+// Variance implements Variancer.
+func (DiscreteUniform) Variance(params []float64) float64 {
+	n := params[1] - params[0] + 1
+	return (n*n - 1) / 12
+}
+
+// Support implements Supporter.
+func (DiscreteUniform) Support(params []float64) (float64, float64) { return params[0], params[1] }
+
+// Discrete implements Discreter.
+func (DiscreteUniform) Discrete(params []float64) bool { return true }
+
+// ---------------------------------------------------------------------------
+// Categorical(w0, w1, ..., wn-1)
+
+// Categorical is the finite distribution over outcomes 0..n-1 with
+// probability proportional to the n weight parameters. It is the class
+// behind repair-key (paper §V-A): each key group's choice variable is
+// Categorical over the group's normalized weights.
+type Categorical struct{}
+
+// Name implements Class.
+func (Categorical) Name() string { return "Categorical" }
+
+// CheckParams implements Class.
+func (Categorical) CheckParams(params []float64) error {
+	if len(params) == 0 {
+		return fmt.Errorf("want at least one weight")
+	}
+	total := 0.0
+	for i, w := range params {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return fmt.Errorf("weight %d is %g; weights must be finite and non-negative", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("total weight must be positive")
+	}
+	return nil
+}
+
+// Generate implements Class.
+func (Categorical) Generate(params []float64, r *prng.Rand) float64 {
+	total := 0.0
+	for _, w := range params {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range params {
+		acc += w
+		if u < acc {
+			return float64(i)
+		}
+	}
+	// Round-off fell past the last bucket: return the last positive-weight
+	// outcome.
+	for i := len(params) - 1; i >= 0; i-- {
+		if params[i] > 0 {
+			return float64(i)
+		}
+	}
+	return 0
+}
+
+// PDF implements PDFer (probability mass).
+func (Categorical) PDF(params []float64, x float64) float64 {
+	if x != math.Floor(x) || x < 0 || x >= float64(len(params)) {
+		return 0
+	}
+	total := 0.0
+	for _, w := range params {
+		total += w
+	}
+	return params[int(x)] / total
+}
+
+// CDF implements CDFer.
+func (Categorical) CDF(params []float64, x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	k := int(math.Floor(x))
+	if k >= len(params)-1 {
+		return 1
+	}
+	total, acc := 0.0, 0.0
+	for _, w := range params {
+		total += w
+	}
+	for i := 0; i <= k; i++ {
+		acc += params[i]
+	}
+	return acc / total
+}
+
+// InvCDF implements InvCDFer (generalized inverse).
+func (Categorical) InvCDF(params []float64, u float64) float64 {
+	u = clampUnit(u)
+	total := 0.0
+	for _, w := range params {
+		total += w
+	}
+	acc := 0.0
+	for i, w := range params {
+		acc += w
+		if u <= acc/total {
+			return float64(i)
+		}
+	}
+	return float64(len(params) - 1)
+}
+
+// IntegerValued implements IntegerValued.
+func (Categorical) IntegerValued(params []float64) bool { return true }
+
+// Mean implements Meaner.
+func (Categorical) Mean(params []float64) float64 {
+	total, m := 0.0, 0.0
+	for i, w := range params {
+		total += w
+		m += float64(i) * w
+	}
+	return m / total
+}
+
+// Variance implements Variancer.
+func (Categorical) Variance(params []float64) float64 {
+	total, m, m2 := 0.0, 0.0, 0.0
+	for i, w := range params {
+		total += w
+		m += float64(i) * w
+		m2 += float64(i) * float64(i) * w
+	}
+	m /= total
+	m2 /= total
+	return m2 - m*m
+}
+
+// Support implements Supporter.
+func (Categorical) Support(params []float64) (float64, float64) {
+	return 0, float64(len(params) - 1)
+}
+
+// Discrete implements Discreter.
+func (Categorical) Discrete(params []float64) bool { return true }

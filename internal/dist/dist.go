@@ -1,0 +1,246 @@
+// Package dist implements PIP's distribution classes (paper §III-B, §V-A):
+// the parametrized probability distributions random variables are drawn
+// from. A distribution class is more than a black-box VG function — PIP's
+// goal-directed integration strategies (Algorithm 4.3) interrogate classes
+// for analytic capabilities:
+//
+//   - Generate is the only mandatory capability: given parameters and a
+//     seeded generator, produce one draw. A class exposing nothing else
+//     behaves like an MCDB-style VG function and restricts the sampler to
+//     naive rejection.
+//   - PDFer unlocks the Metropolis random-walk fallback (§IV-A-d), which
+//     needs pointwise density evaluation for its acceptance ratio.
+//   - CDFer unlocks exact integration of single-variable interval
+//     constraints (Algorithm 4.3 line 32) — no sampling at all.
+//   - InvCDFer (together with CDFer) unlocks constrained direct generation:
+//     draw u uniformly in [CDF(lo), CDF(hi)] and map through the inverse
+//     CDF, so every sample satisfies the constraint by construction.
+//   - Multivariater marks joint distributions whose components are drawn
+//     together (e.g. MVNormal); components share one variable id and are
+//     sampled from one seed so correlations survive.
+//
+// Capabilities are discovered by interface assertion on the Class value, so
+// adding a new class with only Generate degrades gracefully everywhere.
+//
+// Instances pair a class with its concrete parameter vector and carry the
+// convenience methods (Mean, Support, CDF, ...) used throughout the engine.
+// All sampling draws through internal/prng: equal seeds give bit-identical
+// worlds.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pip/internal/prng"
+)
+
+// Class is a distribution class: a named, parametrized recipe for a random
+// variable. Implementations are small value types (Normal{}, Uniform{}, ...)
+// safe for concurrent use; all state lives in the parameter vector.
+type Class interface {
+	// Name returns the canonical registry name (e.g. "Normal").
+	Name() string
+	// CheckParams validates a parameter vector for this class.
+	CheckParams(params []float64) error
+	// Generate draws one value using the given generator. For multivariate
+	// classes this returns component 0; use Multivariater.GenerateJoint for
+	// the full vector.
+	Generate(params []float64, r *prng.Rand) float64
+}
+
+// PDFer is implemented by classes that can evaluate their density (or, for
+// discrete classes, probability mass) at a point.
+type PDFer interface {
+	PDF(params []float64, x float64) float64
+}
+
+// CDFer is implemented by classes with a computable cumulative distribution
+// function P[X <= x]. For integer-valued classes the CDF is the
+// right-continuous step function evaluated at floor(x).
+type CDFer interface {
+	CDF(params []float64, x float64) float64
+}
+
+// InvCDFer is implemented by classes with a computable inverse CDF
+// (quantile function). For discrete classes the generalized inverse is
+// used: the smallest support point x with CDF(x) >= u.
+type InvCDFer interface {
+	InvCDF(params []float64, u float64) float64
+}
+
+// Meaner is implemented by classes with a closed-form mean.
+type Meaner interface {
+	Mean(params []float64) float64
+}
+
+// Variancer is implemented by classes with a closed-form variance.
+type Variancer interface {
+	Variance(params []float64) float64
+}
+
+// Supporter is implemented by classes whose support is a proper subset of
+// the reals; the consistency checker seeds interval bounds from it.
+type Supporter interface {
+	Support(params []float64) (lo, hi float64)
+}
+
+// Discreter marks classes with finite discrete support, where equality
+// atoms (X = c) carry positive probability mass. Countably-infinite
+// integer-valued classes (Poisson) deliberately do not implement it; they
+// implement IntegerValued instead, which is what the sampler checks where
+// integer semantics matter.
+type Discreter interface {
+	Discrete(params []float64) bool
+}
+
+// IntegerValued marks classes whose samples are always integers (finite or
+// countable support). The sampler uses it to integrate closed integer
+// intervals against step-function CDFs: [lo, hi] carries mass
+// CDF(hi) - CDF(ceil(lo)-1), not CDF(hi) - CDF(lo). Extension classes
+// registered via Register must implement it to get discrete interval
+// semantics.
+type IntegerValued interface {
+	IntegerValued(params []float64) bool
+}
+
+// Multivariater is implemented by joint distribution classes. Component i
+// of a joint draw is addressed by variable subscript i.
+type Multivariater interface {
+	Class
+	// Dim returns the number of components for the parameter vector.
+	Dim(params []float64) int
+	// GenerateJoint draws one joint vector of Dim components.
+	GenerateJoint(params []float64, r *prng.Rand) []float64
+}
+
+// Instance is a distribution class bound to a concrete parameter vector —
+// what a random variable actually carries (paper §III-B: "each variable is
+// associated with a parametrized distribution instance").
+type Instance struct {
+	Class  Class
+	Params []float64
+}
+
+// NewInstance validates params against the class and binds them.
+func NewInstance(c Class, params ...float64) (Instance, error) {
+	if c == nil {
+		return Instance{}, fmt.Errorf("dist: nil class")
+	}
+	if err := c.CheckParams(params); err != nil {
+		return Instance{}, fmt.Errorf("dist: %s: %w", c.Name(), err)
+	}
+	return Instance{Class: c, Params: params}, nil
+}
+
+// MustInstance is NewInstance panicking on invalid parameters; for tests
+// and straight-line setup code.
+func MustInstance(c Class, params ...float64) Instance {
+	in, err := NewInstance(c, params...)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Generate draws one value.
+func (in Instance) Generate(r *prng.Rand) float64 {
+	return in.Class.Generate(in.Params, r)
+}
+
+// PDF evaluates the density (mass) at x; ok is false when the class does
+// not expose a PDF.
+func (in Instance) PDF(x float64) (float64, bool) {
+	if p, has := in.Class.(PDFer); has {
+		return p.PDF(in.Params, x), true
+	}
+	return math.NaN(), false
+}
+
+// CDF evaluates P[X <= x]; ok is false when the class does not expose a CDF.
+func (in Instance) CDF(x float64) (float64, bool) {
+	if c, has := in.Class.(CDFer); has {
+		return c.CDF(in.Params, x), true
+	}
+	return math.NaN(), false
+}
+
+// InvCDF evaluates the quantile function at u in [0, 1]; ok is false when
+// the class does not expose an inverse CDF.
+func (in Instance) InvCDF(u float64) (float64, bool) {
+	if c, has := in.Class.(InvCDFer); has {
+		return c.InvCDF(in.Params, u), true
+	}
+	return math.NaN(), false
+}
+
+// Mean returns the closed-form mean; ok is false when unavailable (e.g.
+// black-box and multivariate classes).
+func (in Instance) Mean() (float64, bool) {
+	if m, has := in.Class.(Meaner); has {
+		return m.Mean(in.Params), true
+	}
+	return math.NaN(), false
+}
+
+// Variance returns the closed-form variance; ok is false when unavailable.
+func (in Instance) Variance() (float64, bool) {
+	if v, has := in.Class.(Variancer); has {
+		return v.Variance(in.Params), true
+	}
+	return math.NaN(), false
+}
+
+// Support returns the distribution's support interval, defaulting to the
+// whole real line for classes that do not declare one.
+func (in Instance) Support() (lo, hi float64) {
+	if s, has := in.Class.(Supporter); has {
+		return s.Support(in.Params)
+	}
+	return math.Inf(-1), math.Inf(1)
+}
+
+// Discrete reports whether the instance has finite discrete support (see
+// Discreter for the Poisson caveat).
+func (in Instance) Discrete() bool {
+	if d, has := in.Class.(Discreter); has {
+		return d.Discrete(in.Params)
+	}
+	return false
+}
+
+// IntegerValued reports whether every sample of the instance is an
+// integer; finite-support discrete classes count as integer-valued even
+// if they predate the IntegerValued interface.
+func (in Instance) IntegerValued() bool {
+	if iv, has := in.Class.(IntegerValued); has {
+		return iv.IntegerValued(in.Params)
+	}
+	return in.Discrete()
+}
+
+// String renders the instance as Name(p1, p2, ...).
+func (in Instance) String() string {
+	if in.Class == nil {
+		return "<nil dist>"
+	}
+	parts := make([]string, len(in.Params))
+	for i, p := range in.Params {
+		parts[i] = fmt.Sprintf("%g", p)
+	}
+	return in.Class.Name() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// needParams is the shared arity check used by CheckParams implementations.
+func needParams(params []float64, n int, usage string) error {
+	if len(params) != n {
+		return fmt.Errorf("want %d parameters (%s), got %d", n, usage, len(params))
+	}
+	for i, p := range params {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("parameter %d (%s) is %v", i, usage, p)
+		}
+	}
+	return nil
+}

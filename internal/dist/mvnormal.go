@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"pip/internal/prng"
+)
+
+// MVNormal is the multivariate normal distribution. Its parameter vector is
+// the flat encoding produced by MVNormalParams:
+//
+//	[ n, mean_0..mean_{n-1}, L_00, L_10, L_11, L_20, ..., L_{n-1,n-1} ]
+//
+// where L is the lower-triangular Cholesky factor of the covariance matrix
+// stored row-major. A joint draw is mean + L z for z ~ N(0, I), so the
+// covariance of the draw is L Lᵀ; components are addressed by variable
+// subscript and drawn together from one seed (paper §III-B), which is what
+// keeps their correlations intact no matter where each component appears in
+// a query.
+type MVNormal struct{}
+
+// Name implements Class.
+func (MVNormal) Name() string { return "MVNormal" }
+
+// CheckParams implements Class.
+func (MVNormal) CheckParams(params []float64) error {
+	if len(params) == 0 {
+		return fmt.Errorf("empty parameter vector; use MVNormalParams")
+	}
+	n := int(params[0])
+	if float64(n) != params[0] || n < 1 {
+		return fmt.Errorf("dimension %g must be a positive integer", params[0])
+	}
+	want := 1 + n + n*(n+1)/2
+	if len(params) != want {
+		return fmt.Errorf("want %d parameters for dimension %d, got %d", want, n, len(params))
+	}
+	for i, p := range params {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("parameter %d is %v", i, p)
+		}
+	}
+	// Positive diagonal keeps the factor full-rank (a semidefinite joint
+	// would silently collapse components onto each other).
+	off := 1 + n
+	for i := 0; i < n; i++ {
+		diag := params[off+i*(i+1)/2+i]
+		if diag <= 0 {
+			return fmt.Errorf("cholesky diagonal entry %d is %g; must be positive", i, diag)
+		}
+	}
+	return nil
+}
+
+// Dim implements Multivariater.
+func (MVNormal) Dim(params []float64) int { return int(params[0]) }
+
+// GenerateJoint implements Multivariater: mean + L z with z ~ N(0, I).
+func (MVNormal) GenerateJoint(params []float64, r *prng.Rand) []float64 {
+	n := int(params[0])
+	mean := params[1 : 1+n]
+	chol := params[1+n:]
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = r.NormFloat64()
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := mean[i]
+		row := chol[i*(i+1)/2:]
+		for j := 0; j <= i; j++ {
+			v += row[j] * z[j]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Generate implements Class by returning component 0 of a joint draw; the
+// sampler routes multivariate variables through GenerateJoint instead.
+func (m MVNormal) Generate(params []float64, r *prng.Rand) float64 {
+	return m.GenerateJoint(params, r)[0]
+}
+
+// MVNormalParams flattens a mean vector and a lower-triangular Cholesky
+// factor (as returned by CholeskyFromCovariance) into the parameter
+// encoding of MVNormal. Entries of chol above the diagonal are ignored.
+func MVNormalParams(mean []float64, chol [][]float64) []float64 {
+	n := len(mean)
+	params := make([]float64, 0, 1+n+n*(n+1)/2)
+	params = append(params, float64(n))
+	params = append(params, mean...)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			params = append(params, chol[i][j])
+		}
+	}
+	return params
+}
+
+// CholeskyFromCovariance factors a symmetric positive-definite covariance
+// matrix into its lower-triangular Cholesky factor L (cov = L Lᵀ) using the
+// Cholesky–Banachiewicz recurrence. It errors on non-square, asymmetric or
+// non-positive-definite input.
+func CholeskyFromCovariance(cov [][]float64) ([][]float64, error) {
+	n := len(cov)
+	if n == 0 {
+		return nil, fmt.Errorf("dist: empty covariance matrix")
+	}
+	for i, row := range cov {
+		if len(row) != n {
+			return nil, fmt.Errorf("dist: covariance row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	const symTol = 1e-9
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			scale := math.Max(1, math.Max(math.Abs(cov[i][j]), math.Abs(cov[j][i])))
+			if math.Abs(cov[i][j]-cov[j][i]) > symTol*scale {
+				return nil, fmt.Errorf("dist: covariance not symmetric at (%d, %d): %g vs %g",
+					i, j, cov[i][j], cov[j][i])
+			}
+		}
+	}
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := cov[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("dist: covariance not positive definite (pivot %d is %g)", i, sum)
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The registry maps distribution names to classes so the SQL layer's
+// CREATE_VARIABLE('Normal', ...) can resolve classes by name (paper §V-A).
+// Lookups are case-insensitive; Names returns canonical capitalization.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Class{}
+)
+
+// Register installs a class under its canonical name. Registering a second
+// class with the same (case-insensitive) name replaces the first; this is
+// deliberate so embedders can override built-ins.
+func Register(c Class) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[strings.ToLower(c.Name())] = c
+}
+
+// Lookup resolves a class by case-insensitive name.
+func Lookup(name string) (Class, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[strings.ToLower(name)]
+	return c, ok
+}
+
+// Names lists the canonical names of all registered classes in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	for _, c := range []Class{
+		Normal{},
+		Uniform{},
+		Exponential{},
+		Lognormal{},
+		Gamma{},
+		Beta{},
+		Poisson{},
+		Bernoulli{},
+		DiscreteUniform{},
+		Categorical{},
+		MVNormal{},
+	} {
+		Register(c)
+	}
+}

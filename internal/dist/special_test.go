@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErfInvRoundTrip(t *testing.T) {
+	for _, x := range []float64{-0.999, -0.9, -0.5, -0.1, 0, 0.1, 0.5, 0.9, 0.999, 0.9999999} {
+		got := math.Erf(ErfInv(x))
+		if math.Abs(got-x) > 1e-14 {
+			t.Errorf("Erf(ErfInv(%g)) = %g, drift %g", x, got, math.Abs(got-x))
+		}
+	}
+	for _, y := range []float64{-3, -1, -0.25, 0.25, 1, 3} {
+		got := ErfInv(math.Erf(y))
+		if math.Abs(got-y) > 1e-12*math.Max(1, math.Abs(y)) {
+			t.Errorf("ErfInv(Erf(%g)) = %g", y, got)
+		}
+	}
+}
+
+func TestErfInvEdges(t *testing.T) {
+	if !math.IsInf(ErfInv(1), 1) || !math.IsInf(ErfInv(-1), -1) {
+		t.Fatal("ErfInv at +-1 must be +-Inf")
+	}
+	if ErfInv(0) != 0 {
+		t.Fatal("ErfInv(0) != 0")
+	}
+	if !math.IsNaN(ErfInv(math.NaN())) {
+		t.Fatal("ErfInv(NaN) not NaN")
+	}
+	// Odd symmetry.
+	for _, x := range []float64{0.1, 0.5, 0.99} {
+		if ErfInv(-x) != -ErfInv(x) {
+			t.Errorf("ErfInv not odd at %g", x)
+		}
+	}
+}
+
+func TestRegGammaP(t *testing.T) {
+	// Reference values: P(a, x) for integer a has the closed form
+	// 1 - e^{-x} sum_{k<a} x^k/k!.
+	ref := func(a int, x float64) float64 {
+		sum := 0.0
+		term := 1.0
+		for k := 0; k < a; k++ {
+			if k > 0 {
+				term *= x / float64(k)
+			}
+			sum += term
+		}
+		return 1 - math.Exp(-x)*sum
+	}
+	for _, a := range []int{1, 2, 5, 10, 50} {
+		for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10, 40, 100} {
+			got := regGammaP(float64(a), x)
+			want := ref(a, x)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("P(%d, %g) = %.15g, want %.15g", a, x, got, want)
+			}
+		}
+	}
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.01, 0.25, 1, 4} {
+		got := regGammaP(0.5, x)
+		want := math.Erf(math.Sqrt(x))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(0.5, %g) = %g, want %g", x, got, want)
+		}
+	}
+	if regGammaP(2, 0) != 0 {
+		t.Fatal("P(a, 0) != 0")
+	}
+	if regGammaP(2, math.Inf(1)) != 1 {
+		t.Fatal("P(a, inf) != 1")
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1, b) = 1 - (1-x)^b; I_x(a, 1) = x^a.
+	for _, b := range []float64{0.5, 1, 2, 7} {
+		for _, x := range []float64{0.1, 0.4, 0.8} {
+			got := regIncBeta(1, b, x)
+			want := 1 - math.Pow(1-x, b)
+			if math.Abs(got-want) > 1e-13 {
+				t.Errorf("I_%g(1, %g) = %g, want %g", x, b, got, want)
+			}
+			got = regIncBeta(b, 1, x)
+			want = math.Pow(x, b)
+			if math.Abs(got-want) > 1e-13 {
+				t.Errorf("I_%g(%g, 1) = %g, want %g", x, b, got, want)
+			}
+		}
+	}
+	// Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+	for _, x := range []float64{0.2, 0.5, 0.9} {
+		got := regIncBeta(2.5, 3.5, x) + regIncBeta(3.5, 2.5, 1-x)
+		if math.Abs(got-1) > 1e-13 {
+			t.Errorf("symmetry violated at x = %g: sum %g", x, got)
+		}
+	}
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("incomplete beta edge values wrong")
+	}
+}
+
+func TestInvCDFBisect(t *testing.T) {
+	// Invert a known CDF: standard exponential.
+	cdf := func(x float64) float64 { return 1 - math.Exp(-x) }
+	for _, u := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		got := invCDFBisect(cdf, u, 0, math.Inf(1))
+		want := -math.Log(1 - u)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("invCDFBisect(%g) = %g, want %g", u, got, want)
+		}
+	}
+	if got := invCDFBisect(cdf, 0, 0, math.Inf(1)); got != 0 {
+		t.Fatalf("u = 0 gave %g", got)
+	}
+	// Two-sided bracket (standard normal via erf) with infinite lower edge.
+	ncdf := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	for _, u := range []float64{0.1, 0.5, 0.9} {
+		got := invCDFBisect(ncdf, u, math.Inf(-1), math.Inf(1))
+		want := normInvCDF(u)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("normal bisect(%g) = %g, want %g", u, got, want)
+		}
+	}
+}

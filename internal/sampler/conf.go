@@ -217,7 +217,7 @@ func exactSingleVarProb(g cond.Group) (float64, bool) {
 		}
 	}
 
-	discrete := v.Dist.Discrete() || isIntegerValued(v.Dist)
+	discrete := isIntegerValued(v.Dist)
 	pdfClass, hasPDF := v.Dist.Class.(dist.PDFer)
 	pmf := func(x float64) float64 {
 		if !hasPDF {
@@ -306,15 +306,12 @@ func flipForNegation(op cond.CmpOp) cond.CmpOp {
 }
 
 // isIntegerValued reports whether the class's samples are always integers
-// (Poisson is discrete but has countable support, so it does not implement
-// Discreter).
+// (Poisson is integer-valued but has countable support, so it implements
+// IntegerValued without Discreter). Delegating to the dist-layer
+// capability keeps extension classes registered via dist.Register on the
+// correct discrete interval semantics.
 func isIntegerValued(in dist.Instance) bool {
-	switch in.Class.(type) {
-	case dist.Poisson, dist.Bernoulli, dist.DiscreteUniform:
-		return true
-	default:
-		return false
-	}
+	return in.IntegerValued()
 }
 
 func clamp01(p float64) float64 {

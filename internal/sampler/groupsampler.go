@@ -31,6 +31,10 @@ type groupSampler struct {
 	// jointly via their subscript-0 seed.
 	keys  []expr.VarKey
 	modes map[expr.VarKey]varMode
+	// cdfBox caches the (CDF(lo'), CDF(hi')) edges of each CDF-mode
+	// variable's bounds interval; they are constant per group, and the
+	// rejection loop would otherwise re-integrate them on every attempt.
+	cdfBox map[expr.VarKey][2]float64
 	// massFraction is the product over CDF-mode variables of the prior
 	// mass of their bounds interval; it multiplies the acceptance rate to
 	// recover the unconditioned constraint probability.
@@ -51,6 +55,7 @@ func newGroupSampler(g cond.Group, cfg *Config) *groupSampler {
 		cfg:          cfg,
 		keys:         g.Keys,
 		modes:        map[expr.VarKey]varMode{},
+		cdfBox:       map[expr.VarKey][2]float64{},
 		massFraction: 1,
 	}
 	res := cond.CheckConsistency(g.Atoms)
@@ -86,6 +91,7 @@ func newGroupSampler(g cond.Group, cfg *Config) *groupSampler {
 			return gs
 		}
 		gs.modes[k] = modeCDF
+		gs.cdfBox[k] = [2]float64{pLo, pHi}
 		gs.massFraction *= pHi - pLo
 	}
 	gs.maybePreEscalate()
@@ -141,16 +147,30 @@ func (gs *groupSampler) maybePreEscalate() {
 	}
 }
 
-// intervalMass returns (CDF(lo), CDF(hi)) clamped to [0,1].
+// intervalMass returns the prior CDF mass edges of the closed interval iv,
+// clamped to [0,1]. For integer-valued distributions the CDF is a
+// right-continuous step function, so the closed interval [lo, hi] carries
+// mass CDF(hi) - CDF(ceil(lo)-1); using CDF(lo) directly would drop the
+// point mass at lo (and report zero mass for pinned intervals like [0, 0],
+// the shape repair-key conditions produce).
 func intervalMass(in dist.Instance, iv cond.Interval) (float64, float64) {
 	lo, hi := 0.0, 1.0
+	discrete := isIntegerValued(in)
 	if !math.IsInf(iv.Lo, -1) {
-		if v, ok := in.CDF(iv.Lo); ok {
+		edge := iv.Lo
+		if discrete {
+			edge = math.Ceil(iv.Lo) - 1
+		}
+		if v, ok := in.CDF(edge); ok {
 			lo = v
 		}
 	}
 	if !math.IsInf(iv.Hi, 1) {
-		if v, ok := in.CDF(iv.Hi); ok {
+		edge := iv.Hi
+		if discrete {
+			edge = math.Floor(iv.Hi)
+		}
+		if v, ok := in.CDF(edge); ok {
 			hi = v
 		}
 	}
@@ -240,7 +260,8 @@ func (gs *groupSampler) generateCandidate(asn expr.Assignment, sampleIdx, attemp
 		switch gs.modes[k] {
 		case modeCDF:
 			iv := gs.bounds.Get(k)
-			pLo, pHi := intervalMass(v.Dist, iv)
+			box := gs.cdfBox[k]
+			pLo, pHi := box[0], box[1]
 			u := pLo + (pHi-pLo)*r.Float64()
 			x, _ := v.Dist.InvCDF(u)
 			// Clamp against numeric drift at the interval edges.

@@ -1,0 +1,43 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"pip/internal/cond"
+	"pip/internal/dist"
+	"pip/internal/expr"
+)
+
+// TestPoissonEqualityPointMass: equality atoms on integer-valued classes
+// with countable support (Poisson) must integrate to the point mass, and
+// must agree with the equivalent pinned interval — the consistency checker
+// may not kill them as zero-mass continuous equalities.
+func TestPoissonEqualityPointMass(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WorldSeed = 4
+	s := New(cfg)
+	x := mkVar(t, dist.Poisson{}, 3)
+	want, _ := x.Dist.PDF(2) // e^-3 3^2/2! = 0.2240...
+
+	eq := cond.Clause{atom(expr.NewVar(x), cond.EQ, expr.Const(2))}
+	rEq := s.Conf(eq)
+	if !rEq.Exact || math.Abs(rEq.Prob-want) > 1e-12 {
+		t.Fatalf("Conf(X = 2) = %v (exact %v), want pmf %v", rEq.Prob, rEq.Exact, want)
+	}
+
+	iv := cond.Clause{
+		atom(expr.NewVar(x), cond.GE, expr.Const(2)),
+		atom(expr.NewVar(x), cond.LE, expr.Const(2)),
+	}
+	rIv := s.Conf(iv)
+	if math.Abs(rIv.Prob-rEq.Prob) > 1e-12 {
+		t.Fatalf("Conf(2 <= X <= 2) = %v disagrees with Conf(X = 2) = %v", rIv.Prob, rEq.Prob)
+	}
+
+	// Non-integer equality carries no mass even for integer-valued classes.
+	rBad := s.Conf(cond.Clause{atom(expr.NewVar(x), cond.EQ, expr.Const(2.5))})
+	if rBad.Prob != 0 {
+		t.Fatalf("Conf(X = 2.5) = %v, want 0", rBad.Prob)
+	}
+}

@@ -35,6 +35,8 @@
 // internal/core                 — catalog, variables, views
 // internal/sql                  — the SQL subset
 // internal/samplefirst          — the MCDB-style baseline used in benchmarks
+// internal/iceberg, internal/tpch — the paper's evaluation datasets (§VI)
+// internal/bench                — experiment harnesses over both engines
 package pip
 
 import (
