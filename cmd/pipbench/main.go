@@ -1,11 +1,14 @@
-// Command pipbench regenerates the paper's evaluation figures (§VI):
+// Command pipbench regenerates the paper's evaluation figures (§VI) and
+// measures the parallel world-evaluation engine:
 //
-//	pipbench -experiment fig5|fig6|fig7a|fig7b|fig8|all [-quick] [-seed N]
-//	         [-samples N] [-trials N]
+//	pipbench -experiment fig5|fig6|fig7a|fig7b|fig8|speedup|all [-quick]
+//	         [-seed N] [-samples N] [-trials N] [-workers N]
 //
-// Each experiment prints the same series the corresponding figure plots;
-// EXPERIMENTS.md records a reference run and compares it against the
-// paper's reported shapes.
+// Each figure experiment prints the same series the corresponding figure
+// plots. The speedup experiment runs the iceberg and TPC-H workloads once
+// sequentially (workers=1) and once on the worker pool (-workers, default
+// one per CPU), reporting wall-clock speedup and verifying that both runs
+// return bit-identical values.
 package main
 
 import (
@@ -19,11 +22,12 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5, fig6, fig7a, fig7b, fig8 or all")
+		experiment = flag.String("experiment", "all", "fig5, fig6, fig7a, fig7b, fig8, speedup or all")
 		quick      = flag.Bool("quick", false, "use the fast, small-scale configuration")
 		seed       = flag.Uint64("seed", 0, "override the world seed (0 = default)")
 		samples    = flag.Int("samples", 0, "override the PIP sample budget (0 = default 1000)")
 		trials     = flag.Int("trials", 0, "override the RMS trial count (0 = default 30)")
+		workers    = flag.Int("workers", 0, "worker pool size for the speedup experiment (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -95,8 +99,17 @@ func main() {
 		return nil
 	})
 
+	run("speedup", func() error {
+		rows, err := bench.Speedup(opt, *workers)
+		if err != nil {
+			return err
+		}
+		bench.WriteSpeedup(os.Stdout, rows)
+		return nil
+	})
+
 	switch *experiment {
-	case "all", "fig5", "fig6", "fig7a", "fig7b", "fig8":
+	case "all", "fig5", "fig6", "fig7a", "fig7b", "fig8", "speedup":
 	default:
 		fmt.Fprintf(os.Stderr, "pipbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

@@ -270,3 +270,29 @@ func TestTPCHGeneratorDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestSpeedupQuickBitIdentical(t *testing.T) {
+	opt := QuickOptions()
+	opt.Samples = 50
+	opt.Fig8Bergs = 60
+	rows, err := Speedup(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d workloads, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("%s: parallel run was not bit-identical to sequential", r.Workload)
+		}
+		if r.Workers != 4 {
+			t.Fatalf("%s: workers = %d, want 4", r.Workload, r.Workers)
+		}
+	}
+	var sb strings.Builder
+	WriteSpeedup(&sb, rows)
+	if !strings.Contains(sb.String(), "bit-identical") {
+		t.Fatal("renderer broken")
+	}
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"pip/internal/cond"
+	"pip/internal/core"
+	"pip/internal/ctable"
+	"pip/internal/dist"
+	"pip/internal/expr"
+	"pip/internal/iceberg"
+	"pip/internal/sampler"
+	"pip/internal/tpch"
+)
+
+// SpeedupRow is one workload's sequential-vs-parallel comparison. Identical
+// reports whether the two runs returned bit-identical values — the
+// determinism contract of the parallel engine, checked on every run.
+type SpeedupRow struct {
+	Workload  string
+	Workers   int
+	SeqTime   time.Duration
+	ParTime   time.Duration
+	Value     float64
+	Identical bool
+}
+
+// Speedup returns SeqTime / ParTime.
+func (r SpeedupRow) Speedup() float64 {
+	if r.ParTime == 0 {
+		return 0
+	}
+	return float64(r.SeqTime) / float64(r.ParTime)
+}
+
+// speedupWorkload is one benchmark: run evaluates the workload under the
+// given worker count and returns the result value (used for the bit-identity
+// check between the sequential and parallel runs).
+type speedupWorkload struct {
+	name string
+	run  func(workers int) (float64, error)
+}
+
+// Speedup measures the parallel world-evaluation engine: each workload runs
+// once with Workers=1 and once with Workers=workers (0 = one per CPU), and
+// the report records wall-clock speedup plus whether the two results were
+// bit-identical. Workloads cover the engine's three parallel axes:
+//
+//   - iceberg-threat: ExpectedSum over the iceberg sighting c-table with
+//     exact CDF integration disabled — thousands of independent rows, each
+//     needing sampled confidence (row-parallel axis);
+//   - tpch-q1: the paper's Q1 revenue prediction, expected_sum over Poisson
+//     revenue models (row-parallel over customers);
+//   - tpch-q5: the two-variable comparison E[D - S | D > S] — rejection
+//     sampling inside one constraint group (sample-parallel axis).
+func Speedup(opt Options, workers int) ([]SpeedupRow, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	data := tpch.Generate(opt.Scale, opt.Seed)
+	bergs := iceberg.Generate(opt.Fig8Bergs, opt.Fig8Ships, opt.Seed)
+	workloads := []speedupWorkload{
+		{name: "iceberg-threat", run: func(w int) (float64, error) {
+			return icebergThreatSampledSum(bergs, opt.Samples, opt.Seed, w)
+		}},
+		{name: "tpch-q1", run: func(w int) (float64, error) {
+			return q1ExpectedSum(data, opt.Samples, opt.Seed, w)
+		}},
+		{name: "tpch-q5", run: func(w int) (float64, error) {
+			return q5RejectionSum(data, opt.Samples, opt.Seed, w)
+		}},
+	}
+
+	rows := make([]SpeedupRow, 0, len(workloads))
+	for _, wl := range workloads {
+		t0 := time.Now()
+		seqVal, err := wl.run(1)
+		if err != nil {
+			return nil, fmt.Errorf("%s (sequential): %w", wl.name, err)
+		}
+		seqTime := time.Since(t0)
+
+		t1 := time.Now()
+		parVal, err := wl.run(workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s (parallel): %w", wl.name, err)
+		}
+		parTime := time.Since(t1)
+
+		rows = append(rows, SpeedupRow{
+			Workload: wl.name, Workers: workers,
+			SeqTime: seqTime, ParTime: parTime,
+			Value: parVal,
+			// Bit comparison so an identical NaN (rejection-cap exhaustion
+			// in both runs) still counts as identical.
+			Identical: math.Float64bits(seqVal) == math.Float64bits(parVal),
+		})
+	}
+	return rows, nil
+}
+
+// speedupDB builds the fixed-budget engine configuration the speedup runs
+// share, varying only the worker count.
+func speedupDB(samples int, seed uint64, workers int) *core.DB {
+	cfg := sampler.DefaultConfig()
+	cfg.FixedSamples = samples
+	cfg.WorldSeed = seed
+	cfg.DisableClosedForm = true
+	cfg.Workers = workers
+	return core.NewDB(cfg)
+}
+
+// icebergThreatSampledSum evaluates the iceberg danger query for the first
+// ship as one expected_sum over a per-sighting c-table: row r carries the
+// sighting's danger score under the condition "iceberg r is near the ship".
+// Exact CDF integration is disabled so every row's confidence is sampled —
+// the workload the paper's Fig. 8 uses to show what PIP avoids, repurposed
+// here to stress the row-parallel aggregate path.
+func icebergThreatSampledSum(data *iceberg.Data, samples int, seed uint64, workers int) (float64, error) {
+	if len(data.Ships) == 0 {
+		return 0, fmt.Errorf("bench: no ships generated")
+	}
+	ship := data.Ships[0]
+	db := speedupDB(samples, seed, workers)
+	db.UpdateConfig(func(cfg *sampler.Config) { cfg.DisableExactCDF = true })
+
+	tb := ctable.New("threat", "danger")
+	for _, s := range data.Sightings {
+		std := s.PositionStd()
+		latVar := db.NewVariableFromInstance(dist.MustInstance(dist.Normal{}, s.Lat, std), "lat")
+		lonVar := db.NewVariableFromInstance(dist.MustInstance(dist.Normal{}, s.Lon, std), "lon")
+		tup := ctable.NewTuple(ctable.Float(s.Danger()))
+		tup.Cond = cond.FromClause(cond.Clause{
+			cond.NewAtom(expr.NewVar(latVar), cond.GT, expr.Const(ship.Lat-iceberg.ProximityRadius)),
+			cond.NewAtom(expr.NewVar(latVar), cond.LT, expr.Const(ship.Lat+iceberg.ProximityRadius)),
+			cond.NewAtom(expr.NewVar(lonVar), cond.GT, expr.Const(ship.Lon-iceberg.ProximityRadius)),
+			cond.NewAtom(expr.NewVar(lonVar), cond.LT, expr.Const(ship.Lon+iceberg.ProximityRadius)),
+		})
+		tb.MustAppend(tup)
+	}
+	res, err := db.Sampler().ExpectedSum(tb, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// q1ExpectedSum is the paper's Q1 (predicted revenue increase) under a
+// configurable worker count: expected_sum over one Poisson revenue model
+// per customer.
+func q1ExpectedSum(data *tpch.Data, samples int, seed uint64, workers int) (float64, error) {
+	db := speedupDB(samples, seed, workers)
+	tb := ctable.New("q1", "cust", "extra_revenue")
+	for _, c := range data.Customers {
+		lambda := c.GrowthRate() * 10
+		v := db.NewVariableFromInstance(dist.MustInstance(dist.Poisson{}, lambda), "orders")
+		rev := expr.Mul(expr.NewVar(v), expr.Const(c.AvgOrderPrice))
+		tb.MustAppend(ctable.NewTuple(ctable.Int(int64(c.CustKey)), ctable.Symbolic(rev)))
+	}
+	res, err := db.Sampler().ExpectedSum(tb, 1)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// q5RejectionSum sums the paper's Q5 per-part conditional expectations
+// E[D - S | D > S]: each part is a single two-variable constraint group, so
+// the work is rejection sampling sharded across the worker pool by sample
+// index.
+func q5RejectionSum(data *tpch.Data, samples int, seed uint64, workers int) (float64, error) {
+	const selectivity = 0.05
+	db := speedupDB(samples, seed, workers)
+	smp := db.Sampler()
+	total := 0.0
+	for _, p := range data.Parts {
+		dm, sm := q5Model(p, selectivity)
+		d := db.NewVariableFromInstance(dist.MustInstance(dist.Exponential{}, 1/dm), "demand")
+		s := db.NewVariableFromInstance(dist.MustInstance(dist.Exponential{}, 1/sm), "supply")
+		e := expr.Sub(expr.NewVar(d), expr.NewVar(s))
+		c := cond.Clause{cond.NewAtom(expr.NewVar(d), cond.GT, expr.NewVar(s))}
+		total += smp.Expectation(e, c, false).Mean
+	}
+	return total, nil
+}
+
+// WriteSpeedup renders the sequential-vs-parallel comparison.
+func WriteSpeedup(w io.Writer, rows []SpeedupRow) {
+	fmt.Fprintln(w, "Speedup — sequential (workers=1) vs parallel world evaluation")
+	fmt.Fprintln(w, "(bit-identical: equal seed must give equal results at any worker count)")
+	fmt.Fprintf(w, "%16s %9s %12s %12s %9s %15s\n",
+		"workload", "workers", "sequential", "parallel", "speedup", "bit-identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%16s %9d %12s %12s %8.2fx %15v\n",
+			r.Workload, r.Workers,
+			r.SeqTime.Round(time.Millisecond), r.ParTime.Round(time.Millisecond),
+			r.Speedup(), r.Identical)
+	}
+}

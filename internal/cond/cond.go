@@ -37,6 +37,7 @@ const (
 	GE
 )
 
+// String renders the operator in SQL syntax.
 func (o CmpOp) String() string {
 	switch o {
 	case EQ:

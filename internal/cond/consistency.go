@@ -26,6 +26,7 @@ const (
 	WeaklyConsistent
 )
 
+// String names the verdict for diagnostics.
 func (v Verdict) String() string {
 	switch v {
 	case Inconsistent:

@@ -41,11 +41,37 @@ func NewDB(cfg sampler.Config) *DB {
 	}
 }
 
-// Sampler returns the database's sampler.
-func (db *DB) Sampler() *sampler.Sampler { return db.smp }
+// Sampler returns the database's sampler. The returned sampler is immutable
+// (SET statements install a fresh one), so it may be used concurrently with
+// configuration updates.
+func (db *DB) Sampler() *sampler.Sampler {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.smp
+}
 
 // Config returns the sampling configuration.
-func (db *DB) Config() sampler.Config { return db.cfg }
+func (db *DB) Config() sampler.Config {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cfg
+}
+
+// UpdateConfig applies mutate to a copy of the current sampling
+// configuration, installs the result atomically, and returns it. Queries
+// already holding the previous sampler finish under the old settings;
+// concurrent callers of Sampler see either the old or the new one, never a
+// torn state. This is the hook behind the SQL session settings (SET workers
+// = N etc.).
+func (db *DB) UpdateConfig(mutate func(*sampler.Config)) sampler.Config {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cfg := db.cfg
+	mutate(&cfg)
+	db.cfg = cfg
+	db.smp = sampler.New(cfg)
+	return cfg
+}
 
 // WithConfig returns a database sharing this database's catalog and
 // variable namespace but sampling under a different configuration. Useful
@@ -163,7 +189,7 @@ func (db *DB) Materialize(name string, t *ctable.Table) *ctable.Table {
 // Conf estimates (or computes exactly) the probability of a tuple's
 // condition — the row's confidence.
 func (db *DB) Conf(t *ctable.Tuple) sampler.Result {
-	return db.smp.AConf(t.Cond)
+	return db.Sampler().AConf(t.Cond)
 }
 
 // Expectation computes E[column | row condition] for one tuple, optionally
@@ -175,9 +201,9 @@ func (db *DB) Expectation(t *ctable.Tuple, col int, getP bool) (sampler.Result, 
 		return sampler.Result{}, fmt.Errorf("core: non-numeric expectation target %s", v)
 	}
 	if len(t.Cond.Clauses) == 1 {
-		return db.smp.Expectation(e, t.Cond.Clauses[0], getP), nil
+		return db.Sampler().Expectation(e, t.Cond.Clauses[0], getP), nil
 	}
-	return db.smp.ExpectationDNF(e, t.Cond, getP), nil
+	return db.Sampler().ExpectationDNF(e, t.Cond, getP), nil
 }
 
 // ConfTable appends a confidence column computed per row and strips
@@ -190,7 +216,7 @@ func (db *DB) ConfTable(t *ctable.Table, colName string) *ctable.Table {
 	out := &ctable.Table{Name: t.Name, Schema: sch}
 	for i := range t.Tuples {
 		tp := &t.Tuples[i]
-		r := db.smp.AConf(tp.Cond)
+		r := db.Sampler().AConf(tp.Cond)
 		vals := make([]ctable.Value, 0, len(tp.Values)+1)
 		vals = append(vals, tp.Values...)
 		vals = append(vals, ctable.Float(r.Prob))
@@ -238,6 +264,7 @@ const (
 	AggMax
 )
 
+// String names the aggregate as it appears in SQL.
 func (k AggKind) String() string {
 	switch k {
 	case AggSum:
@@ -288,13 +315,13 @@ func (db *DB) GroupedAggregate(t *ctable.Table, keyCols []int, aggCol int, kind 
 		var res sampler.AggregateResult
 		switch kind {
 		case AggSum:
-			res, err = db.smp.ExpectedSum(sub, aggCol)
+			res, err = db.Sampler().ExpectedSum(sub, aggCol)
 		case AggCount:
-			res, err = db.smp.ExpectedCount(sub)
+			res, err = db.Sampler().ExpectedCount(sub)
 		case AggAvg:
-			res, err = db.smp.ExpectedAvg(sub, aggCol)
+			res, err = db.Sampler().ExpectedAvg(sub, aggCol)
 		case AggMax:
-			res, err = db.smp.ExpectedMax(sub, aggCol, 0)
+			res, err = db.Sampler().ExpectedMax(sub, aggCol, 0)
 		default:
 			err = fmt.Errorf("core: unknown aggregate %v", kind)
 		}
@@ -314,9 +341,9 @@ func (db *DB) GroupedAggregate(t *ctable.Table, keyCols []int, aggCol int, kind 
 func (db *DB) Histogram(t *ctable.Table, col int, kind AggKind, n int) ([]float64, error) {
 	switch kind {
 	case AggSum:
-		return db.smp.AggregateHistogram(t, col, sampler.SumFold, n)
+		return db.Sampler().AggregateHistogram(t, col, sampler.SumFold, n)
 	case AggMax:
-		return db.smp.AggregateHistogram(t, col, sampler.MaxFold, n)
+		return db.Sampler().AggregateHistogram(t, col, sampler.MaxFold, n)
 	default:
 		return nil, fmt.Errorf("core: histogram unsupported for %v", kind)
 	}

@@ -32,6 +32,7 @@ const (
 	KindExpr
 )
 
+// String names the value kind for diagnostics.
 func (k Kind) String() string {
 	switch k {
 	case KindNull:

@@ -103,6 +103,7 @@ const (
 	OpDiv
 )
 
+// String renders the operator symbol.
 func (o Op) String() string {
 	switch o {
 	case OpAdd:

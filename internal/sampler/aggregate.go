@@ -22,10 +22,84 @@ type AggregateResult struct {
 	RowsScanned int
 }
 
+// rowAggBatch is one batch of rows of a row-parallel aggregate, merged in
+// batch order so the floating-point sum over rows is identical for every
+// worker count.
+type rowAggBatch struct {
+	total   float64
+	samples int
+	exact   bool
+	err     error
+}
+
+// forEachRowBatch evaluates per(row) over every row of the table with rows
+// sharded into batches across the worker pool, then merges batch partial
+// sums in batch order. Each row's value is already independent of the
+// worker count (the per-sample engine's determinism contract), so batching
+// only has to fix the summation order. Single-row tables skip the pool: the
+// parallelism then lives entirely in the per-sample engine.
+func (s *Sampler) forEachRowBatch(rows int, per func(sub *Sampler, row int) (float64, int, bool, error)) (AggregateResult, error) {
+	if rows <= 1 {
+		res := AggregateResult{Exact: true, RowsScanned: rows}
+		if rows == 1 {
+			v, n, exact, err := per(s, 0)
+			if err != nil {
+				return AggregateResult{}, err
+			}
+			res.Value, res.N, res.Exact = v, n, exact
+		}
+		return res, nil
+	}
+	// Row batch boundaries are fixed (never derived from the worker count —
+	// that would change the partial-sum grouping and break bit-identity).
+	// When there are fewer batches than workers, the leftover parallelism
+	// moves into the per-row sampler instead: per-row values are
+	// worker-count-independent by contract, so this only changes where the
+	// work runs. Otherwise per-row sampling pins to one worker to avoid
+	// oversubscribing with nested pools.
+	offs := splitRange(0, rows, rowBatchSize)
+	workers := s.cfg.effectiveWorkers()
+	innerWorkers := 1
+	if len(offs) < workers {
+		innerWorkers = (workers + len(offs) - 1) / len(offs)
+	}
+	inner := s.withWorkers(innerWorkers)
+	results := make([]rowAggBatch, len(offs))
+	forEachBatch(workers, len(offs), func(b int) {
+		end := offs[b] + rowBatchSize
+		if end > rows {
+			end = rows
+		}
+		r := &results[b]
+		r.exact = true
+		for i := offs[b]; i < end; i++ {
+			v, n, exact, err := per(inner, i)
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.total += v
+			r.samples += n
+			r.exact = r.exact && exact
+		}
+	})
+	out := AggregateResult{Exact: true, RowsScanned: rows}
+	for b := range results {
+		if results[b].err != nil {
+			return AggregateResult{}, results[b].err
+		}
+		out.Value += results[b].total
+		out.N += results[b].samples
+		out.Exact = out.Exact && results[b].exact
+	}
+	return out, nil
+}
+
 // ExpectedSum computes E[sum(col)] over a c-table under per-table sampling
 // semantics (paper §IV-C): by linearity of expectation the result is the
 // sum over rows of P[phi_r] * E[h_r | phi_r], which holds under arbitrary
-// inter-row correlation.
+// inter-row correlation. Rows are independent computations, so they shard
+// across the worker pool with partial sums merged in row order.
 //
 // Following the paper's variance observation (the sum of N estimates with
 // equal per-element standard deviation has standard deviation sigma/sqrt N),
@@ -36,34 +110,19 @@ func (s *Sampler) ExpectedSum(tb *ctable.Table, col int) (AggregateResult, error
 		return AggregateResult{}, err
 	}
 	rowSampler := s.forRowCount(tb.Len())
-	total := 0.0
-	samples := 0
-	exact := true
-	for i := range tb.Tuples {
-		t := &tb.Tuples[i]
-		contrib, r, err := rowSampler.rowContribution(t, col)
-		if err != nil {
-			return AggregateResult{}, err
-		}
-		total += contrib
-		samples += r.N
-		exact = exact && r.Exact
-	}
-	return AggregateResult{Value: total, N: samples, Exact: exact, RowsScanned: tb.Len()}, nil
+	return rowSampler.forEachRowBatch(tb.Len(), func(sub *Sampler, i int) (float64, int, bool, error) {
+		contrib, r, err := sub.rowContribution(&tb.Tuples[i], col)
+		return contrib, r.N, r.Exact, err
+	})
 }
 
-// ExpectedCount computes E[count(*)] = sum of row confidences.
+// ExpectedCount computes E[count(*)] = sum of row confidences, with rows
+// sharded across the worker pool.
 func (s *Sampler) ExpectedCount(tb *ctable.Table) (AggregateResult, error) {
-	total := 0.0
-	samples := 0
-	exact := true
-	for i := range tb.Tuples {
-		r := s.AConf(tb.Tuples[i].Cond)
-		total += r.Prob
-		samples += r.N
-		exact = exact && r.Exact
-	}
-	return AggregateResult{Value: total, N: samples, Exact: exact, RowsScanned: tb.Len()}, nil
+	return s.forEachRowBatch(tb.Len(), func(sub *Sampler, i int) (float64, int, bool, error) {
+		r := sub.AConf(tb.Tuples[i].Cond)
+		return r.Prob, r.N, r.Exact, nil
+	})
 }
 
 // ExpectedAvg approximates E[avg(col)] by the ratio E[sum]/E[count]. The
@@ -286,32 +345,51 @@ func VarianceFold(present []float64) float64 {
 // per-world aggregate values, suitable for histogram construction. Unlike
 // the per-row expectation path this is an unconditioned world sample: row
 // conditions act as presence indicators, and inter-row variable sharing is
-// honored exactly.
+// honored exactly. Each world is a pure function of its index, so world
+// indices shard across the worker pool, every batch writing its own
+// disjoint slice of the output — no merge step is needed at all.
 func (s *Sampler) AggregateHistogram(tb *ctable.Table, col int, fold FoldFunc, n int) ([]float64, error) {
 	if err := checkCol(tb, col); err != nil {
 		return nil, err
 	}
+	if n <= 0 {
+		return []float64{}, nil
+	}
 	vars := ctable.VarsOf(tb)
 	keys := sortedKeys(vars)
-	out := make([]float64, 0, n)
-	asn := expr.Assignment{}
-	var present []float64
-	for i := 0; i < n; i++ {
-		drawWorld(asn, keys, vars, s.cfg.WorldSeed, uint64(i))
-		present = present[:0]
-		for r := range tb.Tuples {
-			t := &tb.Tuples[r]
-			if !t.Cond.Holds(asn) {
-				continue
-			}
-			v := t.Values[col].EvalWorld(asn)
-			f, ok := v.AsFloat()
-			if !ok {
-				return nil, fmt.Errorf("sampler: non-numeric histogram target %s", v)
-			}
-			present = append(present, f)
+	out := make([]float64, n)
+	offs := splitRange(0, n, sampleBatchSize)
+	errs := make([]error, len(offs))
+	forEachBatch(s.cfg.effectiveWorkers(), len(offs), func(b int) {
+		end := offs[b] + sampleBatchSize
+		if end > n {
+			end = n
 		}
-		out = append(out, fold(present))
+		asn := expr.Assignment{}
+		var present []float64
+		for i := offs[b]; i < end; i++ {
+			drawWorld(asn, keys, vars, s.cfg.WorldSeed, uint64(i))
+			present = present[:0]
+			for r := range tb.Tuples {
+				t := &tb.Tuples[r]
+				if !t.Cond.Holds(asn) {
+					continue
+				}
+				v := t.Values[col].EvalWorld(asn)
+				f, ok := v.AsFloat()
+				if !ok {
+					errs[b] = fmt.Errorf("sampler: non-numeric histogram target %s", v)
+					return
+				}
+				present = append(present, f)
+			}
+			out[i] = fold(present)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -355,6 +433,19 @@ func (s *Sampler) forRowCount(rows int) *Sampler {
 	return &Sampler{cfg: cfg}
 }
 
+// withWorkers returns a sampler identical to s but evaluating with the
+// given worker count. Row-parallel aggregates pin per-row work to one
+// worker; by the determinism contract this never changes a result, only
+// where the parallelism lives.
+func (s *Sampler) withWorkers(n int) *Sampler {
+	if s.cfg.Workers == n {
+		return s
+	}
+	cfg := s.cfg
+	cfg.Workers = n
+	return &Sampler{cfg: cfg}
+}
+
 func checkCol(tb *ctable.Table, col int) error {
 	if col < 0 || col >= len(tb.Schema) {
 		return fmt.Errorf("sampler: column %d out of range for %s", col, tb.Name)
@@ -364,7 +455,9 @@ func checkCol(tb *ctable.Table, col int) error {
 
 // ExpectationHistogram draws n conditional samples of an expression given a
 // clause (the per-row expected_*_hist variant): the returned values are
-// samples of e restricted to worlds satisfying c.
+// samples of e restricted to worlds satisfying c. Sampling runs through the
+// batch-parallel engine; a rejection-cap failure truncates the result at
+// the failing sample, identically for every worker count.
 func (s *Sampler) ExpectationHistogram(e expr.Expr, c cond.Clause, n int) ([]float64, error) {
 	eKeys, eVars := expr.Vars(e)
 	extras := make([]*expr.Variable, 0, len(eKeys))
@@ -380,20 +473,10 @@ func (s *Sampler) ExpectationHistogram(e expr.Expr, c cond.Clause, n int) ([]flo
 		}
 		samplers = append(samplers, gs)
 	}
-	out := make([]float64, 0, n)
-	asn := expr.Assignment{}
-	for i := 0; i < n; i++ {
-		ok := true
-		for _, gs := range samplers {
-			if !gs.drawInto(asn, uint64(i)) {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			return out, nil
-		}
-		out = append(out, e.Eval(asn))
+	engine := newGroupEngine(&s.cfg, samplers, e, true)
+	values, _, _ := engine.runFixed(n)
+	if values == nil {
+		values = []float64{}
 	}
-	return out, nil
+	return values, nil
 }

@@ -122,31 +122,35 @@ func (s *Sampler) clauseProbDetail(g cond.Group) (prob float64, exact bool, n in
 
 // sampleGroupProb estimates P[group atoms] by counting acceptances of the
 // group sampler's candidate stream (CDF-restricted when possible, with the
-// restriction's prior mass folded back in).
+// restriction's prior mass folded back in). Candidate indices shard across
+// the worker pool: generateCandidate is a pure function of its index and
+// only reads the shared group sampler, and the 0/1 indicator accumulators
+// merge in batch order, so the estimate is identical for any worker count.
 func (s *Sampler) sampleGroupProb(g cond.Group) (float64, bool, int) {
 	gs := newGroupSampler(g, &s.cfg)
 	if gs.inconsistent {
 		return 0, true, 0
 	}
-	asn := expr.Assignment{}
-	var sum, sumSq float64
-	nSamples := 0
-	for s.cfg.wantSamples(nSamples, sum, sumSq) {
-		gs.attempts++
-		gs.generateCandidate(asn, uint64(nSamples), 0xC0)
-		v := 0.0
+	draw := func(asn expr.Assignment, idx uint64) (float64, bool) {
+		gs.generateCandidate(asn, idx, 0xC0)
 		if g.Atoms.Holds(asn) {
-			gs.accepts++
-			v = 1
+			return 1, true
 		}
-		sum += v
-		sumSq += v * v
-		nSamples++
+		return 0, true
 	}
-	if nSamples == 0 {
+	var acc Accumulator
+	for s.cfg.wantMore(acc) {
+		round := s.cfg.nextRoundSize(acc.N)
+		if round <= 0 {
+			break
+		}
+		wb := runWorldRound(&s.cfg, draw, acc.N, round, false)
+		acc.Merge(wb.acc)
+	}
+	if acc.N == 0 {
 		return 0, false, 0
 	}
-	return gs.massFraction * sum / float64(nSamples), false, nSamples
+	return gs.massFraction * acc.Sum / float64(acc.N), false, acc.N
 }
 
 // exactSingleVarProb integrates the group exactly when (a) it mentions a

@@ -10,6 +10,12 @@
 // clause and target expression are known, so the sampler can partition the
 // constraints into independent groups, derive per-variable bounds, pick the
 // cheapest sound strategy per group, and stop adaptively.
+//
+// Sample worlds are evaluated by a deterministic parallel engine: sample
+// indices shard into fixed batches across a goroutine pool (Config.Workers)
+// and per-batch accumulators merge in batch order, so equal seeds produce
+// bit-identical results at every worker count — see parallel.go and
+// docs/ARCHITECTURE.md for the contract.
 package sampler
 
 import (
@@ -55,6 +61,14 @@ type Config struct {
 	// WorldSeed parameterizes every pseudorandom draw; two runs with equal
 	// seeds produce identical results.
 	WorldSeed uint64
+
+	// Workers is the number of goroutines used to evaluate sample worlds in
+	// parallel. Zero (the default) resolves to runtime.GOMAXPROCS(0); one
+	// forces fully sequential evaluation. Because every draw is a pure
+	// function of its sample index and per-batch accumulators merge in batch
+	// order, equal seeds produce bit-identical results for every Workers
+	// value (see parallel.go).
+	Workers int
 
 	// Ablation switches (all false in normal operation).
 	DisableCDFInversion bool // force natural generation + rejection
@@ -116,4 +130,38 @@ func (c Config) wantSamples(n int, sum, sumSq float64) bool {
 	// (with a small absolute floor so a zero mean can converge).
 	tol := c.Delta * math.Max(math.Abs(mean), 1e-9)
 	return c.zTarget()*stderr > tol
+}
+
+// wantMore is wantSamples over a merged accumulator — the (epsilon, delta)
+// stopping check applied at batch barriers by the parallel engine.
+func (c Config) wantMore(a Accumulator) bool {
+	return c.wantSamples(a.N, a.Sum, a.SumSq)
+}
+
+// nextRoundSize returns how many further samples the adaptive engine should
+// draw before re-checking the confidence bound, given n accepted so far. The
+// schedule is a pure function of n and the configuration — never of the
+// worker count — so the sequence of barrier checks (and therefore the final
+// sample count) is identical for every Config.Workers:
+//
+//   - fixed budgets run as one round;
+//   - the first adaptive round draws MinSamples;
+//   - later rounds double the pool (bounded below by one batch and above by
+//     MaxSamples), amortizing barrier overhead while keeping overshoot
+//     within 2x of the sequential per-sample check.
+func (c Config) nextRoundSize(n int) int {
+	if c.FixedSamples > 0 {
+		return c.FixedSamples - n
+	}
+	if n < c.MinSamples {
+		return c.MinSamples - n
+	}
+	r := n
+	if r < sampleBatchSize {
+		r = sampleBatchSize
+	}
+	if n+r > c.MaxSamples {
+		r = c.MaxSamples - n
+	}
+	return r
 }

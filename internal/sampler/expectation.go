@@ -119,40 +119,20 @@ func (s *Sampler) Expectation(e expr.Expr, c cond.Clause, getP bool) Result {
 		}
 	}
 
-	// Sample the groups the mean depends on.
+	// Sample the groups the mean depends on. Sample indices are sharded
+	// into batches across the worker pool; the adaptive (epsilon, delta)
+	// bound is checked at round barriers, and per-batch accumulators merge
+	// in batch order, so the result is bit-identical for every worker count.
 	if len(samplingGroups) > 0 || len(eKeys) > 0 {
-		asn := expr.Assignment{}
-		var sum, sumSq float64
-		n := 0
-		for s.cfg.wantSamples(n, sum, sumSq) {
-			idx := uint64(n)
-			ok := true
-			for _, gs := range samplingGroups {
-				if !gs.drawInto(asn, idx) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				// Constraint region unreachable within budget.
-				return Result{Mean: math.NaN(), Prob: 0}
-			}
-			v := e.Eval(asn)
-			sum += v
-			sumSq += v * v
-			n++
+		engine := newGroupEngine(&s.cfg, samplingGroups, e, false)
+		acc, ok := engine.runAdaptive()
+		if !ok {
+			// Constraint region unreachable within budget.
+			return Result{Mean: math.NaN(), Prob: 0}
 		}
-		res.N = n
-		if n > 0 {
-			res.Mean = sum / float64(n)
-			variance := sumSq/float64(n) - res.Mean*res.Mean
-			if variance < 0 {
-				variance = 0
-			}
-			res.StdErr = math.Sqrt(variance / float64(n))
-		} else {
-			res.Mean = math.NaN()
-		}
+		res.N = acc.N
+		res.Mean = acc.Mean()
+		res.StdErr = acc.StdErr()
 		for _, gs := range samplingGroups {
 			if gs.usingMetropolis() {
 				res.UsedMetropolis = true
@@ -205,7 +185,9 @@ func (s *Sampler) ExpectationDNF(e expr.Expr, d cond.Condition, getP bool) Resul
 
 // worldSampleDNF estimates E[e | d] and P[d] by naive world sampling over
 // every variable of (e, d). It is the general fallback for disjunctive
-// contexts (the aconf path).
+// contexts (the aconf path). Attempt indices are sharded across the worker
+// pool — each world is a pure function of its attempt index — with the
+// stopping bound checked at round barriers.
 func (s *Sampler) worldSampleDNF(e expr.Expr, d cond.Condition, getP bool) Result {
 	vars := map[expr.VarKey]*expr.Variable{}
 	d.CollectVars(vars)
@@ -214,42 +196,72 @@ func (s *Sampler) worldSampleDNF(e expr.Expr, d cond.Condition, getP bool) Resul
 	}
 	keys := sortedKeys(vars)
 
-	asn := expr.Assignment{}
-	var sum, sumSq float64
-	accepted, attempts := 0, 0
-	maxAttempts := s.cfg.MaxSamples * 100
-	if s.cfg.FixedSamples > 0 {
-		maxAttempts = s.cfg.FixedSamples * 1000
-	}
-	for s.cfg.wantSamples(accepted, sum, sumSq) && attempts < maxAttempts {
-		drawWorld(asn, keys, vars, s.cfg.WorldSeed, uint64(attempts))
-		attempts++
+	draw := func(asn expr.Assignment, idx uint64) (float64, bool) {
+		drawWorld(asn, keys, vars, s.cfg.WorldSeed, idx)
 		if !d.Holds(asn) {
-			continue
+			return 0, false
 		}
 		var v float64
 		if e != nil {
 			v = e.Eval(asn)
 		}
-		sum += v
-		sumSq += v * v
-		accepted++
+		return v, true
 	}
-	res := Result{N: accepted}
-	if accepted == 0 {
+
+	maxAttempts := s.cfg.MaxSamples * 100
+	var acc Accumulator
+	attempts := 0
+	if fixed := s.cfg.FixedSamples; fixed > 0 {
+		// Fixed budget: collect accepted values with their attempt indices
+		// and truncate to exactly `fixed` in attempt order — the same mean
+		// and attempt count a per-sample loop stopping at the fixed-th
+		// acceptance would produce, at any worker count.
+		maxAttempts = fixed * 1000
+		var values []float64
+		var idxs []int
+		for len(values) < fixed && attempts < maxAttempts {
+			round := worldRoundSize(attempts, maxAttempts)
+			if round <= 0 {
+				break
+			}
+			wb := runWorldRound(&s.cfg, draw, attempts, round, true)
+			values = append(values, wb.values...)
+			idxs = append(idxs, wb.idxs...)
+			attempts += wb.attempts
+		}
+		if len(values) >= fixed && fixed > 0 {
+			// Truncate the attempt count to the fixed-th acceptance even
+			// when the round landed exactly on the budget, so the getP
+			// probability matches a per-sample loop's stopping point.
+			attempts = idxs[fixed-1] + 1
+			values = values[:fixed]
+		}
+		for _, v := range values {
+			acc.Add(v)
+		}
+	} else {
+		for s.cfg.wantMore(acc) && attempts < maxAttempts {
+			round := worldRoundSize(attempts, maxAttempts)
+			if round <= 0 {
+				break
+			}
+			wb := runWorldRound(&s.cfg, draw, attempts, round, false)
+			acc.Merge(wb.acc)
+			attempts += wb.attempts
+		}
+	}
+
+	res := Result{N: acc.N}
+	if acc.N == 0 {
 		res.Mean = math.NaN()
 		res.Prob = 0
 		return res
 	}
-	res.Mean = sum / float64(accepted)
-	variance := sumSq/float64(accepted) - res.Mean*res.Mean
-	if variance < 0 {
-		variance = 0
-	}
-	res.StdErr = math.Sqrt(variance / float64(accepted))
+	res.Mean = acc.Mean()
+	res.StdErr = acc.StdErr()
 	res.Prob = 1
 	if getP {
-		res.Prob = float64(accepted) / float64(attempts)
+		res.Prob = float64(acc.N) / float64(attempts)
 	}
 	return res
 }

@@ -45,6 +45,28 @@ type groupSampler struct {
 
 	inconsistent bool
 	metro        *metroState
+	// escalated records that some batch-local clone of this group switched
+	// to Metropolis mid-stream (parallel engine); the merged probability
+	// estimate is then invalid just as if the group itself had escalated.
+	escalated bool
+}
+
+// clone returns a group sampler sharing this one's immutable setup (group,
+// bounds, per-variable modes, CDF boxes — all read-only during drawing) but
+// with fresh accept/attempt counters and no Metropolis chain. The parallel
+// engine gives each batch its own clone, making the batch's output a pure
+// function of its sample-index range. Prototypes that pre-escalated to
+// Metropolis are never cloned (the engine runs them sequentially instead).
+func (gs *groupSampler) clone() *groupSampler {
+	return &groupSampler{
+		group:        gs.group,
+		bounds:       gs.bounds,
+		cfg:          gs.cfg,
+		keys:         gs.keys,
+		modes:        gs.modes,
+		cdfBox:       gs.cdfBox,
+		massFraction: gs.massFraction,
+	}
 }
 
 // newGroupSampler runs the consistency check for the group and chooses
@@ -180,8 +202,9 @@ func intervalMass(in dist.Instance, iv cond.Interval) (float64, float64) {
 // usable reports whether the group can produce samples at all.
 func (gs *groupSampler) usable() bool { return !gs.inconsistent }
 
-// usingMetropolis reports whether the group has escalated.
-func (gs *groupSampler) usingMetropolis() bool { return gs.metro != nil }
+// usingMetropolis reports whether the group (or any batch-local clone of
+// it) has escalated to the random walk.
+func (gs *groupSampler) usingMetropolis() bool { return gs.metro != nil || gs.escalated }
 
 // probEstimate returns this group's contribution to P[C]: the prior mass of
 // the CDF-restricted box times the in-box acceptance rate. It is undefined

@@ -133,11 +133,20 @@ func (m *metroState) repairStart(asn expr.Assignment) bool {
 			}
 			// Current value of coef-sum; move the variable with the
 			// largest coefficient magnitude to restore the inequality
-			// with a margin.
+			// with a margin. Coefficients are visited in sorted key order:
+			// map iteration would randomize both the floating-point sum and
+			// the tie-break for bestK, breaking the equal-seeds-equal-results
+			// contract between runs.
+			coeffKeys := make([]expr.VarKey, 0, len(lf.Coeffs))
+			for vk := range lf.Coeffs {
+				coeffKeys = append(coeffKeys, vk)
+			}
+			sortVarKeys(coeffKeys)
 			val := lf.Constant
 			var bestK expr.VarKey
 			bestC := 0.0
-			for vk, c := range lf.Coeffs {
+			for _, vk := range coeffKeys {
+				c := lf.Coeffs[vk]
 				val += c * asn[vk]
 				if math.Abs(c) > math.Abs(bestC) {
 					bestC, bestK = c, vk

@@ -9,6 +9,56 @@ import (
 	"pip/internal/expr"
 )
 
+// Accumulator tracks the running first and second raw moments of a sample
+// stream. It is the unit of merging in the parallel evaluation engine: each
+// batch of sample indices accumulates into its own Accumulator, and batch
+// accumulators are merged in batch order at round barriers, so the final
+// floating-point sums are independent of how batches were scheduled across
+// workers (see parallel.go for the determinism contract).
+type Accumulator struct {
+	// N is the number of accumulated samples.
+	N int
+	// Sum and SumSq are the running sums of values and squared values.
+	Sum, SumSq float64
+}
+
+// Add folds one sample into the accumulator.
+func (a *Accumulator) Add(v float64) {
+	a.Sum += v
+	a.SumSq += v * v
+	a.N++
+}
+
+// Merge folds another accumulator into this one. Merging is performed in
+// batch order only; it is not commutative in floating point.
+func (a *Accumulator) Merge(o Accumulator) {
+	a.Sum += o.Sum
+	a.SumSq += o.SumSq
+	a.N += o.N
+}
+
+// Mean returns the sample mean (NaN when empty).
+func (a Accumulator) Mean() float64 {
+	if a.N == 0 {
+		return math.NaN()
+	}
+	return a.Sum / float64(a.N)
+}
+
+// StdErr returns the standard error of the mean estimate (0 when empty).
+func (a Accumulator) StdErr() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	fn := float64(a.N)
+	mean := a.Sum / fn
+	variance := a.SumSq/fn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance / fn)
+}
+
 // MomentResult reports a higher-moment computation.
 type MomentResult struct {
 	// Moment is the k-th conditional raw moment E[e^k | c].

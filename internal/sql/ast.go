@@ -42,6 +42,15 @@ type DropStmt struct{ Name string }
 
 func (*DropStmt) stmt() {}
 
+// SetStmt is SET name = value: a session setting applied to the database's
+// sampling configuration (e.g. SET workers = 4, SET samples = 1000).
+type SetStmt struct {
+	Name  string
+	Value float64
+}
+
+func (*SetStmt) stmt() {}
+
 // Target is one SELECT target: an expression (possibly an aggregate call)
 // with an optional alias.
 type Target struct {

@@ -99,9 +99,36 @@ func (p *Parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		return &DropStmt{Name: name}, nil
+	case p.acceptKw("set"):
+		return p.parseSet()
 	default:
-		return nil, p.errf("expected SELECT, CREATE, INSERT or DROP, got %q", p.peek().Text)
+		return nil, p.errf("expected SELECT, CREATE, INSERT, DROP or SET, got %q", p.peek().Text)
 	}
+}
+
+// parseSet parses SET name = value (value: a possibly-negated number).
+func (p *Parser) parseSet() (Stmt, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	neg := p.accept("-")
+	t := p.peek()
+	if t.Kind != TokNumber {
+		return nil, p.errf("expected numeric value for SET %s, got %q", name, t.Text)
+	}
+	p.pos++
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return nil, p.errf("invalid number %q", t.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return &SetStmt{Name: strings.ToLower(name), Value: v}, nil
 }
 
 func (p *Parser) parseIdent() (string, error) {

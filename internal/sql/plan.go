@@ -35,9 +35,94 @@ func ExecStmt(db *core.DB, st Stmt) (*ctable.Table, error) {
 		return nil, execInsert(db, s)
 	case *SelectStmt:
 		return execSelect(db, s)
+	case *SetStmt:
+		return nil, execSet(db, s)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", st)
 	}
+}
+
+// sessionSettings maps SET names to sampler configuration updates. Each
+// entry validates its value before the configuration is swapped in.
+var sessionSettings = map[string]func(cfg *sampler.Config, v float64) error{
+	"workers": func(cfg *sampler.Config, v float64) error {
+		n := int(v)
+		if v != float64(n) || n < 0 {
+			return fmt.Errorf("sql: workers must be a non-negative integer (0 = one per CPU)")
+		}
+		cfg.Workers = n
+		return nil
+	},
+	"samples": func(cfg *sampler.Config, v float64) error {
+		n := int(v)
+		if v != float64(n) || n < 0 {
+			return fmt.Errorf("sql: samples must be a non-negative integer (0 = adaptive)")
+		}
+		cfg.FixedSamples = n
+		return nil
+	},
+	"max_samples": func(cfg *sampler.Config, v float64) error {
+		n := int(v)
+		if v != float64(n) || n < 1 {
+			return fmt.Errorf("sql: max_samples must be a positive integer")
+		}
+		cfg.MaxSamples = n
+		return nil
+	},
+	"min_samples": func(cfg *sampler.Config, v float64) error {
+		n := int(v)
+		if v != float64(n) || n < 0 {
+			return fmt.Errorf("sql: min_samples must be a non-negative integer")
+		}
+		cfg.MinSamples = n
+		return nil
+	},
+	"epsilon": func(cfg *sampler.Config, v float64) error {
+		if v <= 0 || v >= 1 {
+			return fmt.Errorf("sql: epsilon must lie in (0, 1)")
+		}
+		cfg.Epsilon = v
+		return nil
+	},
+	"delta": func(cfg *sampler.Config, v float64) error {
+		if v <= 0 || v >= 1 {
+			return fmt.Errorf("sql: delta must lie in (0, 1)")
+		}
+		cfg.Delta = v
+		return nil
+	},
+	"seed": func(cfg *sampler.Config, v float64) error {
+		n := uint64(v)
+		if v != float64(n) {
+			return fmt.Errorf("sql: seed must be a non-negative integer")
+		}
+		cfg.WorldSeed = n
+		return nil
+	},
+}
+
+// execSet applies a session setting (SET name = value) to the database's
+// sampling configuration. The new configuration takes effect for statements
+// executed after this one; in-flight queries finish under the old one.
+func execSet(db *core.DB, st *SetStmt) error {
+	apply, ok := sessionSettings[st.Name]
+	if !ok {
+		names := make([]string, 0, len(sessionSettings))
+		for n := range sessionSettings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sql: unknown setting %q (have %s)", st.Name, strings.Join(names, ", "))
+	}
+	// Validate against a scratch copy first so a bad value leaves the live
+	// configuration untouched; the checks depend only on st.Value, so the
+	// second application inside UpdateConfig cannot fail.
+	trial := db.Config()
+	if err := apply(&trial, st.Value); err != nil {
+		return err
+	}
+	db.UpdateConfig(func(cfg *sampler.Config) { _ = apply(cfg, st.Value) })
+	return nil
 }
 
 // execInsert evaluates row expressions (including CREATE_VARIABLE calls,

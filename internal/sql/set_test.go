@@ -1,0 +1,97 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"pip/internal/core"
+	"pip/internal/sampler"
+)
+
+func TestSetStatement(t *testing.T) {
+	db := core.NewDB(sampler.DefaultConfig())
+	cases := []struct {
+		stmt  string
+		check func(cfg sampler.Config) bool
+	}{
+		{`SET workers = 4`, func(c sampler.Config) bool { return c.Workers == 4 }},
+		{`SET workers = 0`, func(c sampler.Config) bool { return c.Workers == 0 }},
+		{`SET samples = 500`, func(c sampler.Config) bool { return c.FixedSamples == 500 }},
+		{`SET max_samples = 20000`, func(c sampler.Config) bool { return c.MaxSamples == 20000 }},
+		{`SET min_samples = 50`, func(c sampler.Config) bool { return c.MinSamples == 50 }},
+		{`SET epsilon = 0.01`, func(c sampler.Config) bool { return c.Epsilon == 0.01 }},
+		{`SET delta = 0.1`, func(c sampler.Config) bool { return c.Delta == 0.1 }},
+		{`SET seed = 42`, func(c sampler.Config) bool { return c.WorldSeed == 42 }},
+	}
+	for _, tc := range cases {
+		if _, err := Exec(db, tc.stmt); err != nil {
+			t.Fatalf("%s: %v", tc.stmt, err)
+		}
+		if !tc.check(db.Config()) {
+			t.Fatalf("%s: configuration not applied: %+v", tc.stmt, db.Config())
+		}
+	}
+}
+
+func TestSetStatementErrors(t *testing.T) {
+	db := core.NewDB(sampler.DefaultConfig())
+	before := db.Config()
+	cases := []struct {
+		stmt    string
+		wantSub string
+	}{
+		{`SET nonsense = 1`, "unknown setting"},
+		{`SET workers = -1`, "non-negative"},
+		{`SET workers = 1.5`, "integer"},
+		{`SET epsilon = 2`, "(0, 1)"},
+		{`SET max_samples = 0`, "positive"},
+		{`SET workers`, "expected"},
+		{`SET workers = banana`, "numeric"},
+	}
+	for _, tc := range cases {
+		_, err := Exec(db, tc.stmt)
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.stmt)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", tc.stmt, err, tc.wantSub)
+		}
+	}
+	if db.Config() != before {
+		t.Fatalf("failed SET mutated the configuration: %+v", db.Config())
+	}
+}
+
+// TestSetWorkersAffectsQueries runs a sampled aggregate before and after
+// SET workers and checks bit-identical results — the engine's determinism
+// contract surfaced at the SQL level.
+func TestSetWorkersAffectsQueries(t *testing.T) {
+	cfg := sampler.DefaultConfig()
+	cfg.FixedSamples = 300
+	db := core.NewDB(cfg)
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := Exec(db, q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec(`CREATE TABLE t (v)`)
+	for i := 0; i < 10; i++ {
+		mustExec(`INSERT INTO t VALUES (CREATE_VARIABLE('Exponential', 0.2))`)
+	}
+	q := `SELECT expected_sum(v) FROM t WHERE v > 3`
+	seq, err := Exec(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(`SET workers = 8`)
+	par, err := Exec(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := seq.Tuples[0].Values[0].AsFloat()
+	b, _ := par.Tuples[0].Values[0].AsFloat()
+	if a != b {
+		t.Fatalf("workers=8 changed the result: %v != %v", b, a)
+	}
+}

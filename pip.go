@@ -31,7 +31,9 @@
 // internal/prng, internal/dist  — seeded PRNG and distribution classes
 // internal/expr, internal/cond  — the equation datatype and c-table conditions
 // internal/ctable               — c-tables and relational algebra (paper Fig. 1)
-// internal/sampler              — Algorithm 4.3 and the aggregate operators
+// internal/sampler              — Algorithm 4.3, aggregate operators, and the
+//	deterministic parallel world-evaluation engine (bit-identical results
+//	at any Options.Workers; see docs/ARCHITECTURE.md)
 // internal/core                 — catalog, variables, views
 // internal/sql                  — the SQL subset
 // internal/samplefirst          — the MCDB-style baseline used in benchmarks
@@ -66,6 +68,12 @@ type Options struct {
 	FixedSamples int
 	// MaxSamples caps adaptive sampling (default 10000).
 	MaxSamples int
+	// Workers sets the goroutine pool used to evaluate sample worlds in
+	// parallel. Zero uses one worker per CPU (runtime.GOMAXPROCS); one
+	// forces sequential evaluation. Results are bit-identical for every
+	// value: equal seed + any worker count => identical output. Also
+	// settable per session with `SET workers = N`.
+	Workers int
 }
 
 // DB is a PIP database handle.
@@ -90,6 +98,9 @@ func Open(opts Options) *DB {
 	}
 	if opts.MaxSamples > 0 {
 		cfg.MaxSamples = opts.MaxSamples
+	}
+	if opts.Workers > 0 {
+		cfg.Workers = opts.Workers
 	}
 	return &DB{core: core.NewDB(cfg)}
 }

@@ -1,0 +1,89 @@
+// Command doclint reports exported declarations that lack doc comments and
+// packages without a package-level doc comment. It is the hermetic subset
+// of revive's `exported`/`package-comments` rules used by CI to keep the
+// godoc surface complete:
+//
+//	go run ./tools/doclint ./internal/sampler ./internal/cond ...
+//
+// Exit status is 1 when any finding is reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(strings.TrimPrefix(dir, "./"))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc && pkg.Name != "main" {
+			fmt.Printf("%s: package %s missing package doc comment\n", dir, pkg.Name)
+			bad++
+		}
+		for _, f := range pkg.Files {
+			bad += lintFile(fset, f)
+		}
+	}
+	return bad
+}
+
+func lintFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		fmt.Printf("%s: %s %s missing doc comment\n", fset.Position(pos), kind, name)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				report(d.Pos(), "func", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						report(sp.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range sp.Names {
+						if n.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							report(n.Pos(), "value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
