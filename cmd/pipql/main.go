@@ -4,13 +4,19 @@
 //
 // With -demo, the running example of the paper (orders x shipping) is
 // preloaded. Statements end with a semicolon; \d lists tables, \q quits.
+// Results stream row by row, Ctrl-C cancels the running query (the parallel
+// sampler aborts at its next round barrier), and parse errors report their
+// line:column position with a caret.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"pip"
@@ -43,13 +49,7 @@ func main() {
 		case `\q`, "quit", "exit":
 			return
 		case `\d`:
-			for _, n := range db.Core().TableNames() {
-				tb, err := db.Table(n)
-				if err != nil {
-					continue
-				}
-				fmt.Printf("  %s(%s) — %d rows\n", n, strings.Join(tb.Schema.Names(), ", "), tb.Len())
-			}
+			describeTables(db)
 			fmt.Print("pip> ")
 			continue
 		}
@@ -61,17 +61,77 @@ func main() {
 		}
 		stmt := buf.String()
 		buf.Reset()
-		out, err := db.Query(stmt)
-		switch {
-		case err != nil:
-			fmt.Printf("error: %v\n", err)
-		case out == nil:
-			fmt.Println("ok")
-		default:
-			fmt.Print(out.String())
-		}
+		runStatement(db, stmt)
 		fmt.Print("pip> ")
 	}
+}
+
+// describeTables lists catalog tables; lookup failures print instead of
+// silently dropping the table from the listing.
+func describeTables(db *pip.DB) {
+	for _, n := range db.Core().TableNames() {
+		tb, err := db.Table(n)
+		if err != nil {
+			fmt.Printf("  %s — error: %v\n", n, err)
+			continue
+		}
+		fmt.Printf("  %s(%s) — %d rows\n", n, strings.Join(tb.Schema.Names(), ", "), tb.Len())
+	}
+}
+
+// runStatement executes one statement, streaming result rows. Ctrl-C
+// cancels the statement's context: the sampler aborts and the query
+// reports the cancellation instead of a partial result.
+func runStatement(db *pip.DB, stmt string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rows, err := db.QueryContext(ctx, stmt)
+	if err != nil {
+		printError(stmt, err)
+		return
+	}
+	defer rows.Close()
+
+	cols := rows.Columns()
+	if len(cols) == 0 {
+		fmt.Println("ok")
+		return
+	}
+	fmt.Printf("(%s)\n", strings.Join(cols, ", "))
+	n := 0
+	for rows.Next() {
+		cells := make([]string, 0, len(cols))
+		for _, v := range rows.Values() {
+			cells = append(cells, v.String())
+		}
+		fmt.Printf("  (%s) | %s\n", strings.Join(cells, ", "), rows.Cond())
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		printError(stmt, err)
+		return
+	}
+	fmt.Printf("%d row(s)\n", n)
+}
+
+// printError reports a statement failure; parse errors render the offending
+// source line with a caret under the error column.
+func printError(stmt string, err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Println("cancelled")
+		return
+	}
+	var pe *pip.ParseError
+	if errors.As(err, &pe) {
+		fmt.Printf("error: %v\n", pe)
+		if line := pe.SourceLine(); line != "" {
+			fmt.Printf("  %s\n", line)
+			fmt.Printf("  %s^\n", strings.Repeat(" ", pe.Col-1))
+		}
+		return
+	}
+	fmt.Printf("error: %v\n", err)
 }
 
 func loadDemo(db *pip.DB) {

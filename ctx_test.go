@@ -1,0 +1,161 @@
+package pip
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// heavyDB builds a database whose queries spend real sampling time, so a
+// cancellation race has a window to land mid-query.
+func heavyDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Options{Seed: 7, FixedSamples: 5000})
+	db.MustExec("CREATE TABLE t (v, w)")
+	for i := 0; i < 40; i++ {
+		db.MustExec("INSERT INTO t VALUES (CREATE_VARIABLE('Normal', 10, 3), CREATE_VARIABLE('Normal', 0, 1))")
+	}
+	return db
+}
+
+// TestQueryContextPreCancelled: a context cancelled before execution must
+// return ctx.Err() without touching the sampler.
+func TestQueryContextPreCancelled(t *testing.T) {
+	db := heavyDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, "SELECT expected_sum(v) FROM t WHERE w > v - 10"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled query: %v", err)
+	}
+	if err := db.ExecContext(ctx, "INSERT INTO t VALUES (1, 2)"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled exec: %v", err)
+	}
+	if _, err := db.PrepareContext(ctx, "SELECT v FROM t"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled prepare: %v", err)
+	}
+}
+
+// TestQueryContextDeadline: an already-expired deadline surfaces as
+// DeadlineExceeded.
+func TestQueryContextDeadline(t *testing.T) {
+	db := heavyDB(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := db.QueryContext(ctx, "SELECT expected_sum(v) FROM t WHERE w > v - 10")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v", err)
+	}
+}
+
+// TestQueryContextCancelMidQuery races cancellation against running
+// aggregate queries (run under -race in CI): the query must terminate and
+// report either a complete result (cancel landed too late) or exactly
+// ctx.Err() — never a partial table and never a hang.
+func TestQueryContextCancelMidQuery(t *testing.T) {
+	db := heavyDB(t)
+	const q = "SELECT expected_sum(v) FROM t WHERE w > v - 10"
+
+	// Reference result for the completed case.
+	want := db.MustQuery(q)
+	wantVal, _ := want.Tuples[0].Values[0].AsFloat()
+
+	sawCancel := false
+	for _, delay := range []time.Duration{0, 100 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		for rep := 0; rep < 3; rep++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(delay)
+				cancel()
+			}()
+			st, err := db.Prepare(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := st.QueryTableContext(ctx)
+			wg.Wait()
+			switch {
+			case err == nil:
+				got, _ := out.Tuples[0].Values[0].AsFloat()
+				if got != wantVal {
+					t.Fatalf("delay %v: completed with %v, want %v (partial result leaked)", delay, got, wantVal)
+				}
+			case errors.Is(err, context.Canceled):
+				sawCancel = true
+				if out != nil {
+					t.Fatalf("delay %v: cancelled query returned a table", delay)
+				}
+			default:
+				t.Fatalf("delay %v: unexpected error %v", delay, err)
+			}
+			cancel()
+		}
+	}
+	if !sawCancel {
+		t.Log("no run observed a mid-query cancellation (machine too fast); pre-cancelled path is covered elsewhere")
+	}
+}
+
+// TestRowsCancelMidStream cancels while a streaming cursor is half-drained:
+// Next must stop and Err report ctx.Err().
+func TestRowsCancelMidStream(t *testing.T) {
+	db := Open(Options{Seed: 9})
+	db.MustExec("CREATE TABLE t (v)")
+	for i := 0; i < 20; i++ {
+		db.MustExec("INSERT INTO t VALUES (?)", i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.QueryContext(ctx, "SELECT v FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+		if n == 5 {
+			cancel()
+		}
+	}
+	if n < 5 {
+		t.Fatalf("stopped after %d rows", n)
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err after mid-stream cancel: %v", err)
+	}
+}
+
+// TestContextDeterminism: running under a never-cancelled context must not
+// perturb results relative to the context-free path — the determinism
+// contract extends across the context plumbing.
+func TestContextDeterminism(t *testing.T) {
+	build := func() *DB {
+		db := Open(Options{Seed: 123})
+		db.MustExec("CREATE TABLE t (v, w)")
+		for i := 0; i < 10; i++ {
+			db.MustExec("INSERT INTO t VALUES (CREATE_VARIABLE('Normal', 5, 2), CREATE_VARIABLE('Exponential', 0.2))")
+		}
+		return db
+	}
+	const q = "SELECT expected_sum(v) FROM t WHERE w > 3"
+	base := build().MustQuery(q)
+	st, err := build().Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := st.QueryTableContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := base.Tuples[0].Values[0].AsFloat()
+	c, _ := ctxed.Tuples[0].Values[0].AsFloat()
+	if b != c {
+		t.Fatalf("context plumbing perturbed result: %v != %v", c, b)
+	}
+}

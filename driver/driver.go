@@ -1,0 +1,359 @@
+// Package driver embeds PIP into the standard library's database/sql
+// machinery: importing it (for side effects) registers a driver named
+// "pip", so the probabilistic engine is usable through the idioms Go
+// services already build on — connection pools, prepared statements with ?
+// placeholders, and context-aware querying:
+//
+//	import (
+//		"database/sql"
+//		_ "pip/driver"
+//	)
+//
+//	db, _ := sql.Open("pip", "seed=1")
+//	db.Exec(`CREATE TABLE orders (cust, price)`)
+//	st, _ := db.Prepare(`SELECT cust FROM orders WHERE price > ?`)
+//	rows, _ := st.QueryContext(ctx, 95)
+//
+// # Data source names
+//
+// The DSN is a &-separated key=value list. An empty DSN opens a fresh
+// in-memory database private to that sql.DB pool. Keys:
+//
+//	name        share one in-memory database between every sql.Open with
+//	            the same name (process-wide), like SQLite's shared cache
+//	seed        world seed (uint); equal seeds give bit-identical results
+//	workers     parallel sampler goroutines (0 = one per CPU)
+//	epsilon     confidence parameter in (0, 1)
+//	delta       relative-error parameter in (0, 1)
+//	samples     fixed sample count (disables adaptive stopping)
+//	max_samples adaptive sampling cap
+//
+// Every connection of a pool shares the same underlying pip.DB, so DDL
+// executed on one pooled connection is visible to all others.
+//
+// # Value mapping
+//
+// Deterministic cells scan as float64, int64, string and bool. Symbolic
+// cells — random-variable equations — have no driver.Value representation,
+// so they scan as their equation string (e.g. "x1 + 5"); apply expectation
+// operators in SQL (expectation(col), expected_sum(col)) to obtain
+// numbers, or use the native pip API for symbolic results. Transactions
+// are not supported.
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pip"
+	"pip/internal/ctable"
+)
+
+func init() {
+	sql.Register("pip", Default)
+}
+
+// Default is the Driver instance registered under the name "pip". It owns
+// the process-wide registry of name=... shared databases.
+var Default = &Driver{shared: map[string]*pip.DB{}}
+
+// Driver implements driver.Driver and driver.DriverContext.
+type Driver struct {
+	mu     sync.Mutex
+	shared map[string]*pip.DB
+}
+
+// Open implements driver.Driver.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector implements driver.DriverContext: the DSN is parsed once,
+// and every connection of the pool shares one pip.DB.
+func (d *Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	name, opts, err := parseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	var db *pip.DB
+	if name == "" {
+		db = pip.Open(opts)
+	} else {
+		d.mu.Lock()
+		db = d.shared[name]
+		if db == nil {
+			db = pip.Open(opts)
+			d.shared[name] = db
+		}
+		d.mu.Unlock()
+	}
+	return &Connector{d: d, db: db}, nil
+}
+
+// parseDSN parses the &-separated key=value data source name.
+func parseDSN(dsn string) (name string, opts pip.Options, err error) {
+	for _, kv := range strings.Split(dsn, "&") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", opts, fmt.Errorf("pip driver: malformed DSN entry %q (want key=value)", kv)
+		}
+		bad := func(e error) error {
+			return fmt.Errorf("pip driver: invalid DSN value %q for %s (%v)", v, k, e)
+		}
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "name":
+			name = v
+		case "seed":
+			n, e := strconv.ParseUint(v, 10, 64)
+			if e != nil {
+				return "", opts, bad(e)
+			}
+			opts.Seed = n
+		case "workers":
+			n, e := strconv.Atoi(v)
+			if e != nil || n < 0 {
+				return "", opts, bad(fmt.Errorf("want a non-negative integer (0 = one per CPU)"))
+			}
+			opts.Workers = n
+		case "epsilon":
+			f, e := strconv.ParseFloat(v, 64)
+			if e != nil || f <= 0 || f >= 1 {
+				return "", opts, bad(fmt.Errorf("want a float in (0, 1)"))
+			}
+			opts.Epsilon = f
+		case "delta":
+			f, e := strconv.ParseFloat(v, 64)
+			if e != nil || f <= 0 || f >= 1 {
+				return "", opts, bad(fmt.Errorf("want a float in (0, 1)"))
+			}
+			opts.Delta = f
+		case "samples":
+			n, e := strconv.Atoi(v)
+			if e != nil || n < 0 {
+				return "", opts, bad(fmt.Errorf("want a non-negative integer (0 = adaptive)"))
+			}
+			opts.FixedSamples = n
+		case "max_samples":
+			n, e := strconv.Atoi(v)
+			if e != nil || n < 1 {
+				return "", opts, bad(fmt.Errorf("want a positive integer"))
+			}
+			opts.MaxSamples = n
+		default:
+			return "", opts, fmt.Errorf("pip driver: unknown DSN key %q", k)
+		}
+	}
+	return name, opts, nil
+}
+
+// Connector implements driver.Connector over a shared pip.DB.
+type Connector struct {
+	d  *Driver
+	db *pip.DB
+}
+
+// Connect implements driver.Connector.
+func (c *Connector) Connect(context.Context) (driver.Conn, error) {
+	return &Conn{db: c.db}, nil
+}
+
+// Driver implements driver.Connector.
+func (c *Connector) Driver() driver.Driver { return c.d }
+
+// DB returns the underlying pip database, escaping to the native API
+// (symbolic results, programmatic operators) from a database/sql pool.
+func (c *Connector) DB() *pip.DB { return c.db }
+
+// Conn implements driver.Conn; every pooled connection shares the
+// connector's database.
+type Conn struct {
+	db *pip.DB
+}
+
+// Prepare implements driver.Conn.
+func (c *Conn) Prepare(query string) (driver.Stmt, error) {
+	st, err := c.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{st: st}, nil
+}
+
+// PrepareContext implements driver.ConnPrepareContext.
+func (c *Conn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Prepare(query)
+}
+
+// Close implements driver.Conn. The underlying database is shared with the
+// pool, so closing a connection releases nothing.
+func (c *Conn) Close() error { return nil }
+
+// Begin implements driver.Conn. Transactions are not supported.
+func (c *Conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("pip driver: transactions are not supported")
+}
+
+// QueryContext implements driver.QueryerContext (direct, unprepared
+// queries).
+func (c *Conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	st, err := c.db.PrepareContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return stmtQuery(ctx, st, args)
+}
+
+// ExecContext implements driver.ExecerContext (direct, unprepared
+// statements).
+func (c *Conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	st, err := c.db.PrepareContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return stmtExec(ctx, st, args)
+}
+
+// Stmt implements driver.Stmt over a native prepared statement.
+type Stmt struct {
+	st *pip.Stmt
+}
+
+// Close implements driver.Stmt.
+func (s *Stmt) Close() error { return s.st.Close() }
+
+// NumInput implements driver.Stmt.
+func (s *Stmt) NumInput() int { return s.st.NumInput() }
+
+// Exec implements driver.Stmt.
+func (s *Stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return stmtExec(context.Background(), s.st, namedValues(args))
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *Stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	return stmtExec(ctx, s.st, args)
+}
+
+// Query implements driver.Stmt.
+func (s *Stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return stmtQuery(context.Background(), s.st, namedValues(args))
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *Stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	return stmtQuery(ctx, s.st, args)
+}
+
+// namedValues adapts positional driver.Values to NamedValues.
+func namedValues(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, a := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return out
+}
+
+// bindNamed converts driver argument values to engine bind arguments.
+func bindNamed(args []driver.NamedValue) ([]any, error) {
+	out := make([]any, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("pip driver: named parameter %q not supported (use ? placeholders)", a.Name)
+		}
+		switch v := a.Value.(type) {
+		case int64, float64, bool, string, []byte, nil:
+			out[i] = v
+		default:
+			return nil, fmt.Errorf("pip driver: unsupported argument type %T", a.Value)
+		}
+	}
+	return out, nil
+}
+
+func stmtExec(ctx context.Context, st *pip.Stmt, args []driver.NamedValue) (driver.Result, error) {
+	bound, err := bindNamed(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.ExecContext(ctx, bound...); err != nil {
+		return nil, err
+	}
+	return driver.ResultNoRows, nil
+}
+
+func stmtQuery(ctx context.Context, st *pip.Stmt, args []driver.NamedValue) (driver.Rows, error) {
+	bound, err := bindNamed(args)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := st.QueryContext(ctx, bound...)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{rows: rows}, nil
+}
+
+// Rows implements driver.Rows by streaming a native pip.Rows.
+type Rows struct {
+	rows *pip.Rows
+}
+
+// Columns implements driver.Rows.
+func (r *Rows) Columns() []string { return r.rows.Columns() }
+
+// Close implements driver.Rows.
+func (r *Rows) Close() error { return r.rows.Close() }
+
+// Next implements driver.Rows: deterministic cells convert to their
+// driver.Value type, symbolic cells to their equation string.
+func (r *Rows) Next(dest []driver.Value) error {
+	if !r.rows.Next() {
+		if err := r.rows.Err(); err != nil {
+			return err
+		}
+		return io.EOF
+	}
+	vals := r.rows.Values()
+	if len(dest) != len(vals) {
+		return fmt.Errorf("pip driver: %d destinations for %d columns", len(dest), len(vals))
+	}
+	for i, v := range vals {
+		dest[i] = driverValue(v)
+	}
+	return nil
+}
+
+// driverValue maps one engine cell to a driver.Value.
+func driverValue(v pip.Value) driver.Value {
+	switch v.Kind {
+	case ctable.KindFloat:
+		return v.F
+	case ctable.KindInt:
+		return v.I
+	case ctable.KindString:
+		return v.S
+	case ctable.KindBool:
+		return v.B
+	case ctable.KindExpr:
+		return v.E.String()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,197 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pip"
+)
+
+// TestRoundTrip is the acceptance path: sql.Open("pip", ...), DDL/DML
+// through the pool, Prepare with ? args, typed scanning, and symbolic
+// cells rendering as equation strings.
+func TestRoundTrip(t *testing.T) {
+	db, err := sql.Open("pip", "seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Exec(`CREATE TABLE orders (cust, price)`); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO orders VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	for _, r := range []struct {
+		cust  string
+		price float64
+	}{{"joe", 100}, {"bob", 80}, {"amy", 120}} {
+		if _, err := ins.Exec(r.cust, r.price); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(`INSERT INTO orders VALUES ('sym', CREATE_VARIABLE('Normal', 50, 5))`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prepared SELECT with a bound comparison, executed twice. The symbolic
+	// row survives any price filter as a conditional c-table row, so it is
+	// always present; its price scans as an equation string via `any`.
+	sel, err := db.Prepare(`SELECT cust, price FROM orders WHERE price >= ? ORDER BY cust`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	for bound, want := range map[float64]int{100: 3, 60: 4} {
+		rows, err := sel.Query(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			var cust string
+			var price any
+			if err := rows.Scan(&cust, &price); err != nil {
+				t.Fatal(err)
+			}
+			if _, isStr := price.(string); isStr != (cust == "sym") {
+				t.Fatalf("cust %q scanned price %T", cust, price)
+			}
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		rows.Close()
+		if n != want {
+			t.Fatalf("bound %v: %d rows, want %d", bound, n, want)
+		}
+	}
+
+	// Aggregate through QueryRow.
+	var total float64
+	if err := db.QueryRow(`SELECT expected_sum(price) FROM orders WHERE price > 10`).Scan(&total); err != nil {
+		t.Fatal(err)
+	}
+	if total < 340 || total > 360 {
+		t.Fatalf("expected_sum %v (want ~350)", total)
+	}
+
+	// Symbolic cells scan as their equation string.
+	var eq string
+	if err := db.QueryRow(`SELECT price FROM orders WHERE cust = 'sym'`).Scan(&eq); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eq, "X") {
+		t.Fatalf("symbolic cell scanned as %q (want an equation over X variables)", eq)
+	}
+}
+
+// TestQueryRowContextCancelled is the acceptance criterion:
+// QueryRowContext with a cancelled context returns ctx.Err().
+func TestQueryRowContextCancelled(t *testing.T) {
+	db, err := sql.Open("pip", "seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (v)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (CREATE_VARIABLE('Normal', 0, 1))`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Prepare(`SELECT expectation(v) FROM t WHERE v > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out float64
+	if err := st.QueryRowContext(ctx, 0.0).Scan(&out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled QueryRowContext: %v", err)
+	}
+	// Deadline flavor.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if err := st.QueryRowContext(dctx, 0.0).Scan(&out); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired QueryRowContext: %v", err)
+	}
+	// And the statement still works afterwards.
+	if err := st.QueryRowContext(context.Background(), -10.0).Scan(&out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out) > 1 {
+		t.Fatalf("expectation after cancel: %v", out)
+	}
+}
+
+// TestSharedAndPrivateDSNs: name= shares a database process-wide; an empty
+// name gives each pool a private database.
+func TestSharedAndPrivateDSNs(t *testing.T) {
+	a, err := sql.Open("pip", "name=shared_test&seed=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := sql.Open("pip", "name=shared_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := sql.Open("pip", "seed=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := a.Exec(`CREATE TABLE shared (v)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Exec(`INSERT INTO shared VALUES (1)`); err != nil {
+		t.Fatalf("shared pool does not see DDL: %v", err)
+	}
+	if _, err := c.Exec(`INSERT INTO shared VALUES (1)`); err == nil {
+		t.Fatal("private pool sees the shared table")
+	}
+}
+
+// TestDriverErrors: DSN validation, typed engine errors through the
+// database/sql plumbing, unsupported features.
+func TestDriverErrors(t *testing.T) {
+	if _, err := sql.Open("pip", "bogus=1"); err == nil {
+		// sql.Open defers driver.Open for non-DriverContext drivers, but
+		// OpenConnector runs eagerly, so the DSN error surfaces here.
+		t.Fatal("unknown DSN key accepted")
+	}
+	// Option values get the same validation the SET statements enforce.
+	for _, dsn := range []string{"epsilon=2", "delta=0", "workers=-1", "samples=-5", "max_samples=0", "seed=abc"} {
+		if _, err := sql.Open("pip", dsn); err == nil {
+			t.Fatalf("DSN %q accepted", dsn)
+		}
+	}
+	db, err := sql.Open("pip", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`SELECT v FROM absent`); !errors.Is(err, pip.ErrUnknownTable) {
+		t.Fatalf("unknown table through driver: %v", err)
+	}
+	if _, err := db.Exec(`SELEC`); !errors.Is(err, pip.ErrParse) {
+		t.Fatalf("parse error through driver: %v", err)
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("transactions accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package pip
+
+import (
+	"pip/internal/core"
+	"pip/internal/sql"
+)
+
+// Typed errors of the query path. The sentinels are wrapped with %w by the
+// engine, so errors.Is matches them through any amount of annotation, and
+// parse failures additionally carry a position via *ParseError (errors.As).
+var (
+	// ErrParse matches every lexical/syntactic failure. The concrete error
+	// is a *ParseError with line:column position and the source line.
+	ErrParse = sql.ErrParse
+	// ErrUnknownTable matches lookups of tables absent from the catalog.
+	ErrUnknownTable = core.ErrUnknownTable
+	// ErrUnknownColumn matches references to columns absent from the FROM
+	// tables (targets, WHERE operands, GROUP BY / ORDER BY keys).
+	ErrUnknownColumn = sql.ErrUnknownColumn
+	// ErrBind matches placeholder-binding failures: wrong argument arity,
+	// unsupported argument type, or executing a statement containing ?
+	// placeholders without binding arguments.
+	ErrBind = sql.ErrBind
+)
+
+// ParseError is the concrete parse failure: position (1-based line and
+// rune column), message, and the source text for caret rendering. Retrieve
+// it with errors.As.
+type ParseError = sql.ParseError

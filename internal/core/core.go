@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +23,10 @@ import (
 	"pip/internal/expr"
 	"pip/internal/sampler"
 )
+
+// ErrUnknownTable is the sentinel wrapped by every table-lookup failure;
+// match it with errors.Is. The wrapping error names the missing table.
+var ErrUnknownTable = errors.New("core: unknown table")
 
 // DB is a PIP probabilistic database instance.
 type DB struct {
@@ -48,6 +54,15 @@ func (db *DB) Sampler() *sampler.Sampler {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.smp
+}
+
+// SamplerContext returns the database's sampler scoped to ctx: cancellation
+// or deadline expiry aborts its sampling at the parallel engine's batch
+// dispatch and round barriers, and aborted computations report ctx.Err()
+// instead of partial estimates. This is the per-request hook behind
+// QueryContext/ExecContext on the public surface.
+func (db *DB) SamplerContext(ctx context.Context) *sampler.Sampler {
+	return db.Sampler().WithContext(ctx)
 }
 
 // Config returns the sampling configuration.
@@ -142,13 +157,14 @@ func (db *DB) Register(t *ctable.Table) {
 	db.tables[strings.ToLower(t.Name)] = t
 }
 
-// Table fetches a catalog table by name.
+// Table fetches a catalog table by name. A failed lookup wraps
+// ErrUnknownTable.
 func (db *DB) Table(name string) (*ctable.Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("core: no table %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownTable, name)
 	}
 	return t, nil
 }
@@ -195,15 +211,28 @@ func (db *DB) Conf(t *ctable.Tuple) sampler.Result {
 // Expectation computes E[column | row condition] for one tuple, optionally
 // with the row probability.
 func (db *DB) Expectation(t *ctable.Tuple, col int, getP bool) (sampler.Result, error) {
+	return db.ExpectationContext(context.Background(), t, col, getP)
+}
+
+// ExpectationContext is Expectation under a request context: cancellation
+// aborts sampling promptly and returns ctx.Err(), never a partial estimate.
+func (db *DB) ExpectationContext(ctx context.Context, t *ctable.Tuple, col int, getP bool) (sampler.Result, error) {
 	v := t.Values[col]
 	e, ok := v.AsExpr()
 	if !ok {
 		return sampler.Result{}, fmt.Errorf("core: non-numeric expectation target %s", v)
 	}
+	smp := db.SamplerContext(ctx)
+	var r sampler.Result
 	if len(t.Cond.Clauses) == 1 {
-		return db.Sampler().Expectation(e, t.Cond.Clauses[0], getP), nil
+		r = smp.Expectation(e, t.Cond.Clauses[0], getP)
+	} else {
+		r = smp.ExpectationDNF(e, t.Cond, getP)
 	}
-	return db.Sampler().ExpectationDNF(e, t.Cond, getP), nil
+	if r.Err != nil {
+		return sampler.Result{}, r.Err
+	}
+	return r, nil
 }
 
 // ConfTable appends a confidence column computed per row and strips
@@ -214,9 +243,12 @@ func (db *DB) ConfTable(t *ctable.Table, colName string) *ctable.Table {
 	sch := t.Schema.Clone()
 	sch = append(sch, ctable.Column{Name: colName})
 	out := &ctable.Table{Name: t.Name, Schema: sch}
+	// One sampler for the whole table: a concurrent SET must not swap
+	// configurations between rows of a single result.
+	smp := db.Sampler()
 	for i := range t.Tuples {
 		tp := &t.Tuples[i]
-		r := db.Sampler().AConf(tp.Cond)
+		r := smp.AConf(tp.Cond)
 		vals := make([]ctable.Value, 0, len(tp.Values)+1)
 		vals = append(vals, tp.Values...)
 		vals = append(vals, ctable.Float(r.Prob))
@@ -307,6 +339,9 @@ func (db *DB) GroupedAggregate(t *ctable.Table, keyCols []int, aggCol int, kind 
 	sch = append(sch, ctable.Column{Name: outName})
 	out := &ctable.Table{Name: t.Name + "_" + kind.String(), Schema: sch}
 
+	// One sampler for the whole aggregate: a concurrent SET must not swap
+	// configurations between groups of a single result.
+	smp := db.Sampler()
 	for _, g := range groups {
 		sub := &ctable.Table{Name: t.Name, Schema: t.Schema}
 		for _, ri := range g.Rows {
@@ -315,13 +350,13 @@ func (db *DB) GroupedAggregate(t *ctable.Table, keyCols []int, aggCol int, kind 
 		var res sampler.AggregateResult
 		switch kind {
 		case AggSum:
-			res, err = db.Sampler().ExpectedSum(sub, aggCol)
+			res, err = smp.ExpectedSum(sub, aggCol)
 		case AggCount:
-			res, err = db.Sampler().ExpectedCount(sub)
+			res, err = smp.ExpectedCount(sub)
 		case AggAvg:
-			res, err = db.Sampler().ExpectedAvg(sub, aggCol)
+			res, err = smp.ExpectedAvg(sub, aggCol)
 		case AggMax:
-			res, err = db.Sampler().ExpectedMax(sub, aggCol, 0)
+			res, err = smp.ExpectedMax(sub, aggCol, 0)
 		default:
 			err = fmt.Errorf("core: unknown aggregate %v", kind)
 		}

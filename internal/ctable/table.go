@@ -163,26 +163,41 @@ func (tb *Table) String() string {
 func Select(tb *Table, p Predicate) (*Table, error) {
 	out := &Table{Name: tb.Name, Schema: tb.Schema}
 	for i := range tb.Tuples {
-		t := &tb.Tuples[i]
-		outcome, atoms, err := p.Eval(t)
+		kept, keep, err := ApplyPredicate(&tb.Tuples[i], p)
 		if err != nil {
 			return nil, err
 		}
-		switch outcome {
-		case PredFalse:
-			continue
-		case PredTrue:
-			out.Tuples = append(out.Tuples, *t)
-		case PredSymbolic:
-			nc := t.Cond.And(cond.FromClause(atoms))
-			nc = dropInconsistent(nc)
-			if nc.IsFalse() {
-				continue
-			}
-			out.Tuples = append(out.Tuples, Tuple{Values: t.Values, Cond: nc})
+		if keep {
+			out.Tuples = append(out.Tuples, kept)
 		}
 	}
 	return out, nil
+}
+
+// ApplyPredicate evaluates p against a single tuple with Select's
+// semantics: keep=false drops the tuple (deterministically false predicate,
+// or a condition proven inconsistent by Algorithm 3.2); otherwise the
+// returned tuple carries the input condition conjoined with the predicate's
+// symbolic atoms. It is the per-row unit behind both the materializing
+// Select operator and streaming cursors.
+func ApplyPredicate(t *Tuple, p Predicate) (kept Tuple, keep bool, err error) {
+	outcome, atoms, err := p.Eval(t)
+	if err != nil {
+		return Tuple{}, false, err
+	}
+	switch outcome {
+	case PredFalse:
+		return Tuple{}, false, nil
+	case PredTrue:
+		return *t, true, nil
+	default:
+		nc := t.Cond.And(cond.FromClause(atoms))
+		nc = dropInconsistent(nc)
+		if nc.IsFalse() {
+			return Tuple{}, false, nil
+		}
+		return Tuple{Values: t.Values, Cond: nc}, true, nil
+	}
 }
 
 // dropInconsistent removes clauses that Algorithm 3.2 proves inconsistent.

@@ -65,7 +65,7 @@ func (s *Sampler) forEachRowBatch(rows int, per func(sub *Sampler, row int) (flo
 	}
 	inner := s.withWorkers(innerWorkers)
 	results := make([]rowAggBatch, len(offs))
-	forEachBatch(workers, len(offs), func(b int) {
+	forEachBatch(s.cfg.Ctx, workers, len(offs), func(b int) {
 		end := offs[b] + rowBatchSize
 		if end > rows {
 			end = rows
@@ -83,6 +83,11 @@ func (s *Sampler) forEachRowBatch(rows int, per func(sub *Sampler, row int) (flo
 			r.exact = r.exact && exact
 		}
 	})
+	// Row barrier: on cancellation the undispatched batches hold zero
+	// partial sums — discard the whole aggregate rather than report them.
+	if err := s.cfg.ctxErr(); err != nil {
+		return AggregateResult{}, err
+	}
 	out := AggregateResult{Exact: true, RowsScanned: rows}
 	for b := range results {
 		if results[b].err != nil {
@@ -121,7 +126,7 @@ func (s *Sampler) ExpectedSum(tb *ctable.Table, col int) (AggregateResult, error
 func (s *Sampler) ExpectedCount(tb *ctable.Table) (AggregateResult, error) {
 	return s.forEachRowBatch(tb.Len(), func(sub *Sampler, i int) (float64, int, bool, error) {
 		r := sub.AConf(tb.Tuples[i].Cond)
-		return r.Prob, r.N, r.Exact, nil
+		return r.Prob, r.N, r.Exact, r.Err
 	})
 }
 
@@ -201,6 +206,9 @@ func (s *Sampler) ExpectedMax(tb *ctable.Table, col int, precision float64) (Agg
 			break
 		}
 		cr := s.AConf(tb.Tuples[rw.i].Cond)
+		if cr.Err != nil {
+			return AggregateResult{}, cr.Err
+		}
 		samples += cr.N
 		exact = exact && cr.Exact
 		total += rw.v * cr.Prob * pNone
@@ -360,7 +368,7 @@ func (s *Sampler) AggregateHistogram(tb *ctable.Table, col int, fold FoldFunc, n
 	out := make([]float64, n)
 	offs := splitRange(0, n, sampleBatchSize)
 	errs := make([]error, len(offs))
-	forEachBatch(s.cfg.effectiveWorkers(), len(offs), func(b int) {
+	forEachBatch(s.cfg.Ctx, s.cfg.effectiveWorkers(), len(offs), func(b int) {
 		end := offs[b] + sampleBatchSize
 		if end > n {
 			end = n
@@ -386,6 +394,9 @@ func (s *Sampler) AggregateHistogram(tb *ctable.Table, col int, fold FoldFunc, n
 			out[i] = fold(present)
 		}
 	})
+	if err := s.cfg.ctxErr(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -409,6 +420,9 @@ func (s *Sampler) rowContribution(t *ctable.Tuple, col int) (float64, Result, er
 		r = s.Expectation(e, t.Cond.Clauses[0], true)
 	} else {
 		r = s.ExpectationDNF(e, t.Cond, true)
+	}
+	if r.Err != nil {
+		return 0, r, r.Err
 	}
 	if r.Prob == 0 {
 		return 0, r, nil
@@ -475,6 +489,9 @@ func (s *Sampler) ExpectationHistogram(e expr.Expr, c cond.Clause, n int) ([]flo
 	}
 	engine := newGroupEngine(&s.cfg, samplers, e, true)
 	values, _, _ := engine.runFixed(n)
+	if engine.err != nil {
+		return nil, engine.err
+	}
 	if values == nil {
 		values = []float64{}
 	}

@@ -34,6 +34,9 @@ func (s *Sampler) Conf(c cond.Clause) Result {
 			break
 		}
 	}
+	if err := s.cfg.ctxErr(); err != nil {
+		return Result{Err: err}
+	}
 	return Result{Mean: math.NaN(), Prob: prob, Exact: exact, N: n}
 }
 
@@ -55,6 +58,9 @@ func (s *Sampler) AConf(d cond.Condition) Result {
 		return s.aconfInclusionExclusion(d)
 	}
 	r := s.worldSampleDNF(expr.Const(0), d, true)
+	if r.Err != nil {
+		return Result{Err: r.Err}
+	}
 	return Result{Mean: math.NaN(), Prob: r.Prob, N: r.N}
 }
 
@@ -83,6 +89,9 @@ func (s *Sampler) aconfInclusionExclusion(d cond.Condition) Result {
 			continue // deterministically false intersection contributes 0
 		}
 		r := s.Conf(merged)
+		if r.Err != nil {
+			return Result{Err: r.Err}
+		}
 		exact = exact && r.Exact
 		samples += r.N
 		if bits%2 == 1 {
@@ -139,7 +148,7 @@ func (s *Sampler) sampleGroupProb(g cond.Group) (float64, bool, int) {
 		return 0, true
 	}
 	var acc Accumulator
-	for s.cfg.wantMore(acc) {
+	for s.cfg.wantMore(acc) && s.cfg.ctxErr() == nil {
 		round := s.cfg.nextRoundSize(acc.N)
 		if round <= 0 {
 			break

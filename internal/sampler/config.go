@@ -19,6 +19,7 @@
 package sampler
 
 import (
+	"context"
 	"math"
 
 	"pip/internal/dist"
@@ -70,6 +71,15 @@ type Config struct {
 	// value (see parallel.go).
 	Workers int
 
+	// Ctx, when non-nil, is observed by the parallel engine at batch
+	// dispatch and round barriers: cancellation or deadline expiry aborts
+	// sampling promptly. An aborted computation reports the context error
+	// (Result.Err, or the error return of the aggregate operators) and never
+	// a partial estimate, so the bit-identity determinism contract is
+	// unaffected — a query either completes identically or fails with
+	// ctx.Err(). Use Sampler.WithContext to scope a sampler to a request.
+	Ctx context.Context
+
 	// Ablation switches (all false in normal operation).
 	DisableCDFInversion bool // force natural generation + rejection
 	DisableIndependence bool // treat all constraint atoms as one group
@@ -92,6 +102,16 @@ func DefaultConfig() Config {
 		RejectionCap:        200000,
 		WorldSeed:           0x5eed,
 	}
+}
+
+// ctxErr returns the configuration context's error, or nil when no context
+// is attached. It is the cancellation check applied at the parallel engine's
+// batch dispatch and round barriers.
+func (c *Config) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 // zTarget returns sqrt(2) * erfinv(1 - epsilon): the z-score half-width of

@@ -1,6 +1,7 @@
 package sampler
 
 import (
+	"context"
 	"math"
 
 	"pip/internal/cond"
@@ -26,6 +27,10 @@ type Result struct {
 	// UsedMetropolis reports whether any group escalated to the random
 	// walk (in which case Prob falls back to sampling, see Algorithm 4.3).
 	UsedMetropolis bool
+	// Err is non-nil when the computation was aborted by Config.Ctx
+	// (context cancellation or deadline). Every other field is then
+	// meaningless: an aborted computation never reports a partial estimate.
+	Err error
 }
 
 // Sampler evaluates expectations, probabilities and aggregates against
@@ -40,6 +45,21 @@ func New(cfg Config) *Sampler { return &Sampler{cfg: cfg} }
 
 // Config returns the sampler's configuration.
 func (s *Sampler) Config() Config { return s.cfg }
+
+// WithContext returns a sampler identical to s whose computations observe
+// ctx: cancellation or deadline expiry aborts sampling at the next batch
+// dispatch or round barrier, reporting ctx.Err() instead of a result. A nil
+// ctx returns s unchanged. Sampler draws are pure functions of their sample
+// index, so scoping a context never perturbs the values a completed
+// computation produces.
+func (s *Sampler) WithContext(ctx context.Context) *Sampler {
+	if ctx == nil {
+		return s
+	}
+	cfg := s.cfg
+	cfg.Ctx = ctx
+	return &Sampler{cfg: cfg}
+}
 
 // Expectation implements Algorithm 4.3: compute E[e | c] and, when getP is
 // set, P[c]. The clause is partitioned into minimal independent groups;
@@ -126,6 +146,9 @@ func (s *Sampler) Expectation(e expr.Expr, c cond.Clause, getP bool) Result {
 	if len(samplingGroups) > 0 || len(eKeys) > 0 {
 		engine := newGroupEngine(&s.cfg, samplingGroups, e, false)
 		acc, ok := engine.runAdaptive()
+		if engine.err != nil {
+			return Result{Err: engine.err}
+		}
 		if !ok {
 			// Constraint region unreachable within budget.
 			return Result{Mean: math.NaN(), Prob: 0}
@@ -164,6 +187,11 @@ func (s *Sampler) Expectation(e expr.Expr, c cond.Clause, getP bool) Result {
 		prob *= s.clauseProb(gs.group)
 	}
 	res.Prob = prob
+	// Final cancellation gate: probability integration above may have been
+	// cut short by the context; report the abort, never the partial value.
+	if err := s.cfg.ctxErr(); err != nil {
+		return Result{Err: err}
+	}
 	return res
 }
 
@@ -219,7 +247,7 @@ func (s *Sampler) worldSampleDNF(e expr.Expr, d cond.Condition, getP bool) Resul
 		maxAttempts = fixed * 1000
 		var values []float64
 		var idxs []int
-		for len(values) < fixed && attempts < maxAttempts {
+		for len(values) < fixed && attempts < maxAttempts && s.cfg.ctxErr() == nil {
 			round := worldRoundSize(attempts, maxAttempts)
 			if round <= 0 {
 				break
@@ -240,7 +268,7 @@ func (s *Sampler) worldSampleDNF(e expr.Expr, d cond.Condition, getP bool) Resul
 			acc.Add(v)
 		}
 	} else {
-		for s.cfg.wantMore(acc) && attempts < maxAttempts {
+		for s.cfg.wantMore(acc) && attempts < maxAttempts && s.cfg.ctxErr() == nil {
 			round := worldRoundSize(attempts, maxAttempts)
 			if round <= 0 {
 				break
@@ -249,6 +277,9 @@ func (s *Sampler) worldSampleDNF(e expr.Expr, d cond.Condition, getP bool) Resul
 			acc.Merge(wb.acc)
 			attempts += wb.attempts
 		}
+	}
+	if err := s.cfg.ctxErr(); err != nil {
+		return Result{Err: err}
 	}
 
 	res := Result{N: acc.N}

@@ -67,6 +67,9 @@ type MomentResult struct {
 	N int
 	// Exact reports a closed-form result.
 	Exact bool
+	// Err is non-nil when the computation was aborted by Config.Ctx; the
+	// other fields are then meaningless.
+	Err error
 }
 
 // Moment computes the k-th raw moment E[e^k | c] (paper §III-D: the
@@ -97,6 +100,9 @@ func (s *Sampler) Moment(e expr.Expr, c cond.Clause, k int) MomentResult {
 		powed = expr.Mul(powed, e)
 	}
 	r := s.Expectation(powed, c, false)
+	if r.Err != nil {
+		return MomentResult{Err: r.Err}
+	}
 	return MomentResult{Moment: r.Mean, N: r.N, Exact: r.Exact}
 }
 
@@ -107,6 +113,9 @@ type VarianceResult struct {
 	Mean     float64
 	N        int
 	Exact    bool
+	// Err is non-nil when the computation was aborted by Config.Ctx; the
+	// other fields are then meaningless.
+	Err error
 }
 
 // Variance computes Var[e | c] = E[e^2 | c] - E[e | c]^2. To avoid the
@@ -136,7 +145,10 @@ func (s *Sampler) Variance(e expr.Expr, c cond.Clause) VarianceResult {
 		}
 	}
 	samples, err := s.ExpectationHistogram(e, c, n)
-	if err != nil || len(samples) == 0 {
+	if err != nil {
+		return VarianceResult{Err: err}
+	}
+	if len(samples) == 0 {
 		return VarianceResult{Variance: math.NaN(), StdDev: math.NaN(), Mean: math.NaN()}
 	}
 	var sum, sumSq float64

@@ -1,6 +1,7 @@
 package sampler
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -57,12 +58,20 @@ func (c Config) effectiveWorkers() int {
 // shared structures); results must be written into per-batch slots so the
 // caller can merge them in batch order. With workers <= 1 the batches run
 // inline, in order, on the calling goroutine — same slots, same merge.
-func forEachBatch(workers, numBatches int, fn func(b int)) {
+//
+// A cancelled ctx stops further batch dispatch; already-running batches
+// finish. Callers must re-check the context after the barrier and discard
+// the round on cancellation (slots of undispatched batches are zero), so
+// cancellation can never surface as a partial result.
+func forEachBatch(ctx context.Context, workers, numBatches int, fn func(b int)) {
 	if workers > numBatches {
 		workers = numBatches
 	}
 	if workers <= 1 {
 		for b := 0; b < numBatches; b++ {
+			if ctxCancelled(ctx) {
+				return
+			}
 			fn(b)
 		}
 		return
@@ -73,7 +82,7 @@ func forEachBatch(workers, numBatches int, fn func(b int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !ctxCancelled(ctx) {
 				b := int(atomic.AddInt64(&next, 1)) - 1
 				if b >= numBatches {
 					return
@@ -83,6 +92,11 @@ func forEachBatch(workers, numBatches int, fn func(b int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ctxCancelled reports whether a (possibly nil) context has been cancelled.
+func ctxCancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // splitRange shards the index range [start, start+count) into batches of at
@@ -142,6 +156,9 @@ type groupEngine struct {
 	acc    Accumulator
 	values []float64
 	failed bool
+	// err is the context error that aborted the run, if any. Once set, the
+	// accumulated state is partial and must not be reported.
+	err error
 }
 
 func newGroupEngine(cfg *Config, protos []*groupSampler, e expr.Expr, collect bool) *groupEngine {
@@ -158,10 +175,15 @@ func newGroupEngine(cfg *Config, protos []*groupSampler, e expr.Expr, collect bo
 
 // runRound draws the sample index range [start, start+count), merging batch
 // results in batch order. It returns false once a sample exhausts its
-// rejection cap (the constraint region is unreachable within budget).
+// rejection cap (the constraint region is unreachable within budget) or the
+// configuration context is cancelled (ge.err distinguishes the two).
 func (ge *groupEngine) runRound(start, count int) bool {
-	if ge.failed || count <= 0 {
-		return !ge.failed
+	if ge.failed || ge.err != nil || count <= 0 {
+		return !ge.failed && ge.err == nil
+	}
+	if err := ge.cfg.ctxErr(); err != nil {
+		ge.err = err
+		return false
 	}
 	offs := splitRange(start, count, sampleBatchSize)
 	results := make([]groupBatch, len(offs))
@@ -176,10 +198,20 @@ func (ge *groupEngine) runRound(start, count int) bool {
 		// In-order execution against the live prototypes: Metropolis chain
 		// state carries across batches, exactly as in a sequential engine.
 		for b := range offs {
+			if ctxCancelled(ge.cfg.Ctx) {
+				break
+			}
 			run(b)
 		}
 	} else {
-		forEachBatch(ge.cfg.effectiveWorkers(), len(offs), run)
+		forEachBatch(ge.cfg.Ctx, ge.cfg.effectiveWorkers(), len(offs), run)
+	}
+	// Round barrier: a cancellation observed here aborts before the merge —
+	// undispatched batches hold zero slots, so merging them would corrupt
+	// the accumulator silently.
+	if err := ge.cfg.ctxErr(); err != nil {
+		ge.err = err
+		return false
 	}
 	// Barrier merge, strictly in batch order.
 	for b := range results {
@@ -331,11 +363,12 @@ type worldBatch struct {
 // world sample: each attempt draws every variable naturally (keyed by the
 // attempt index), keeps the value when the condition holds, and batch
 // accumulators merge in batch order. With collect set, accepted values and
-// their attempt indices are also returned, in attempt order.
+// their attempt indices are also returned, in attempt order. Callers must
+// check cfg.ctxErr() after the round and discard the batch on cancellation.
 func runWorldRound(cfg *Config, draw func(asn expr.Assignment, idx uint64) (float64, bool), start, count int, collect bool) worldBatch {
 	offs := splitRange(start, count, sampleBatchSize)
 	results := make([]worldBatch, len(offs))
-	forEachBatch(cfg.effectiveWorkers(), len(offs), func(b int) {
+	forEachBatch(cfg.Ctx, cfg.effectiveWorkers(), len(offs), func(b int) {
 		n := sampleBatchSize
 		if rem := start + count - offs[b]; rem < n {
 			n = rem

@@ -44,7 +44,7 @@ func TestSplitRange(t *testing.T) {
 func TestForEachBatchCoversAllBatches(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
 		hits := make([]int, 57)
-		forEachBatch(workers, len(hits), func(b int) { hits[b]++ })
+		forEachBatch(nil, workers, len(hits), func(b int) { hits[b]++ })
 		for b, n := range hits {
 			if n != 1 {
 				t.Fatalf("workers=%d: batch %d ran %d times", workers, b, n)

@@ -113,6 +113,58 @@ type NegExpr struct{ X Node }
 
 func (NegExpr) node() {}
 
+// Placeholder is a ? parameter marker. Idx is its 0-based ordinal in source
+// order; execution substitutes the bound argument at that position.
+// Executing a statement with placeholders but no bound arguments is an
+// ErrBind error.
+type Placeholder struct{ Idx int }
+
+func (Placeholder) node() {}
+
+// NumParams returns the number of ? placeholders in a parsed statement —
+// the arity Prepare-and-bind execution enforces.
+func NumParams(st Stmt) int {
+	n := 0
+	switch s := st.(type) {
+	case *SelectStmt:
+		for _, tgt := range s.Targets {
+			n += countParams(tgt.Expr)
+		}
+		for _, cmp := range s.Where {
+			n += countParams(cmp.Left) + countParams(cmp.Right)
+		}
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				n += countParams(e)
+			}
+		}
+	}
+	return n
+}
+
+// countParams counts placeholders in one scalar AST node.
+func countParams(n Node) int {
+	switch t := n.(type) {
+	case nil:
+		return 0
+	case Placeholder:
+		return 1
+	case NegExpr:
+		return countParams(t.X)
+	case BinExpr:
+		return countParams(t.Left) + countParams(t.Right)
+	case FuncCall:
+		c := 0
+		for _, a := range t.Args {
+			c += countParams(a)
+		}
+		return c
+	default:
+		return 0
+	}
+}
+
 // FuncCall is a function or aggregate invocation. Star marks f(*).
 type FuncCall struct {
 	Name string

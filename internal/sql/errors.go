@@ -1,0 +1,78 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrParse is the sentinel wrapped by every lexical and syntactic error on
+// the query path; match it with errors.Is. The concrete error is always a
+// *ParseError carrying the source position — retrieve it with errors.As to
+// render carets or IDE diagnostics.
+var ErrParse = errors.New("sql: parse error")
+
+// ErrUnknownColumn is the sentinel wrapped by column-resolution failures
+// (a SELECT target, WHERE operand, GROUP BY or ORDER BY key naming no
+// column of the FROM tables); match it with errors.Is.
+var ErrUnknownColumn = errors.New("sql: unknown column")
+
+// ErrBind is the sentinel wrapped by placeholder-binding failures: wrong
+// argument arity, or executing a statement containing ? placeholders
+// without binding arguments (use Prepare).
+var ErrBind = errors.New("sql: bind error")
+
+// ParseError is a lexical or syntactic error with its source position.
+// It wraps ErrParse (errors.Is(err, ErrParse) holds).
+type ParseError struct {
+	// Src is the statement text being parsed.
+	Src string
+	// Offset is the byte offset of the offending token in Src.
+	Offset int
+	// Line and Col locate the offense, both 1-based; columns count runes.
+	Line, Col int
+	// Msg describes the failure ("expected FROM, got ...").
+	Msg string
+}
+
+// Error renders the position and message.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Unwrap ties the error to the ErrParse sentinel.
+func (e *ParseError) Unwrap() error { return ErrParse }
+
+// SourceLine returns the line of Src the error points at (without its
+// trailing newline), for caret rendering.
+func (e *ParseError) SourceLine() string {
+	lines := strings.Split(e.Src, "\n")
+	if e.Line < 1 || e.Line > len(lines) {
+		return ""
+	}
+	return lines[e.Line-1]
+}
+
+// newParseError builds a ParseError at a byte offset of src.
+func newParseError(src string, offset int, msg string) *ParseError {
+	line, col := LineCol(src, offset)
+	return &ParseError{Src: src, Offset: offset, Line: line, Col: col, Msg: msg}
+}
+
+// LineCol converts a byte offset in src to 1-based line and column numbers
+// (columns count runes, so carets align under multi-byte text).
+func LineCol(src string, offset int) (line, col int) {
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line, col = 1, 1
+	for _, r := range src[:offset] {
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}

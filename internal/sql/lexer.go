@@ -121,7 +121,7 @@ scan:
 			sb.WriteByte(ch)
 			l.pos++
 		}
-		return Token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+		return Token{}, newParseError(l.src, start, "unterminated string")
 	default:
 		// Multi-character operators first.
 		two := ""
@@ -134,11 +134,11 @@ scan:
 			return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
 		}
 		switch c {
-		case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', ';', '.':
+		case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', ';', '.', '?':
 			l.pos++
 			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
 		}
-		return Token{}, fmt.Errorf("sql: invalid character %q at offset %d", c, l.pos)
+		return Token{}, newParseError(l.src, l.pos, fmt.Sprintf("invalid character %q", c))
 	}
 }
 

@@ -11,6 +11,9 @@ type Parser struct {
 	toks []Token
 	pos  int
 	src  string
+	// params counts ? placeholders seen so far; each occurrence is numbered
+	// left to right in source order.
+	params int
 }
 
 // Parse parses a single statement (a trailing semicolon is allowed).
@@ -76,7 +79,7 @@ func (p *Parser) expect(sym string) error {
 }
 
 func (p *Parser) errf(format string, args ...any) error {
-	return fmt.Errorf("sql: offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+	return newParseError(p.src, p.peek().Pos, fmt.Sprintf(format, args...))
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
@@ -435,6 +438,10 @@ func (p *Parser) parseFactor() (Node, error) {
 			return nil, err
 		}
 		return e, nil
+	case p.accept("?"):
+		idx := p.params
+		p.params++
+		return Placeholder{Idx: idx}, nil
 	case t.Kind == TokNumber:
 		p.pos++
 		f, err := strconv.ParseFloat(t.Text, 64)

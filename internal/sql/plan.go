@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,28 +16,78 @@ import (
 // Exec parses and executes one statement against the database, returning
 // the result table (nil for DDL/DML statements).
 func Exec(db *core.DB, src string) (*ctable.Table, error) {
-	st, err := Parse(src)
+	return ExecContext(context.Background(), db, src)
+}
+
+// ExecContext parses and executes one statement under a request context,
+// binding args against its ? placeholders. Cancellation or deadline expiry
+// aborts sampling promptly and returns ctx.Err() — never a partial result.
+func ExecContext(ctx context.Context, db *core.DB, src string, args ...ctable.Value) (*ctable.Table, error) {
+	p, err := Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	return ExecStmt(db, st)
+	return p.ExecContext(ctx, db, args...)
+}
+
+// QueryContext parses and executes one statement under a request context,
+// returning a streaming cursor over the result rows (see
+// Prepared.QueryContext for the streaming rules).
+func QueryContext(ctx context.Context, db *core.DB, src string, args ...ctable.Value) (Cursor, error) {
+	p, err := Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.QueryContext(ctx, db, args...)
 }
 
 // ExecStmt executes a parsed statement.
 func ExecStmt(db *core.DB, st Stmt) (*ctable.Table, error) {
+	return ExecStmtContext(context.Background(), db, st)
+}
+
+// ExecStmtContext executes a parsed statement under a request context with
+// bound placeholder arguments. The argument count must match the
+// statement's placeholder count exactly (ErrBind otherwise). On
+// cancellation the statement's side effects may be partially applied for
+// DML, but a SELECT never returns a partial table: the result is ctx.Err().
+func ExecStmtContext(ctx context.Context, db *core.DB, st Stmt, args ...ctable.Value) (*ctable.Table, error) {
+	if n := NumParams(st); n != len(args) {
+		return nil, fmt.Errorf("%w: statement has %d placeholder(s), got %d argument(s)",
+			ErrBind, n, len(args))
+	}
+	env := newExecEnv(ctx, db, args)
+	if err := env.ctxErr(); err != nil {
+		return nil, err
+	}
+	out, err := execStmt(env, st)
+	if err != nil {
+		return nil, err
+	}
+	// Final cancellation gate: a result assembled from computations that
+	// raced a cancellation is discarded, upholding the no-partial-results
+	// contract even if an inner path missed a check.
+	if err := env.ctxErr(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// execStmt dispatches one statement under an execution environment.
+func execStmt(env execEnv, st Stmt) (*ctable.Table, error) {
 	switch s := st.(type) {
 	case *CreateTableStmt:
-		db.Register(ctable.New(s.Name, s.Columns...))
+		env.db.Register(ctable.New(s.Name, s.Columns...))
 		return nil, nil
 	case *DropStmt:
-		db.Drop(s.Name)
+		env.db.Drop(s.Name)
 		return nil, nil
 	case *InsertStmt:
-		return nil, execInsert(db, s)
+		return nil, execInsert(env, s)
 	case *SelectStmt:
-		return execSelect(db, s)
+		return execSelect(env, s)
 	case *SetStmt:
-		return nil, execSet(db, s)
+		return nil, execSet(env.db, s)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", st)
 	}
@@ -126,9 +177,10 @@ func execSet(db *core.DB, st *SetStmt) error {
 }
 
 // execInsert evaluates row expressions (including CREATE_VARIABLE calls,
-// which allocate fresh random variables per occurrence) and appends tuples.
-func execInsert(db *core.DB, st *InsertStmt) error {
-	tb, err := db.Table(st.Table)
+// which allocate fresh random variables per occurrence, and bound
+// placeholders) and appends tuples.
+func execInsert(env execEnv, st *InsertStmt) error {
+	tb, err := env.db.Table(st.Table)
 	if err != nil {
 		return err
 	}
@@ -139,7 +191,7 @@ func execInsert(db *core.DB, st *InsertStmt) error {
 		}
 		vals := make([]ctable.Value, len(row))
 		for i, n := range row {
-			v, err := evalConstNode(db, n)
+			v, err := evalConstNode(env, n)
 			if err != nil {
 				return err
 			}
@@ -152,16 +204,18 @@ func execInsert(db *core.DB, st *InsertStmt) error {
 	return nil
 }
 
-// evalConstNode evaluates a tuple-independent expression: literals,
-// arithmetic and CREATE_VARIABLE.
-func evalConstNode(db *core.DB, n Node) (ctable.Value, error) {
+// evalConstNode evaluates a tuple-independent expression: literals, bound
+// placeholders, arithmetic and CREATE_VARIABLE.
+func evalConstNode(env execEnv, n Node) (ctable.Value, error) {
 	switch t := n.(type) {
 	case NumLit:
 		return ctable.Float(float64(t)), nil
 	case StrLit:
 		return ctable.String_(string(t)), nil
+	case Placeholder:
+		return env.bindArg(t.Idx)
 	case NegExpr:
-		v, err := evalConstNode(db, t.X)
+		v, err := evalConstNode(env, t.X)
 		if err != nil {
 			return ctable.Value{}, err
 		}
@@ -171,11 +225,11 @@ func evalConstNode(db *core.DB, n Node) (ctable.Value, error) {
 		}
 		return ctable.Symbolic(expr.Negate(e)), nil
 	case BinExpr:
-		l, err := evalConstNode(db, t.Left)
+		l, err := evalConstNode(env, t.Left)
 		if err != nil {
 			return ctable.Value{}, err
 		}
-		r, err := evalConstNode(db, t.Right)
+		r, err := evalConstNode(env, t.Right)
 		if err != nil {
 			return ctable.Value{}, err
 		}
@@ -200,13 +254,16 @@ func evalConstNode(db *core.DB, n Node) (ctable.Value, error) {
 			if len(t.Args) < 1 {
 				return ctable.Value{}, fmt.Errorf("sql: CREATE_VARIABLE needs a distribution name")
 			}
-			name, ok := t.Args[0].(StrLit)
-			if !ok {
-				return ctable.Value{}, fmt.Errorf("sql: CREATE_VARIABLE first argument must be a string")
+			nameV, err := evalConstNode(env, t.Args[0])
+			if err != nil {
+				return ctable.Value{}, err
+			}
+			if nameV.Kind != ctable.KindString {
+				return ctable.Value{}, fmt.Errorf("sql: CREATE_VARIABLE first argument must be a string, got %s", nameV.Kind)
 			}
 			params := make([]float64, 0, len(t.Args)-1)
 			for _, a := range t.Args[1:] {
-				v, err := evalConstNode(db, a)
+				v, err := evalConstNode(env, a)
 				if err != nil {
 					return ctable.Value{}, err
 				}
@@ -216,7 +273,7 @@ func evalConstNode(db *core.DB, n Node) (ctable.Value, error) {
 				}
 				params = append(params, f)
 			}
-			v, err := db.CreateVariable(string(name), params...)
+			v, err := env.db.CreateVariable(nameV.S, params...)
 			if err != nil {
 				return ctable.Value{}, err
 			}
@@ -278,18 +335,25 @@ func (r *resolver) resolve(ref ColRef) (int, error) {
 		found = c.idx
 	}
 	if found < 0 {
-		return 0, fmt.Errorf("sql: unknown column %s", ref)
+		return 0, fmt.Errorf("%w %s", ErrUnknownColumn, ref)
 	}
 	return found, nil
 }
 
-// compileScalar lowers a scalar AST node to a c-table Scalar.
-func compileScalar(n Node, r *resolver) (ctable.Scalar, error) {
+// compileScalar lowers a scalar AST node to a c-table Scalar; bound
+// placeholders compile to literals of their argument value.
+func compileScalar(n Node, r *resolver, env execEnv) (ctable.Scalar, error) {
 	switch t := n.(type) {
 	case NumLit:
 		return ctable.LitFloat(float64(t)), nil
 	case StrLit:
 		return ctable.LitString(string(t)), nil
+	case Placeholder:
+		v, err := env.bindArg(t.Idx)
+		if err != nil {
+			return nil, err
+		}
+		return ctable.Lit{V: v}, nil
 	case ColRef:
 		idx, err := r.resolve(t)
 		if err != nil {
@@ -297,17 +361,17 @@ func compileScalar(n Node, r *resolver) (ctable.Scalar, error) {
 		}
 		return ctable.Col(idx), nil
 	case NegExpr:
-		x, err := compileScalar(t.X, r)
+		x, err := compileScalar(t.X, r, env)
 		if err != nil {
 			return nil, err
 		}
 		return ctable.Arith{Op: expr.OpSub, Left: ctable.LitFloat(0), Right: x}, nil
 	case BinExpr:
-		l, err := compileScalar(t.Left, r)
+		l, err := compileScalar(t.Left, r, env)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := compileScalar(t.Right, r)
+		rr, err := compileScalar(t.Right, r, env)
 		if err != nil {
 			return nil, err
 		}
@@ -349,16 +413,71 @@ func cmpOpFromString(op string) (cond.CmpOp, error) {
 	}
 }
 
-// execSelect plans and runs a SELECT.
-func execSelect(db *core.DB, st *SelectStmt) (*ctable.Table, error) {
-	// FROM: fetch and cross-product (conditions conjoin per Fig. 1).
+// selectHasAggregates reports whether any target is an aggregate call.
+// conf() counts as an aggregate (meaning aconf) only under GROUP BY.
+func selectHasAggregates(st *SelectStmt) bool {
+	for _, tgt := range st.Targets {
+		if fc, ok := tgt.Expr.(FuncCall); ok {
+			if fc.IsAggregate() || (fc.IsConf() && len(st.GroupBy) > 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// execSelect plans and runs a SELECT. Aggregate-free SELECTs run through
+// the streaming plan (drained into a table here; QueryContext hands the
+// same cursor to callers without draining); aggregate SELECTs materialize
+// the filtered input first.
+func execSelect(env execEnv, st *SelectStmt) (*ctable.Table, error) {
 	if len(st.From) == 0 {
 		return nil, fmt.Errorf("sql: SELECT requires FROM")
 	}
+	var out *ctable.Table
+	var err error
+	if selectHasAggregates(st) {
+		out, err = execAggregateSelect(env, st)
+	} else {
+		var q *plainQuery
+		q, err = compilePlain(env, st)
+		if err == nil {
+			// LIMIT can push into the scan only when no blocking operator
+			// reorders or coalesces rows after it.
+			limit := 0
+			if !st.Distinct && st.OrderBy == nil {
+				limit = st.Limit
+			}
+			out, err = q.drain(limit)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if st.Distinct {
+		out = ctable.Distinct(out)
+	}
+	if st.OrderBy != nil {
+		if err := orderTable(out, *st.OrderBy, st.Desc); err != nil {
+			return nil, err
+		}
+	}
+	if st.Limit > 0 && out.Len() > st.Limit {
+		out.Tuples = out.Tuples[:st.Limit]
+	}
+	return out, nil
+}
+
+// execAggregateSelect handles SELECT with expectation aggregates and
+// optional GROUP BY. The FROM product and WHERE filter materialize eagerly
+// (aggregates consume their whole input anyway), then groups evaluate under
+// the request-scoped sampler.
+func execAggregateSelect(env execEnv, st *SelectStmt) (*ctable.Table, error) {
+	// FROM: fetch and cross-product (conditions conjoin per Fig. 1).
 	schemas := make([]ctable.Schema, len(st.From))
 	inputs := make([]*ctable.Table, len(st.From))
 	for i, ref := range st.From {
-		tb, err := db.Table(ref.Name)
+		tb, err := env.db.Table(ref.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -381,11 +500,11 @@ func execSelect(db *core.DB, st *SelectStmt) (*ctable.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			l, err := compileScalar(cmp.Left, r)
+			l, err := compileScalar(cmp.Left, r, env)
 			if err != nil {
 				return nil, err
 			}
-			rr, err := compileScalar(cmp.Right, r)
+			rr, err := compileScalar(cmp.Right, r, env)
 			if err != nil {
 				return nil, err
 			}
@@ -398,176 +517,6 @@ func execSelect(db *core.DB, st *SelectStmt) (*ctable.Table, error) {
 		}
 	}
 
-	// Split targets into aggregates and plain expressions. conf() counts
-	// as an aggregate (meaning aconf) only under GROUP BY.
-	hasAgg := false
-	for _, tgt := range st.Targets {
-		if fc, ok := tgt.Expr.(FuncCall); ok {
-			if fc.IsAggregate() || (fc.IsConf() && len(st.GroupBy) > 0) {
-				hasAgg = true
-			}
-		}
-	}
-	var out *ctable.Table
-	var err error
-	if hasAgg {
-		out, err = execAggregateSelect(db, st, cur, r)
-	} else {
-		out, err = execPlainSelect(db, st, cur, r)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if st.Distinct {
-		out = ctable.Distinct(out)
-	}
-	if st.OrderBy != nil {
-		if err := orderTable(out, *st.OrderBy, st.Desc); err != nil {
-			return nil, err
-		}
-	}
-	if st.Limit > 0 && out.Len() > st.Limit {
-		out.Tuples = out.Tuples[:st.Limit]
-	}
-	return out, nil
-}
-
-// execPlainSelect handles SELECT without aggregates: projection plus the
-// per-row functions conf() and expectation(col).
-func execPlainSelect(db *core.DB, st *SelectStmt, cur *ctable.Table, r *resolver) (*ctable.Table, error) {
-	var names []string
-	var targets []ctable.Scalar
-	confCols := map[int]bool{}  // output positions computed by conf()
-	expCols := map[int]int{}    // output position -> input col for expectation()
-	varCols := map[int]string{} // output position -> "variance"|"stddev"
-
-	for _, tgt := range st.Targets {
-		if tgt.Star {
-			for i, c := range cur.Schema {
-				names = append(names, c.Name)
-				targets = append(targets, ctable.Col(i))
-			}
-			continue
-		}
-		name := tgt.Alias
-		if fc, ok := tgt.Expr.(FuncCall); ok {
-			switch strings.ToLower(fc.Name) {
-			case "conf":
-				if name == "" {
-					name = "conf"
-				}
-				confCols[len(targets)] = true
-				names = append(names, name)
-				targets = append(targets, ctable.LitFloat(0)) // placeholder
-				continue
-			case "expectation":
-				if len(fc.Args) != 1 {
-					return nil, fmt.Errorf("sql: expectation() takes one argument")
-				}
-				sc, err := compileScalar(fc.Args[0], r)
-				if err != nil {
-					return nil, err
-				}
-				if name == "" {
-					name = "expectation"
-				}
-				expCols[len(targets)] = len(targets)
-				names = append(names, name)
-				targets = append(targets, sc)
-				continue
-			case "variance", "stddev":
-				if len(fc.Args) != 1 {
-					return nil, fmt.Errorf("sql: %s() takes one argument", strings.ToLower(fc.Name))
-				}
-				sc, err := compileScalar(fc.Args[0], r)
-				if err != nil {
-					return nil, err
-				}
-				if name == "" {
-					name = strings.ToLower(fc.Name)
-				}
-				varCols[len(targets)] = strings.ToLower(fc.Name)
-				names = append(names, name)
-				targets = append(targets, sc)
-				continue
-			}
-		}
-		sc, err := compileScalar(tgt.Expr, r)
-		if err != nil {
-			return nil, err
-		}
-		if name == "" {
-			name = defaultName(tgt.Expr)
-		}
-		names = append(names, name)
-		targets = append(targets, sc)
-	}
-
-	out, err := ctable.Project(cur, names, targets)
-	if err != nil {
-		return nil, err
-	}
-
-	if len(expCols) > 0 {
-		for i := range out.Tuples {
-			t := &out.Tuples[i]
-			for outPos := range expCols {
-				if !t.Values[outPos].IsSymbolic() {
-					continue
-				}
-				res, err := db.Expectation(t, outPos, false)
-				if err != nil {
-					return nil, err
-				}
-				t.Values[outPos] = ctable.Float(res.Mean)
-			}
-		}
-	}
-	if len(varCols) > 0 {
-		for i := range out.Tuples {
-			t := &out.Tuples[i]
-			for outPos, kind := range varCols {
-				e, ok := t.Values[outPos].AsExpr()
-				if !ok {
-					return nil, fmt.Errorf("sql: non-numeric %s() target %s", kind, t.Values[outPos])
-				}
-				var clause cond.Clause
-				switch len(t.Cond.Clauses) {
-				case 0:
-					t.Values[outPos] = ctable.Float(0)
-					continue
-				case 1:
-					clause = t.Cond.Clauses[0]
-				default:
-					return nil, fmt.Errorf("sql: %s() over disjunctive conditions is not supported", kind)
-				}
-				v := db.Sampler().Variance(e, clause)
-				if kind == "stddev" {
-					t.Values[outPos] = ctable.Float(v.StdDev)
-				} else {
-					t.Values[outPos] = ctable.Float(v.Variance)
-				}
-			}
-		}
-	}
-	if len(confCols) > 0 {
-		// conf() is probability-removing: fill in the probabilities and
-		// strip conditions.
-		for i := range out.Tuples {
-			t := &out.Tuples[i]
-			res := db.Conf(t)
-			for pos := range confCols {
-				t.Values[pos] = ctable.Float(res.Prob)
-			}
-			t.Cond = cond.TrueCondition()
-		}
-	}
-	return out, nil
-}
-
-// execAggregateSelect handles SELECT with expectation aggregates and
-// optional GROUP BY.
-func execAggregateSelect(db *core.DB, st *SelectStmt, cur *ctable.Table, r *resolver) (*ctable.Table, error) {
 	// Resolve group keys.
 	keyCols := make([]int, 0, len(st.GroupBy))
 	for _, g := range st.GroupBy {
@@ -621,7 +570,7 @@ func execAggregateSelect(db *core.DB, st *SelectStmt, cur *ctable.Table, r *reso
 				if fc.Star || len(fc.Args) != 1 {
 					return nil, fmt.Errorf("sql: %s takes exactly one argument", kind)
 				}
-				sc, err := compileScalar(fc.Args[0], r)
+				sc, err := compileScalar(fc.Args[0], r, env)
 				if err != nil {
 					return nil, err
 				}
@@ -684,8 +633,11 @@ func execAggregateSelect(db *core.DB, st *SelectStmt, cur *ctable.Table, r *reso
 	}
 	out := &ctable.Table{Name: "result", Schema: sch}
 
-	smp := db.Sampler()
+	smp := env.smp
 	for _, g := range groups {
+		if err := env.ctxErr(); err != nil {
+			return nil, err
+		}
 		sub := &ctable.Table{Name: stagedTb.Name, Schema: stagedTb.Schema}
 		for _, ri := range g.Rows {
 			sub.Tuples = append(sub.Tuples, stagedTb.Tuples[ri])
@@ -724,7 +676,7 @@ func execAggregateSelect(db *core.DB, st *SelectStmt, cur *ctable.Table, r *reso
 				if at.kind == "expected_variance" {
 					fold = sampler.VarianceFold
 				}
-				n := db.Config().FixedSamples
+				n := env.db.Config().FixedSamples
 				if n <= 0 {
 					n = 1000
 				}
@@ -748,6 +700,9 @@ func execAggregateSelect(db *core.DB, st *SelectStmt, cur *ctable.Table, r *reso
 					d = d.Or(sub.Tuples[i].Cond)
 				}
 				res := smp.AConf(d)
+				if res.Err != nil {
+					return nil, res.Err
+				}
 				aggVals[ai] = ctable.Float(res.Prob)
 			default:
 				return nil, fmt.Errorf("sql: unhandled aggregate %s", at.kind)
@@ -781,7 +736,7 @@ func defaultName(n Node) string {
 func orderTable(tb *ctable.Table, ref ColRef, desc bool) error {
 	idx := tb.Schema.ColIndex(ref.Column)
 	if idx < 0 {
-		return fmt.Errorf("sql: ORDER BY column %s not in result", ref)
+		return fmt.Errorf("%w %s in ORDER BY (not in result)", ErrUnknownColumn, ref)
 	}
 	var sortErr error
 	sort.SliceStable(tb.Tuples, func(i, j int) bool {

@@ -1,0 +1,108 @@
+package sql
+
+import (
+	"context"
+	"fmt"
+
+	"pip/internal/core"
+	"pip/internal/ctable"
+)
+
+// Prepared is a prepared statement: the statement is lexed and parsed once,
+// the resulting AST (the planner's input) is cached, and each execution
+// binds a fresh argument vector against the ? placeholders — the
+// prepare-once / bind-many idiom of database drivers. A Prepared is
+// immutable after Prepare and safe for concurrent execution.
+type Prepared struct {
+	src      string
+	st       Stmt
+	numInput int
+}
+
+// Prepare parses one statement for later execution. Syntax errors are
+// *ParseError values wrapping ErrParse.
+func Prepare(src string) (*Prepared, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{src: src, st: st, numInput: NumParams(st)}, nil
+}
+
+// NumInput returns the number of ? placeholders the statement binds.
+func (p *Prepared) NumInput() int { return p.numInput }
+
+// Source returns the statement text the Prepared was built from.
+func (p *Prepared) Source() string { return p.src }
+
+// checkArity validates the bound argument count against the placeholder
+// count, wrapping ErrBind on mismatch.
+func (p *Prepared) checkArity(args []ctable.Value) error {
+	if len(args) != p.numInput {
+		return fmt.Errorf("%w: statement has %d placeholder(s), got %d argument(s)",
+			ErrBind, p.numInput, len(args))
+	}
+	return nil
+}
+
+// Exec executes the statement with bound arguments, returning the
+// materialized result table (nil for DDL/DML).
+func (p *Prepared) Exec(db *core.DB, args ...ctable.Value) (*ctable.Table, error) {
+	return p.ExecContext(context.Background(), db, args...)
+}
+
+// ExecContext is Exec under a request context: cancellation or deadline
+// expiry aborts sampling promptly and returns ctx.Err(), never a partial
+// result.
+func (p *Prepared) ExecContext(ctx context.Context, db *core.DB, args ...ctable.Value) (*ctable.Table, error) {
+	if err := p.checkArity(args); err != nil {
+		return nil, err
+	}
+	return ExecStmtContext(ctx, db, p.st, args...)
+}
+
+// Query executes the statement with bound arguments, returning a streaming
+// cursor over the result rows.
+func (p *Prepared) Query(db *core.DB, args ...ctable.Value) (Cursor, error) {
+	return p.QueryContext(context.Background(), db, args...)
+}
+
+// QueryContext is Query under a request context. Aggregate-free SELECTs
+// (without DISTINCT or ORDER BY, which are blocking) stream: each row is
+// joined, filtered and projected on demand as the cursor advances, without
+// materializing the result table. Other statements execute eagerly and the
+// cursor iterates the materialized result.
+func (p *Prepared) QueryContext(ctx context.Context, db *core.DB, args ...ctable.Value) (Cursor, error) {
+	if err := p.checkArity(args); err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if sel, ok := p.st.(*SelectStmt); ok && streamable(sel) {
+		env := newExecEnv(ctx, db, args)
+		q, err := compilePlain(env, sel)
+		if err != nil {
+			return nil, err
+		}
+		var cur Cursor = q.cursor()
+		if sel.Limit > 0 {
+			cur = &limitCursor{Cursor: cur, remaining: sel.Limit}
+		}
+		return cur, nil
+	}
+	tb, err := ExecStmtContext(ctx, db, p.st, args...)
+	if err != nil {
+		return nil, err
+	}
+	return NewTableCursor(tb), nil
+}
+
+// streamable reports whether a SELECT can be evaluated row-at-a-time:
+// aggregates consume the whole input, and DISTINCT / ORDER BY are blocking
+// operators.
+func streamable(st *SelectStmt) bool {
+	return !selectHasAggregates(st) && !st.Distinct && st.OrderBy == nil
+}

@@ -42,6 +42,7 @@
 package pip
 
 import (
+	"context"
 	"fmt"
 
 	"pip/internal/cond"
@@ -111,28 +112,40 @@ func (db *DB) Core() *core.DB { return db.core }
 
 // ---------------------------------------------------------------------------
 // SQL interface
+//
+// The canonical query surface is driver-grade: Prepare once / bind many
+// (? placeholders), QueryContext/ExecContext for cancellation, and Rows for
+// streaming typed row consumption — see query.go and rows.go, and the
+// pip/driver package for the database/sql embedding. The one-shot helpers
+// below remain as thin wrappers.
 
-// Exec runs a statement, discarding any result table.
-func (db *DB) Exec(query string) error {
-	_, err := sql.Exec(db.core, query)
-	return err
+// Exec runs a statement with optionally bound ? placeholder arguments,
+// discarding any result table. Thin wrapper over ExecContext.
+func (db *DB) Exec(query string, args ...any) error {
+	return db.ExecContext(context.Background(), query, args...)
 }
 
 // MustExec is Exec panicking on error; for straight-line example code.
-func (db *DB) MustExec(query string) {
-	if err := db.Exec(query); err != nil {
+func (db *DB) MustExec(query string, args ...any) {
+	if err := db.Exec(query, args...); err != nil {
 		panic(err)
 	}
 }
 
-// Query runs a SELECT and returns the result c-table.
-func (db *DB) Query(query string) (*Table, error) {
-	return sql.Exec(db.core, query)
+// Query runs a statement with optionally bound ? placeholder arguments and
+// returns the materialized result c-table (nil for DDL/DML). For streaming
+// row consumption use QueryRows/QueryContext instead.
+func (db *DB) Query(query string, args ...any) (*Table, error) {
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return sql.ExecContext(context.Background(), db.core, query, vals...)
 }
 
 // MustQuery is Query panicking on error.
-func (db *DB) MustQuery(query string) *Table {
-	out, err := db.Query(query)
+func (db *DB) MustQuery(query string, args ...any) *Table {
+	out, err := db.Query(query, args...)
 	if err != nil {
 		panic(err)
 	}
@@ -156,6 +169,10 @@ type Variable = expr.Variable
 
 // Expr is a random-variable equation.
 type Expr = expr.Expr
+
+// Condition is a c-table row condition in DNF — a disjunction of
+// conjunctive clauses over random-variable atoms (exposed by Rows.Cond).
+type Condition = cond.Condition
 
 // Result reports an expectation/confidence computation.
 type Result = sampler.Result

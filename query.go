@@ -1,0 +1,173 @@
+package pip
+
+import (
+	"context"
+	"fmt"
+
+	"pip/internal/ctable"
+	"pip/internal/expr"
+	"pip/internal/sql"
+)
+
+// Stmt is a prepared statement: parsed once by Prepare, executed many times
+// with per-call placeholder bindings. A Stmt is immutable and safe for
+// concurrent use by multiple goroutines.
+type Stmt struct {
+	db *DB
+	p  *sql.Prepared
+}
+
+// Prepare parses a statement for repeated execution. ? placeholders bind
+// positionally at Query/Exec time; parse failures wrap ErrParse and carry a
+// *ParseError position.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	p, err := sql.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, p: p}, nil
+}
+
+// PrepareContext is Prepare honoring ctx cancellation (parsing is
+// CPU-bound and quick, so the context is only checked, not plumbed).
+func (db *DB) PrepareContext(ctx context.Context, query string) (*Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return db.Prepare(query)
+}
+
+// NumInput returns the number of ? placeholders the statement binds.
+func (s *Stmt) NumInput() int { return s.p.NumInput() }
+
+// Close releases the statement. Prepared statements hold no engine
+// resources, so Close is a no-op provided for driver-style symmetry.
+func (s *Stmt) Close() error { return nil }
+
+// Query executes the statement and streams the result rows.
+func (s *Stmt) Query(args ...any) (*Rows, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext executes the statement under ctx and streams the result
+// rows. Cancellation or deadline expiry stops the parallel sampler at its
+// next batch dispatch or round barrier and surfaces ctx.Err() from
+// Rows.Err (or here, when cancelled before execution begins) — never a
+// partial result.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := s.p.QueryContext(ctx, s.db.core, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(cur), nil
+}
+
+// QueryTable executes the statement and materializes the full result
+// c-table — the Table-returning twin of Query for callers feeding the
+// programmatic operators.
+func (s *Stmt) QueryTable(args ...any) (*Table, error) {
+	return s.QueryTableContext(context.Background(), args...)
+}
+
+// QueryTableContext is QueryTable under a request context.
+func (s *Stmt) QueryTableContext(ctx context.Context, args ...any) (*Table, error) {
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.p.ExecContext(ctx, s.db.core, vals...)
+}
+
+// Exec executes the statement, discarding any result rows.
+func (s *Stmt) Exec(args ...any) error {
+	return s.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec under a request context.
+func (s *Stmt) ExecContext(ctx context.Context, args ...any) error {
+	_, err := s.QueryTableContext(ctx, args...)
+	return err
+}
+
+// QueryContext runs a statement under ctx with bound placeholder arguments,
+// streaming the result rows. One-shot form of Prepare + Stmt.QueryContext.
+func (db *DB) QueryContext(ctx context.Context, query string, args ...any) (*Rows, error) {
+	st, err := db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return st.QueryContext(ctx, args...)
+}
+
+// QueryRows is QueryContext with a background context.
+func (db *DB) QueryRows(query string, args ...any) (*Rows, error) {
+	return db.QueryContext(context.Background(), query, args...)
+}
+
+// ExecContext runs a statement under ctx with bound placeholder arguments,
+// discarding any result rows.
+func (db *DB) ExecContext(ctx context.Context, query string, args ...any) error {
+	st, err := db.Prepare(query)
+	if err != nil {
+		return err
+	}
+	return st.ExecContext(ctx, args...)
+}
+
+// bindArgs converts caller arguments to engine values.
+func bindArgs(args []any) ([]ctable.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]ctable.Value, len(args))
+	for i, a := range args {
+		v, err := BindValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("%w: argument %d: %v", ErrBind, i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// BindValue converts a Go value to an engine Value, as placeholder binding
+// does: numerics, strings, bools, []byte (as string), an existing Value,
+// a random Variable, or a symbolic Expr. nil binds NULL.
+func BindValue(a any) (Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return ctable.Null(), nil
+	case Value:
+		return v, nil
+	case float64:
+		return ctable.Float(v), nil
+	case float32:
+		return ctable.Float(float64(v)), nil
+	case int:
+		return ctable.Int(int64(v)), nil
+	case int64:
+		return ctable.Int(v), nil
+	case int32:
+		return ctable.Int(int64(v)), nil
+	case uint:
+		return ctable.Int(int64(v)), nil
+	case uint32:
+		return ctable.Int(int64(v)), nil
+	case string:
+		return ctable.String_(v), nil
+	case []byte:
+		return ctable.String_(string(v)), nil
+	case bool:
+		return ctable.Bool(v), nil
+	case *Variable:
+		return ctable.Symbolic(expr.NewVar(v)), nil
+	case Expr:
+		return ctable.Symbolic(v), nil
+	default:
+		return Value{}, fmt.Errorf("unsupported bind type %T", a)
+	}
+}

@@ -1,0 +1,231 @@
+package pip
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRowsScan is the typed-scan matrix: every destination type against
+// every cell kind, successes and rejections.
+func TestRowsScan(t *testing.T) {
+	db := Open(Options{Seed: 11})
+	// The engine parses INSERT numeric literals as floats; bind an int64 to
+	// get a KindInt cell into the matrix.
+	db.MustExec("CREATE TABLE t (f, i, s, e)")
+	db.MustExec("INSERT INTO t VALUES (?, ?, ?, CREATE_VARIABLE('Normal', 3, 1))",
+		2.5, int64(42), "hi")
+
+	open := func() *Rows {
+		rows, err := db.QueryRows("SELECT f, i, s, e FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatalf("no row: %v", rows.Err())
+		}
+		return rows
+	}
+
+	t.Run("matching-types", func(t *testing.T) {
+		rows := open()
+		defer rows.Close()
+		var f float64
+		var i int64
+		var s string
+		var e Expr
+		if err := rows.Scan(&f, &i, &s, &e); err != nil {
+			t.Fatal(err)
+		}
+		if f != 2.5 || i != 42 || s != "hi" || e == nil {
+			t.Fatalf("scanned %v %v %q %v", f, i, s, e)
+		}
+	})
+
+	t.Run("any-and-value", func(t *testing.T) {
+		rows := open()
+		defer rows.Close()
+		var a, b, c, d any
+		if err := rows.Scan(&a, &b, &c, &d); err != nil {
+			t.Fatal(err)
+		}
+		if a.(float64) != 2.5 || b.(int64) != 42 || c.(string) != "hi" {
+			t.Fatalf("any scan: %v %v %v", a, b, c)
+		}
+		if _, ok := d.(Expr); !ok {
+			t.Fatalf("symbolic any scan: %T", d)
+		}
+		rows2 := open()
+		defer rows2.Close()
+		var vals [4]Value
+		if err := rows2.Scan(&vals[0], &vals[1], &vals[2], &vals[3]); err != nil {
+			t.Fatal(err)
+		}
+		if !vals[3].IsSymbolic() {
+			t.Fatalf("raw value scan: %v", vals[3])
+		}
+	})
+
+	t.Run("numeric-coercions", func(t *testing.T) {
+		rows := open()
+		defer rows.Close()
+		// int cell into *float64; integral float cell would coerce to int64
+		// (f = 2.5 does not).
+		var f float64
+		var skip any
+		if err := rows.Scan(&skip, &f, &skip, &skip); err != nil {
+			t.Fatal(err)
+		}
+		if f != 42 {
+			t.Fatalf("int into float64: %v", f)
+		}
+		rows2 := open()
+		defer rows2.Close()
+		var i int64
+		if err := rows2.Scan(&i, &skip, &skip, &skip); err == nil {
+			t.Fatal("non-integral float scanned into *int64")
+		}
+	})
+
+	t.Run("rejections", func(t *testing.T) {
+		rows := open()
+		defer rows.Close()
+		var skip any
+		var f float64
+		err := rows.Scan(&skip, &skip, &skip, &f)
+		if err == nil || !strings.Contains(err.Error(), "symbolic") {
+			t.Fatalf("symbolic into *float64: %v", err)
+		}
+		var s string
+		if err := rows.Scan(&s, &skip, &skip, &skip); err == nil {
+			t.Fatal("float scanned into *string")
+		}
+		var b bool
+		if err := rows.Scan(&b, &skip, &skip, &skip); err == nil {
+			t.Fatal("float scanned into *bool")
+		}
+		if err := rows.Scan(&skip, &skip, &skip); err == nil {
+			t.Fatal("arity mismatch accepted")
+		}
+		var unsupported struct{}
+		if err := rows.Scan(&unsupported, &skip, &skip, &skip); err == nil {
+			t.Fatal("unsupported destination accepted")
+		}
+	})
+}
+
+// TestRowsIteration covers Columns, Cond, Err and Close behavior over a
+// multi-row streaming result.
+func TestRowsIteration(t *testing.T) {
+	db := Open(Options{Seed: 3})
+	db.MustExec("CREATE TABLE t (name, v)")
+	db.MustExec("INSERT INTO t VALUES ('a', 1), ('b', CREATE_VARIABLE('Normal', 0, 1))")
+
+	rows, err := db.QueryRows("SELECT name FROM t WHERE v > 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Columns(); len(got) != 1 || got[0] != "name" {
+		t.Fatalf("columns %v", got)
+	}
+	var names []string
+	symbolic := 0
+	for rows.Next() {
+		var n string
+		if err := rows.Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Cond().IsTrue() {
+			symbolic++
+		}
+		names = append(names, n)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 'a' passes deterministically; 'b' survives with the symbolic
+	// condition v > 0.5 attached.
+	if len(names) != 2 || symbolic != 1 {
+		t.Fatalf("names %v, symbolic %d", names, symbolic)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Next() {
+		t.Fatal("Next after Close")
+	}
+}
+
+// TestStmtPrepareBindMany exercises the public prepared-statement surface
+// with mixed Go argument types.
+func TestStmtPrepareBindMany(t *testing.T) {
+	db := Open(Options{Seed: 2})
+	db.MustExec("CREATE TABLE t (name, v)")
+	ins, err := db.Prepare("INSERT INTO t VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	if ins.NumInput() != 2 {
+		t.Fatalf("NumInput %d", ins.NumInput())
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if err := ins.Exec(name, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := db.Prepare("SELECT name FROM t WHERE v >= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(bound any) int {
+		rows, err := sel.Query(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if got := count(2); got != 2 {
+		t.Fatalf("v >= 2: %d rows", got)
+	}
+	if got := count(2.5); got != 1 {
+		t.Fatalf("v >= 2.5: %d rows", got)
+	}
+	if _, err := sel.Query("x", "y"); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := sel.Query(struct{}{}); err == nil {
+		t.Fatal("unsupported bind type accepted")
+	}
+}
+
+// TestQueryExpectationViaRows streams a per-row expectation and checks the
+// value, proving row functions run on the streaming path.
+func TestQueryExpectationViaRows(t *testing.T) {
+	db := Open(Options{Seed: 5})
+	db.MustExec("CREATE TABLE t (v)")
+	db.MustExec("INSERT INTO t VALUES (CREATE_VARIABLE('Normal', 3, 1))")
+	rows, err := db.QueryRows("SELECT expectation(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no row: %v", rows.Err())
+	}
+	var got float64
+	if err := rows.Scan(&got); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 1e-9 {
+		t.Fatalf("expectation %v", got)
+	}
+}
