@@ -12,6 +12,8 @@
 package pip
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"pip/internal/bench"
@@ -22,6 +24,7 @@ import (
 	"pip/internal/expr"
 	"pip/internal/iceberg"
 	"pip/internal/sampler"
+	"pip/internal/sql"
 	"pip/internal/tpch"
 )
 
@@ -367,6 +370,62 @@ func BenchmarkAblationFixed1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = s.Expectation(expr.NewVar(y), c, false)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Query planner: 3-table equi-join, hash join vs the nested-loop odometer.
+//
+// The planner extracts r.a = s.a / s.b = t.b into hash joins; with hash
+// joins (and the other rewrite rules) disabled via planner hints, the same
+// query runs as the pre-planner filtered cross product. Deterministic
+// values keep the sampler out of the loop, so the pair isolates the join
+// path itself.
+
+const join3Rows = 48
+
+func join3DB() *DB {
+	db := Open(Options{Seed: 5})
+	db.MustExec("CREATE TABLE jr (a, ra)")
+	db.MustExec("CREATE TABLE js (a, b, sb)")
+	db.MustExec("CREATE TABLE jt (b, tc)")
+	for i := 0; i < join3Rows; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO jr VALUES (%d, %d)", i, i*2))
+		db.MustExec(fmt.Sprintf("INSERT INTO js VALUES (%d, %d, %d)", i, i+1000, i*3))
+		db.MustExec(fmt.Sprintf("INSERT INTO jt VALUES (%d, %d)", i+1000, i*5))
+	}
+	return db
+}
+
+const join3Query = `SELECT jr.ra, js.sb, jt.tc FROM jr, js, jt
+	WHERE jr.a = js.a AND js.b = jt.b`
+
+func benchmarkJoin3(b *testing.B, hints sql.Hints) {
+	db := join3DB()
+	ctx := sql.WithHints(context.Background(), hints)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.QueryContext(ctx, join3Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		rows.Close()
+		if n != join3Rows {
+			b.Fatalf("join produced %d rows, want %d", n, join3Rows)
+		}
+	}
+}
+
+func BenchmarkJoin3HashJoin(b *testing.B) { benchmarkJoin3(b, sql.Hints{}) }
+
+func BenchmarkJoin3NestedLoop(b *testing.B) {
+	benchmarkJoin3(b, sql.Hints{NoFold: true, NoPushdown: true, NoHashJoin: true, NoPrune: true})
 }
 
 // ---------------------------------------------------------------------------

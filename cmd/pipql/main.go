@@ -3,10 +3,11 @@
 //	pipql [-seed N] [-demo]
 //
 // With -demo, the running example of the paper (orders x shipping) is
-// preloaded. Statements end with a semicolon; \d lists tables, \q quits.
-// Results stream row by row, Ctrl-C cancels the running query (the parallel
-// sampler aborts at its next round barrier), and parse errors report their
-// line:column position with a caret.
+// preloaded. Statements end with a semicolon; \d lists tables, \timing
+// toggles per-query wall time, \q quits. Results stream row by row,
+// EXPLAIN [ANALYZE] prints the planner's operator tree, Ctrl-C cancels the
+// running query (the parallel sampler aborts at its next round barrier),
+// and parse errors report their line:column position with a caret.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"pip"
 )
@@ -37,9 +39,10 @@ func main() {
      WHERE o.shipto = s.dest AND o.cust = 'Joe' AND s.duration >= 7;`)
 	}
 
-	fmt.Println("pipql — PIP probabilistic SQL. End statements with ';'. \\d lists tables, \\q quits.")
+	fmt.Println("pipql — PIP probabilistic SQL. End statements with ';'. \\d lists tables, \\timing toggles timing, \\q quits.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	timing := false
 	var buf strings.Builder
 	fmt.Print("pip> ")
 	for sc.Scan() {
@@ -52,6 +55,15 @@ func main() {
 			describeTables(db)
 			fmt.Print("pip> ")
 			continue
+		case `\timing`:
+			timing = !timing
+			if timing {
+				fmt.Println("Timing is on.")
+			} else {
+				fmt.Println("Timing is off.")
+			}
+			fmt.Print("pip> ")
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
@@ -61,7 +73,11 @@ func main() {
 		}
 		stmt := buf.String()
 		buf.Reset()
+		start := time.Now()
 		runStatement(db, stmt)
+		if timing {
+			fmt.Printf("Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
+		}
 		fmt.Print("pip> ")
 	}
 }
@@ -96,6 +112,17 @@ func runStatement(db *pip.DB, stmt string) {
 	cols := rows.Columns()
 	if len(cols) == 0 {
 		fmt.Println("ok")
+		return
+	}
+	// EXPLAIN results are an already-indented operator tree: print the
+	// lines raw instead of as tuples.
+	if len(cols) == 1 && cols[0] == "QUERY PLAN" {
+		for rows.Next() {
+			fmt.Println(rows.Values()[0].S)
+		}
+		if err := rows.Err(); err != nil {
+			printError(stmt, err)
+		}
 		return
 	}
 	fmt.Printf("(%s)\n", strings.Join(cols, ", "))

@@ -195,3 +195,52 @@ func TestDriverErrors(t *testing.T) {
 		t.Fatal("transactions accepted")
 	}
 }
+
+// TestExplainThroughDriver runs EXPLAIN over database/sql: the plan arrives
+// as ordinary rows with a single QUERY PLAN string column, so any SQL
+// tooling on the pool can inspect the planner.
+func TestExplainThroughDriver(t *testing.T) {
+	db, err := sql.Open("pip", "seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec(`CREATE TABLE l (k, lv)`)
+	mustExec(`CREATE TABLE r (k, rv)`)
+	mustExec(`INSERT INTO l VALUES (1, 10), (2, 20)`)
+	mustExec(`INSERT INTO r VALUES (1, 'x'), (2, 'y')`)
+
+	rows, err := db.Query(`EXPLAIN ANALYZE SELECT l.lv, r.rv FROM l, r WHERE l.k = r.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || cols[0] != "QUERY PLAN" {
+		t.Fatalf("columns %v", cols)
+	}
+	var plan []string
+	for rows.Next() {
+		var line string
+		if err := rows.Scan(&line); err != nil {
+			t.Fatal(err)
+		}
+		plan = append(plan, line)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(plan, "\n")
+	if !strings.Contains(text, "HashJoin") || !strings.Contains(text, "rows=") {
+		t.Fatalf("plan through driver:\n%s", text)
+	}
+}

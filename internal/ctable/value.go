@@ -252,6 +252,12 @@ func (v Value) String() string {
 	}
 }
 
+// HashKey returns a hashable representation of a deterministic value,
+// consistent with Compare/Equal semantics: numerically equal int/float pairs
+// share a key. Used by hash-join pairing, grouping and distinct. Symbolic
+// values key by equation syntax and must not be used for equality pairing.
+func (v Value) HashKey() string { return v.key() }
+
 // key returns a hashable representation used for grouping and distinct.
 func (v Value) key() string {
 	switch v.Kind {

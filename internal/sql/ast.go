@@ -42,6 +42,17 @@ type DropStmt struct{ Name string }
 
 func (*DropStmt) stmt() {}
 
+// ExplainStmt is EXPLAIN [ANALYZE] <select>: plan the query and return the
+// physical operator tree as a one-column table named "QUERY PLAN" instead of
+// the query's rows. Under ANALYZE the query also executes, annotating every
+// operator with its emitted row count and cumulative wall time.
+type ExplainStmt struct {
+	Analyze bool
+	Query   *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
 // SetStmt is SET name = value: a session setting applied to the database's
 // sampling configuration (e.g. SET workers = 4, SET samples = 1000).
 type SetStmt struct {
@@ -126,6 +137,8 @@ func (Placeholder) node() {}
 func NumParams(st Stmt) int {
 	n := 0
 	switch s := st.(type) {
+	case *ExplainStmt:
+		return NumParams(s.Query)
 	case *SelectStmt:
 		for _, tgt := range s.Targets {
 			n += countParams(tgt.Expr)

@@ -1,0 +1,161 @@
+// EXPLAIN [ANALYZE]: the public window onto the planner. The statement form
+// returns the rendered operator tree as a one-column "QUERY PLAN" table (so
+// it flows through every query surface — Rows, pipql, database/sql);
+// ExplainContext returns the typed tree for programmatic consumers.
+
+package sql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"pip/internal/core"
+	"pip/internal/ctable"
+)
+
+// PlanNode is one operator of a compiled query plan, as returned by
+// ExplainContext (and pip.DB.Explain). Rows and Elapsed are populated only
+// when Analyzed is true (EXPLAIN ANALYZE): Rows counts the tuples the
+// operator emitted and Elapsed is the cumulative wall time spent in the
+// operator including its children.
+type PlanNode struct {
+	// Op names the operator ("Scan", "HashJoin", "Filter", ...).
+	Op string
+	// Detail carries operator-specific information ("orders as o", join
+	// keys, predicate text).
+	Detail string
+	// Columns lists the operator's output column names.
+	Columns []string
+	// Analyzed reports whether Rows and Elapsed carry execution counters.
+	Analyzed bool
+	// Rows is the number of tuples the operator emitted (ANALYZE only).
+	Rows int64
+	// Elapsed is cumulative operator wall time, children included
+	// (ANALYZE only).
+	Elapsed time.Duration
+	// Children are the operator's inputs, left to right.
+	Children []*PlanNode
+}
+
+// String renders the plan as an indented operator tree, one line per
+// operator.
+func (n *PlanNode) String() string {
+	return strings.Join(n.Lines(), "\n")
+}
+
+// Lines renders the plan tree as indented lines (two spaces per depth).
+func (n *PlanNode) Lines() []string {
+	var out []string
+	n.render(&out, 0)
+	return out
+}
+
+func (n *PlanNode) render(out *[]string, depth int) {
+	line := strings.Repeat("  ", depth) + n.Op
+	if n.Detail != "" {
+		line += " " + n.Detail
+	}
+	if n.Analyzed {
+		line += fmt.Sprintf(" [rows=%d time=%s]", n.Rows, n.Elapsed.Round(time.Microsecond))
+	}
+	*out = append(*out, line)
+	for _, c := range n.Children {
+		c.render(out, depth+1)
+	}
+}
+
+// toPlanNode converts a physical operator tree into the public typed tree.
+func toPlanNode(op operator, analyzed bool) *PlanNode {
+	b := op.base()
+	n := &PlanNode{
+		Op:       b.name,
+		Detail:   b.detail,
+		Columns:  append([]string(nil), b.cols...),
+		Analyzed: analyzed,
+	}
+	if analyzed {
+		n.Rows = b.stats.rows
+		n.Elapsed = b.stats.elapsed
+	}
+	for _, k := range b.kids {
+		n.Children = append(n.Children, toPlanNode(k, analyzed))
+	}
+	return n
+}
+
+// Explain plans (and under analyze also executes) one SELECT statement and
+// returns the typed operator tree. See ExplainContext.
+func Explain(db *core.DB, src string, args ...ctable.Value) (*PlanNode, error) {
+	return ExplainContext(context.Background(), db, src, args...)
+}
+
+// ExplainContext plans one SELECT under a request context and returns the
+// typed operator tree. src may be a bare SELECT (plan only), or an EXPLAIN
+// / EXPLAIN ANALYZE statement — under ANALYZE the query executes (its rows
+// are discarded) and every node carries emitted row counts and cumulative
+// wall times. Placeholders bind from args exactly as in execution, so plans
+// reflect the bound constants.
+func ExplainContext(ctx context.Context, db *core.DB, src string, args ...ctable.Value) (*PlanNode, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	analyze := false
+	var sel *SelectStmt
+	switch s := st.(type) {
+	case *ExplainStmt:
+		analyze = s.Analyze
+		sel = s.Query
+	case *SelectStmt:
+		sel = s
+	default:
+		return nil, fmt.Errorf("sql: EXPLAIN supports SELECT statements, got %T", st)
+	}
+	if n := NumParams(sel); n != len(args) {
+		return nil, fmt.Errorf("%w: statement has %d placeholder(s), got %d argument(s)",
+			ErrBind, n, len(args))
+	}
+	env := newExecEnv(ctx, db, args)
+	if err := env.ctxErr(); err != nil {
+		return nil, err
+	}
+	plan, err := planSelect(env, sel, analyze)
+	if err != nil {
+		return nil, err
+	}
+	if analyze {
+		if _, err := plan.drain(); err != nil {
+			return nil, err
+		}
+	}
+	return toPlanNode(plan.root, analyze), nil
+}
+
+// execExplain runs an EXPLAIN [ANALYZE] statement, rendering the plan tree
+// into a one-column "QUERY PLAN" table.
+func execExplain(env execEnv, st *ExplainStmt) (*ctable.Table, error) {
+	plan, err := planSelect(env, st.Query, st.Analyze)
+	if err != nil {
+		return nil, err
+	}
+	var total time.Duration
+	if st.Analyze {
+		start := time.Now()
+		if _, err := plan.drain(); err != nil {
+			return nil, err
+		}
+		total = time.Since(start)
+	}
+	node := toPlanNode(plan.root, st.Analyze)
+	out := &ctable.Table{Name: "explain", Schema: ctable.Schema{{Name: "QUERY PLAN"}}}
+	for _, line := range node.Lines() {
+		out.Tuples = append(out.Tuples, ctable.NewTuple(ctable.String_(line)))
+	}
+	if st.Analyze {
+		out.Tuples = append(out.Tuples, ctable.NewTuple(ctable.String_(
+			fmt.Sprintf("Execution time: %s", total.Round(time.Microsecond)))))
+	}
+	return out, nil
+}

@@ -1,0 +1,945 @@
+// Physical operators: every plan node lowers onto an operator implementing
+// the public Cursor interface, so the whole engine — eager execution,
+// streaming Rows, EXPLAIN — runs one pull-based pipeline. Operators track
+// emitted row counts (and, under EXPLAIN ANALYZE, cumulative wall time) in
+// an embedded opBase.
+
+package sql
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"pip/internal/cond"
+	"pip/internal/ctable"
+	"pip/internal/sampler"
+)
+
+// opStats holds per-operator execution counters for EXPLAIN ANALYZE.
+type opStats struct {
+	rows    int64
+	elapsed time.Duration // cumulative: includes time spent in child operators
+}
+
+// operator is a physical plan node: a Cursor plus plan-rendering metadata.
+type operator interface {
+	Cursor
+	base() *opBase
+}
+
+// opBase carries the metadata common to all operators.
+type opBase struct {
+	name   string
+	detail string
+	cols   []string
+	kids   []operator
+	stats  opStats
+	timed  bool
+}
+
+func (b *opBase) base() *opBase { return b }
+
+// Columns implements Cursor.
+func (b *opBase) Columns() []string { return b.cols }
+
+// begin starts a timing window when ANALYZE instrumentation is on.
+func (b *opBase) begin() time.Time {
+	if b.timed {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// emit closes the timing window and counts the emitted row (nil on
+// EOF/error), passing the pair through for a tail-call from Next.
+func (b *opBase) emit(t0 time.Time, t *ctable.Tuple, err error) (*ctable.Tuple, error) {
+	if b.timed {
+		b.stats.elapsed += time.Since(t0)
+	}
+	if t != nil {
+		b.stats.rows++
+	}
+	return t, err
+}
+
+// closeKids closes all child operators, keeping the first error.
+func (b *opBase) closeKids() error {
+	var first error
+	for _, k := range b.kids {
+		if err := k.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// physPlan is a lowered, executable plan.
+type physPlan struct {
+	root operator
+	name string // result table name
+}
+
+// drain runs the plan to completion, materializing the result c-table —
+// the eager execution path shares the streaming operator pipeline.
+func (p *physPlan) drain() (*ctable.Table, error) {
+	names := p.root.Columns()
+	sch := make(ctable.Schema, len(names))
+	for i, n := range names {
+		sch[i] = ctable.Column{Name: n}
+	}
+	out := &ctable.Table{Name: p.name, Schema: sch}
+	defer p.root.Close()
+	for {
+		t, err := p.root.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Tuples = append(out.Tuples, t.Clone())
+	}
+}
+
+// lowerNode lowers a logical node onto its operator, recursively.
+func lowerNode(env execEnv, n lnode, timed bool) (operator, error) {
+	mk := func(cols []string, kids ...operator) opBase {
+		return opBase{name: n.op(), detail: n.detail(), cols: cols, kids: kids, timed: timed}
+	}
+	switch t := n.(type) {
+	case *lScan:
+		pre := make([]ctable.Compare, len(t.pre))
+		for i, p := range t.pre {
+			pre[i] = p.cmp
+		}
+		return &scanOp{opBase: mk(t.outCols()), env: env, tuples: t.tuples, keep: t.keep, pre: pre}, nil
+	case *lJoin:
+		left, err := lowerNode(env, t.left, timed)
+		if err != nil {
+			return nil, err
+		}
+		right, err := lowerNode(env, t.right, timed)
+		if err != nil {
+			return nil, err
+		}
+		cols := append(append([]string{}, left.Columns()...), right.Columns()...)
+		if t.hash {
+			return &hashJoinOp{opBase: mk(cols, left, right), env: env,
+				left: left, right: right, leftKeys: t.leftKeys, rightKeys: t.rightKeys}, nil
+		}
+		return &nestedLoopOp{opBase: mk(cols, left, right), env: env, left: left, right: right}, nil
+	case *lFilter:
+		child, err := lowerNode(env, t.input, timed)
+		if err != nil {
+			return nil, err
+		}
+		pred := make(ctable.AndPred, len(t.preds))
+		for i, p := range t.preds {
+			pred[i] = p.cmp
+		}
+		return &filterOp{opBase: mk(child.Columns(), child), child: child, pred: pred}, nil
+	case *lProject:
+		child, err := lowerNode(env, t.input, timed)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{opBase: mk(t.names, child), env: env, child: child, spec: t}, nil
+	case *lAggregate:
+		child, err := lowerNode(env, t.input, timed)
+		if err != nil {
+			return nil, err
+		}
+		return &aggOp{opBase: mk(t.outNames, child), env: env, child: child, spec: t}, nil
+	case *lDistinct:
+		child, err := lowerNode(env, t.input, timed)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{opBase: mk(child.Columns(), child), child: child}, nil
+	case *lSort:
+		child, err := lowerNode(env, t.input, timed)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{opBase: mk(child.Columns(), child), child: child, col: t.col, colName: t.name, desc: t.desc}, nil
+	case *lLimit:
+		child, err := lowerNode(env, t.input, timed)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{opBase: mk(child.Columns(), child), child: child, remaining: t.n}, nil
+	case *lEmpty:
+		return &emptyOp{opBase: mk(nil)}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown plan node %T", n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+
+// scanOp iterates a table snapshot, skipping tuples with trivially false
+// conditions, applying the pushed-down drop-only prefilter, and projecting
+// the kept columns. Prefilter evaluation errors are deferred to the final
+// Filter, which re-evaluates the same comparison on every surviving row;
+// rows the prefilter drops (or starves downstream of) follow the rewriter's
+// error-scope contract (see rewrite.go).
+type scanOp struct {
+	opBase
+	env    execEnv
+	tuples []ctable.Tuple
+	keep   []int
+	pre    []ctable.Compare
+	i      int
+	done   bool
+}
+
+// Next implements Cursor.
+func (o *scanOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	for {
+		if o.done {
+			return o.emit(t0, nil, io.EOF)
+		}
+		if err := o.env.ctxErr(); err != nil {
+			o.done = true
+			return o.emit(t0, nil, err)
+		}
+		if o.i >= len(o.tuples) {
+			o.done = true
+			return o.emit(t0, nil, io.EOF)
+		}
+		t := &o.tuples[o.i]
+		o.i++
+		if t.Cond.IsFalse() {
+			continue
+		}
+		dropped := false
+		for _, p := range o.pre {
+			outcome, _, err := p.Eval(t)
+			if err == nil && outcome == ctable.PredFalse {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		if o.keep == nil {
+			return o.emit(t0, t, nil)
+		}
+		vals := make([]ctable.Value, len(o.keep))
+		for n, c := range o.keep {
+			vals[n] = t.Values[c]
+		}
+		return o.emit(t0, &ctable.Tuple{Values: vals, Cond: t.Cond}, nil)
+	}
+}
+
+// Close implements Cursor.
+func (o *scanOp) Close() error {
+	o.done = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+
+// nestedLoopOp is the filtered-cross-product fallback for joins without
+// extractable equi-keys: the right input materializes once, then every left
+// tuple pairs with every right tuple (conditions conjoined, trivially false
+// pairs dropped) in the same order the pre-planner odometer produced.
+type nestedLoopOp struct {
+	opBase
+	env         execEnv
+	left, right operator
+	inner       []ctable.Tuple
+	built       bool
+	cur         *ctable.Tuple
+	ri          int
+	done        bool
+}
+
+// Next implements Cursor.
+func (o *nestedLoopOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	if o.done {
+		return o.emit(t0, nil, io.EOF)
+	}
+	if !o.built {
+		if err := materialize(o.right, &o.inner); err != nil {
+			o.done = true
+			return o.emit(t0, nil, err)
+		}
+		o.built = true
+	}
+	for {
+		if o.cur == nil {
+			t, err := o.left.Next()
+			if err != nil {
+				o.done = true
+				return o.emit(t0, nil, err)
+			}
+			o.cur = t
+			o.ri = 0
+		}
+		for o.ri < len(o.inner) {
+			if err := o.env.ctxErr(); err != nil {
+				o.done = true
+				return o.emit(t0, nil, err)
+			}
+			r := &o.inner[o.ri]
+			o.ri++
+			nc := o.cur.Cond.And(r.Cond)
+			if nc.IsFalse() {
+				continue
+			}
+			return o.emit(t0, joinTuple(o.cur, r, nc), nil)
+		}
+		o.cur = nil
+	}
+}
+
+// Close implements Cursor.
+func (o *nestedLoopOp) Close() error {
+	o.done = true
+	return o.closeKids()
+}
+
+// hashJoinOp pairs rows whose deterministic key columns are equal: the
+// right input builds a hash table (per-key row lists in input order, plus a
+// fallback list for symbolic keys, which must pair with every probe row and
+// let the final Filter conjoin the comparison as a condition atom); the
+// left input probes row by row. Match emission follows build-side input
+// order, so output order is identical to the filtered cross product. Keys
+// of incomparable kinds (a string probing a numeric column) simply never
+// pair — the "incomparable values" error the cross product would raise on
+// those pairs falls under the rewriter's error-scope contract (rewrite.go).
+type hashJoinOp struct {
+	opBase
+	env                 execEnv
+	left, right         operator
+	leftKeys, rightKeys []int
+	build               []ctable.Tuple
+	buckets             map[string][]int
+	symb                []int
+	built               bool
+	cur                 *ctable.Tuple
+	matches             []int
+	all                 bool // probe key symbolic: scan every build row
+	mi                  int
+	done                bool
+}
+
+// joinKey renders the key columns of a tuple, reporting ok=false when any
+// key cell is symbolic (those rows take the pair-with-everything path).
+func joinKey(t *ctable.Tuple, cols []int) (string, bool) {
+	var b strings.Builder
+	for _, c := range cols {
+		v := t.Values[c]
+		if v.IsSymbolic() {
+			return "", false
+		}
+		b.WriteString(v.HashKey())
+		b.WriteByte(0)
+	}
+	return b.String(), true
+}
+
+// Next implements Cursor.
+func (o *hashJoinOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	if o.done {
+		return o.emit(t0, nil, io.EOF)
+	}
+	if !o.built {
+		if err := materialize(o.right, &o.build); err != nil {
+			o.done = true
+			return o.emit(t0, nil, err)
+		}
+		o.buckets = make(map[string][]int, len(o.build))
+		for i := range o.build {
+			if k, ok := joinKey(&o.build[i], o.rightKeys); ok {
+				o.buckets[k] = append(o.buckets[k], i)
+			} else {
+				o.symb = append(o.symb, i)
+			}
+		}
+		o.built = true
+	}
+	for {
+		if o.cur == nil {
+			t, err := o.left.Next()
+			if err != nil {
+				o.done = true
+				return o.emit(t0, nil, err)
+			}
+			o.cur = t
+			o.mi = 0
+			if k, ok := joinKey(t, o.leftKeys); ok {
+				o.all = false
+				o.matches = mergeSorted(o.buckets[k], o.symb)
+			} else {
+				o.all = true
+				o.matches = nil
+			}
+		}
+		n := len(o.matches)
+		if o.all {
+			n = len(o.build)
+		}
+		for o.mi < n {
+			if err := o.env.ctxErr(); err != nil {
+				o.done = true
+				return o.emit(t0, nil, err)
+			}
+			j := o.mi
+			if !o.all {
+				j = o.matches[o.mi]
+			}
+			o.mi++
+			r := &o.build[j]
+			nc := o.cur.Cond.And(r.Cond)
+			if nc.IsFalse() {
+				continue
+			}
+			return o.emit(t0, joinTuple(o.cur, r, nc), nil)
+		}
+		o.cur = nil
+	}
+}
+
+// Close implements Cursor.
+func (o *hashJoinOp) Close() error {
+	o.done = true
+	return o.closeKids()
+}
+
+// joinTuple concatenates two rows under an already-conjoined condition.
+func joinTuple(l, r *ctable.Tuple, nc cond.Condition) *ctable.Tuple {
+	vals := make([]ctable.Value, 0, len(l.Values)+len(r.Values))
+	vals = append(vals, l.Values...)
+	vals = append(vals, r.Values...)
+	return &ctable.Tuple{Values: vals, Cond: nc}
+}
+
+// mergeSorted merges two ascending index lists (either may be empty).
+func mergeSorted(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// materialize drains an operator into a tuple slice. Emitted tuples are
+// stable for the query's duration (snapshots or per-row allocations), so
+// the struct copy shares value slices safely.
+func materialize(op operator, into *[]ctable.Tuple) error {
+	for {
+		t, err := op.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		*into = append(*into, *t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Filter / Project
+
+// filterOp applies the remaining WHERE conjuncts in source order via
+// ApplyPredicate: deterministic failures drop the row, symbolic comparisons
+// conjoin condition atoms, and conditions proven inconsistent by Algorithm
+// 3.2 are removed.
+type filterOp struct {
+	opBase
+	child operator
+	pred  ctable.AndPred
+	done  bool
+}
+
+// Next implements Cursor.
+func (o *filterOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	for {
+		if o.done {
+			return o.emit(t0, nil, io.EOF)
+		}
+		t, err := o.child.Next()
+		if err != nil {
+			o.done = true
+			return o.emit(t0, nil, err)
+		}
+		kept, keep, err := ctable.ApplyPredicate(t, o.pred)
+		if err != nil {
+			o.done = true
+			return o.emit(t0, nil, err)
+		}
+		if !keep {
+			continue
+		}
+		out := kept
+		return o.emit(t0, &out, nil)
+	}
+}
+
+// Close implements Cursor.
+func (o *filterOp) Close() error {
+	o.done = true
+	return o.closeKids()
+}
+
+// projectOp computes the SELECT targets per row and finishes the per-row
+// probability functions: expectation() and variance()/stddev() evaluate
+// their cell under the request-scoped sampler, and conf() is
+// probability-removing — it fills in the row's probability and strips the
+// condition.
+type projectOp struct {
+	opBase
+	env   execEnv
+	child operator
+	spec  *lProject
+	done  bool
+}
+
+// Next implements Cursor.
+func (o *projectOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	if o.done {
+		return o.emit(t0, nil, io.EOF)
+	}
+	t, err := o.child.Next()
+	if err != nil {
+		o.done = true
+		return o.emit(t0, nil, err)
+	}
+	out, err := o.finish(t)
+	if err != nil {
+		o.done = true
+		return o.emit(t0, nil, err)
+	}
+	return o.emit(t0, out, nil)
+}
+
+// finish projects one tuple and applies the per-row functions.
+func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
+	q := o.spec
+	vals := make([]ctable.Value, len(q.targets))
+	for j, tgt := range q.targets {
+		v, err := tgt.Resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		vals[j] = v
+	}
+	out := ctable.Tuple{Values: vals, Cond: t.Cond}
+
+	for pos := range q.expCols {
+		if !out.Values[pos].IsSymbolic() {
+			continue
+		}
+		res, err := o.env.db.ExpectationContext(o.env.ctx, &out, pos, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Values[pos] = ctable.Float(res.Mean)
+	}
+	for pos, kind := range q.varCols {
+		e, ok := out.Values[pos].AsExpr()
+		if !ok {
+			return nil, fmt.Errorf("sql: non-numeric %s() target %s", kind, out.Values[pos])
+		}
+		var clause cond.Clause
+		switch len(out.Cond.Clauses) {
+		case 0:
+			out.Values[pos] = ctable.Float(0)
+			continue
+		case 1:
+			clause = out.Cond.Clauses[0]
+		default:
+			return nil, fmt.Errorf("sql: %s() over disjunctive conditions is not supported", kind)
+		}
+		v := o.env.smp.Variance(e, clause)
+		if v.Err != nil {
+			return nil, v.Err
+		}
+		if kind == "stddev" {
+			out.Values[pos] = ctable.Float(v.StdDev)
+		} else {
+			out.Values[pos] = ctable.Float(v.Variance)
+		}
+	}
+	if len(q.confCols) > 0 {
+		res := o.env.smp.AConf(out.Cond)
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		for pos := range q.confCols {
+			out.Values[pos] = ctable.Float(res.Prob)
+		}
+		out.Cond = cond.TrueCondition()
+	}
+	return &out, nil
+}
+
+// Close implements Cursor.
+func (o *projectOp) Close() error {
+	o.done = true
+	return o.closeKids()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate
+
+// aggOp materializes its input, stages [group keys..., agg args...] per
+// row, partitions by key, and evaluates the expectation aggregates (the
+// probability-removing operators of paper §V-A) per group under the
+// request-scoped sampler.
+type aggOp struct {
+	opBase
+	env    execEnv
+	child  operator
+	spec   *lAggregate
+	result *ctable.Table
+	i      int
+	done   bool
+}
+
+// Next implements Cursor.
+func (o *aggOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	if o.done {
+		return o.emit(t0, nil, io.EOF)
+	}
+	if o.result == nil {
+		res, err := o.compute()
+		if err != nil {
+			o.done = true
+			return o.emit(t0, nil, err)
+		}
+		o.result = res
+	}
+	if o.i >= len(o.result.Tuples) {
+		o.done = true
+		return o.emit(t0, nil, io.EOF)
+	}
+	t := &o.result.Tuples[o.i]
+	o.i++
+	return o.emit(t0, t, nil)
+}
+
+// compute drains the child, stages the aggregate inputs and evaluates
+// every group.
+func (o *aggOp) compute() (*ctable.Table, error) {
+	a := o.spec
+
+	sch := make(ctable.Schema, len(a.stagedNames))
+	for i, n := range a.stagedNames {
+		sch[i] = ctable.Column{Name: n}
+	}
+	staged := &ctable.Table{Name: "agg_input", Schema: sch}
+	for {
+		t, err := o.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]ctable.Value, len(a.staged))
+		for j, tgt := range a.staged {
+			v, err := tgt.Resolve(t)
+			if err != nil {
+				return nil, err
+			}
+			vals[j] = v
+		}
+		staged.Tuples = append(staged.Tuples, ctable.Tuple{Values: vals, Cond: t.Cond})
+	}
+
+	// Group.
+	var groups []ctable.GroupRows
+	if a.nKeys == 0 {
+		all := make([]int, staged.Len())
+		for i := range all {
+			all[i] = i
+		}
+		groups = []ctable.GroupRows{{Rows: all}}
+	} else {
+		keyCols := make([]int, a.nKeys)
+		for i := range keyCols {
+			keyCols[i] = i
+		}
+		var err error
+		groups, err = ctable.GroupBy(staged, keyCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	outSch := make(ctable.Schema, len(a.outCols))
+	for i, oc := range a.outCols {
+		outSch[i] = ctable.Column{Name: oc.name}
+	}
+	out := &ctable.Table{Name: "result", Schema: outSch}
+
+	smp := o.env.smp
+	for _, g := range groups {
+		if err := o.env.ctxErr(); err != nil {
+			return nil, err
+		}
+		sub := &ctable.Table{Name: staged.Name, Schema: staged.Schema}
+		for _, ri := range g.Rows {
+			sub.Tuples = append(sub.Tuples, staged.Tuples[ri])
+		}
+		aggVals := make([]ctable.Value, len(a.aggs))
+		for ai, at := range a.aggs {
+			switch at.kind {
+			case "expected_sum":
+				res, err := smp.ExpectedSum(sub, at.argCol)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[ai] = ctable.Float(res.Value)
+			case "expected_count":
+				res, err := smp.ExpectedCount(sub)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[ai] = ctable.Float(res.Value)
+			case "expected_avg":
+				res, err := smp.ExpectedAvg(sub, at.argCol)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[ai] = ctable.Float(res.Value)
+			case "expected_max":
+				res, err := smp.ExpectedMax(sub, at.argCol, 0)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[ai] = ctable.Float(res.Value)
+			case "expected_stddev", "expected_variance":
+				// Per-world spread across the group's rows, averaged over
+				// sampled worlds (per-table semantics).
+				fold := sampler.StdDevFold
+				if at.kind == "expected_variance" {
+					fold = sampler.VarianceFold
+				}
+				n := o.env.db.Config().FixedSamples
+				if n <= 0 {
+					n = 1000
+				}
+				hist, err := smp.AggregateHistogram(sub, at.argCol, fold, n)
+				if err != nil {
+					return nil, err
+				}
+				total := 0.0
+				for _, v := range hist {
+					total += v
+				}
+				if len(hist) > 0 {
+					total /= float64(len(hist))
+				}
+				aggVals[ai] = ctable.Float(total)
+			case "conf", "aconf":
+				// Joint probability that at least one row of the group
+				// exists (aconf over the disjunction of row conditions).
+				d := cond.FalseCondition()
+				for i := range sub.Tuples {
+					d = d.Or(sub.Tuples[i].Cond)
+				}
+				res := smp.AConf(d)
+				if res.Err != nil {
+					return nil, res.Err
+				}
+				aggVals[ai] = ctable.Float(res.Prob)
+			default:
+				return nil, fmt.Errorf("sql: unhandled aggregate %s", at.kind)
+			}
+		}
+		vals := make([]ctable.Value, len(a.outCols))
+		for i, oc := range a.outCols {
+			if oc.isKey {
+				vals[i] = g.Key[oc.keyIdx]
+			} else {
+				vals[i] = aggVals[oc.aggIdx]
+			}
+		}
+		out.Tuples = append(out.Tuples, ctable.NewTuple(vals...))
+	}
+	return out, nil
+}
+
+// Close implements Cursor.
+func (o *aggOp) Close() error {
+	o.done = true
+	return o.closeKids()
+}
+
+// ---------------------------------------------------------------------------
+// Distinct / Sort / Limit / Result
+
+// distinctOp materializes its input and coalesces duplicate data tuples,
+// OR-ing their conditions into DNF (first-occurrence order preserved).
+type distinctOp struct {
+	opBase
+	child  operator
+	result *ctable.Table
+	i      int
+	done   bool
+}
+
+// Next implements Cursor.
+func (o *distinctOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	if o.done {
+		return o.emit(t0, nil, io.EOF)
+	}
+	if o.result == nil {
+		var rows []ctable.Tuple
+		if err := materialize(o.child, &rows); err != nil {
+			o.done = true
+			return o.emit(t0, nil, err)
+		}
+		tb := &ctable.Table{Tuples: rows}
+		o.result = ctable.Distinct(tb)
+	}
+	if o.i >= len(o.result.Tuples) {
+		o.done = true
+		return o.emit(t0, nil, io.EOF)
+	}
+	t := &o.result.Tuples[o.i]
+	o.i++
+	return o.emit(t0, t, nil)
+}
+
+// Close implements Cursor.
+func (o *distinctOp) Close() error {
+	o.done = true
+	return o.closeKids()
+}
+
+// sortOp materializes its input and orders it deterministically
+// (stable sort) by one output column.
+type sortOp struct {
+	opBase
+	child   operator
+	col     int
+	colName string
+	desc    bool
+	rows    []ctable.Tuple
+	sorted  bool
+	i       int
+	done    bool
+}
+
+// Next implements Cursor.
+func (o *sortOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	if o.done {
+		return o.emit(t0, nil, io.EOF)
+	}
+	if !o.sorted {
+		if err := materialize(o.child, &o.rows); err != nil {
+			o.done = true
+			return o.emit(t0, nil, err)
+		}
+		var sortErr error
+		sort.SliceStable(o.rows, func(i, j int) bool {
+			c, ok := o.rows[i].Values[o.col].Compare(o.rows[j].Values[o.col])
+			if !ok {
+				sortErr = fmt.Errorf("sql: ORDER BY over symbolic column %s", o.colName)
+				return false
+			}
+			if o.desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		if sortErr != nil {
+			o.done = true
+			return o.emit(t0, nil, sortErr)
+		}
+		o.sorted = true
+	}
+	if o.i >= len(o.rows) {
+		o.done = true
+		return o.emit(t0, nil, io.EOF)
+	}
+	t := &o.rows[o.i]
+	o.i++
+	return o.emit(t0, t, nil)
+}
+
+// Close implements Cursor.
+func (o *sortOp) Close() error {
+	o.done = true
+	return o.closeKids()
+}
+
+// limitOp truncates the stream after n rows; upstream operators stop being
+// pulled, so per-row sampling beyond the limit never runs.
+type limitOp struct {
+	opBase
+	child     operator
+	remaining int
+	done      bool
+}
+
+// Next implements Cursor.
+func (o *limitOp) Next() (*ctable.Tuple, error) {
+	t0 := o.begin()
+	if o.done || o.remaining <= 0 {
+		o.done = true
+		return o.emit(t0, nil, io.EOF)
+	}
+	t, err := o.child.Next()
+	if err != nil {
+		o.done = true
+		return o.emit(t0, nil, err)
+	}
+	o.remaining--
+	return o.emit(t0, t, nil)
+}
+
+// Close implements Cursor.
+func (o *limitOp) Close() error {
+	o.done = true
+	return o.closeKids()
+}
+
+// emptyOp is the zero-row relation of a constant-false WHERE.
+type emptyOp struct {
+	opBase
+}
+
+// Next implements Cursor.
+func (o *emptyOp) Next() (*ctable.Tuple, error) {
+	return nil, io.EOF
+}
+
+// Close implements Cursor.
+func (o *emptyOp) Close() error { return nil }

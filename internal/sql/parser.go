@@ -104,8 +104,18 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return &DropStmt{Name: name}, nil
 	case p.acceptKw("set"):
 		return p.parseSet()
+	case p.acceptKw("explain"):
+		analyze := p.acceptKw("analyze")
+		if err := p.expectKw("select"); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Analyze: analyze, Query: inner.(*SelectStmt)}, nil
 	default:
-		return nil, p.errf("expected SELECT, CREATE, INSERT, DROP or SET, got %q", p.peek().Text)
+		return nil, p.errf("expected SELECT, CREATE, INSERT, DROP, SET or EXPLAIN, got %q", p.peek().Text)
 	}
 }
 

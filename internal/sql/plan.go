@@ -86,6 +86,8 @@ func execStmt(env execEnv, st Stmt) (*ctable.Table, error) {
 		return nil, execInsert(env, s)
 	case *SelectStmt:
 		return execSelect(env, s)
+	case *ExplainStmt:
+		return execExplain(env, s)
 	case *SetStmt:
 		return nil, execSet(env.db, s)
 	default:
@@ -426,299 +428,18 @@ func selectHasAggregates(st *SelectStmt) bool {
 	return false
 }
 
-// execSelect plans and runs a SELECT. Aggregate-free SELECTs run through
-// the streaming plan (drained into a table here; QueryContext hands the
-// same cursor to callers without draining); aggregate SELECTs materialize
-// the filtered input first.
+// execSelect plans and runs a SELECT through the two-stage planner: the
+// AST lowers to the logical IR, the rewriter applies its rules (constant
+// folding, predicate pushdown, hash-join extraction, projection pruning),
+// and the physical operator pipeline is drained into the result c-table.
+// QueryContext hands the same pipeline to callers as a streaming cursor
+// without draining.
 func execSelect(env execEnv, st *SelectStmt) (*ctable.Table, error) {
-	if len(st.From) == 0 {
-		return nil, fmt.Errorf("sql: SELECT requires FROM")
-	}
-	var out *ctable.Table
-	var err error
-	if selectHasAggregates(st) {
-		out, err = execAggregateSelect(env, st)
-	} else {
-		var q *plainQuery
-		q, err = compilePlain(env, st)
-		if err == nil {
-			// LIMIT can push into the scan only when no blocking operator
-			// reorders or coalesces rows after it.
-			limit := 0
-			if !st.Distinct && st.OrderBy == nil {
-				limit = st.Limit
-			}
-			out, err = q.drain(limit)
-		}
-	}
+	plan, err := planSelect(env, st, false)
 	if err != nil {
 		return nil, err
 	}
-	if st.Distinct {
-		out = ctable.Distinct(out)
-	}
-	if st.OrderBy != nil {
-		if err := orderTable(out, *st.OrderBy, st.Desc); err != nil {
-			return nil, err
-		}
-	}
-	if st.Limit > 0 && out.Len() > st.Limit {
-		out.Tuples = out.Tuples[:st.Limit]
-	}
-	return out, nil
-}
-
-// execAggregateSelect handles SELECT with expectation aggregates and
-// optional GROUP BY. The FROM product and WHERE filter materialize eagerly
-// (aggregates consume their whole input anyway), then groups evaluate under
-// the request-scoped sampler.
-func execAggregateSelect(env execEnv, st *SelectStmt) (*ctable.Table, error) {
-	// FROM: fetch and cross-product (conditions conjoin per Fig. 1).
-	schemas := make([]ctable.Schema, len(st.From))
-	inputs := make([]*ctable.Table, len(st.From))
-	for i, ref := range st.From {
-		tb, err := env.db.Table(ref.Name)
-		if err != nil {
-			return nil, err
-		}
-		inputs[i] = tb
-		schemas[i] = tb.Schema
-	}
-	r := newResolver(st.From, schemas)
-
-	cur := inputs[0]
-	for i := 1; i < len(inputs); i++ {
-		cur = ctable.Product(cur, inputs[i])
-	}
-
-	// WHERE: compile to a conjunctive predicate; the CTYPE rewrite is
-	// inherent in Compare (deterministic -> filter, symbolic -> atom).
-	if len(st.Where) > 0 {
-		var preds ctable.AndPred
-		for _, cmp := range st.Where {
-			op, err := cmpOpFromString(cmp.Op)
-			if err != nil {
-				return nil, err
-			}
-			l, err := compileScalar(cmp.Left, r, env)
-			if err != nil {
-				return nil, err
-			}
-			rr, err := compileScalar(cmp.Right, r, env)
-			if err != nil {
-				return nil, err
-			}
-			preds = append(preds, ctable.Compare{Op: op, Left: l, Right: rr})
-		}
-		var err error
-		cur, err = ctable.Select(cur, preds)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Resolve group keys.
-	keyCols := make([]int, 0, len(st.GroupBy))
-	for _, g := range st.GroupBy {
-		idx, err := r.resolve(g)
-		if err != nil {
-			return nil, err
-		}
-		keyCols = append(keyCols, idx)
-	}
-
-	// Compile aggregate argument expressions into a staging projection:
-	// [input columns..., aggArg1, aggArg2, ...].
-	type aggTarget struct {
-		kind    string
-		argCol  int // column in the staged table, -1 for count(*)/conf
-		outName string
-	}
-	var staged []ctable.Scalar
-	var stagedNames []string
-	for i, c := range cur.Schema {
-		staged = append(staged, ctable.Col(i))
-		stagedNames = append(stagedNames, c.Name)
-	}
-
-	var aggs []aggTarget
-	type outCol struct {
-		isKey  bool
-		keyIdx int // index into keyCols
-		aggIdx int // index into aggs
-		name   string
-	}
-	var outCols []outCol
-
-	for _, tgt := range st.Targets {
-		if tgt.Star {
-			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregates")
-		}
-		if fc, ok := tgt.Expr.(FuncCall); ok && (fc.IsAggregate() || fc.IsConf()) {
-			kind := strings.ToLower(fc.Name)
-			name := tgt.Alias
-			if name == "" {
-				name = kind
-			}
-			at := aggTarget{kind: kind, argCol: -1, outName: name}
-			switch kind {
-			case "expected_count", "conf", "aconf":
-				// no argument column needed
-			case "expected_sum_hist", "expected_max_hist":
-				return nil, fmt.Errorf("sql: %s is available through the Go API (core.DB.Histogram), not SQL", kind)
-			default:
-				if fc.Star || len(fc.Args) != 1 {
-					return nil, fmt.Errorf("sql: %s takes exactly one argument", kind)
-				}
-				sc, err := compileScalar(fc.Args[0], r, env)
-				if err != nil {
-					return nil, err
-				}
-				at.argCol = len(staged)
-				staged = append(staged, sc)
-				stagedNames = append(stagedNames, fmt.Sprintf("_agg%d", len(aggs)))
-			}
-			outCols = append(outCols, outCol{aggIdx: len(aggs), name: name})
-			aggs = append(aggs, at)
-			continue
-		}
-		// Non-aggregate target must be a group key column.
-		ref, ok := tgt.Expr.(ColRef)
-		if !ok {
-			return nil, fmt.Errorf("sql: non-aggregate target %v must be a GROUP BY column", tgt.Expr)
-		}
-		idx, err := r.resolve(ref)
-		if err != nil {
-			return nil, err
-		}
-		ki := -1
-		for i, k := range keyCols {
-			if k == idx {
-				ki = i
-			}
-		}
-		if ki < 0 {
-			return nil, fmt.Errorf("sql: target %s is not in GROUP BY", ref)
-		}
-		name := tgt.Alias
-		if name == "" {
-			name = ref.Column
-		}
-		outCols = append(outCols, outCol{isKey: true, keyIdx: ki, name: name})
-	}
-
-	stagedTb, err := ctable.Project(cur, stagedNames, staged)
-	if err != nil {
-		return nil, err
-	}
-
-	// Group.
-	var groups []ctable.GroupRows
-	if len(keyCols) == 0 {
-		all := make([]int, stagedTb.Len())
-		for i := range all {
-			all[i] = i
-		}
-		groups = []ctable.GroupRows{{Rows: all}}
-	} else {
-		groups, err = ctable.GroupBy(stagedTb, keyCols)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	sch := make(ctable.Schema, len(outCols))
-	for i, oc := range outCols {
-		sch[i] = ctable.Column{Name: oc.name}
-	}
-	out := &ctable.Table{Name: "result", Schema: sch}
-
-	smp := env.smp
-	for _, g := range groups {
-		if err := env.ctxErr(); err != nil {
-			return nil, err
-		}
-		sub := &ctable.Table{Name: stagedTb.Name, Schema: stagedTb.Schema}
-		for _, ri := range g.Rows {
-			sub.Tuples = append(sub.Tuples, stagedTb.Tuples[ri])
-		}
-		aggVals := make([]ctable.Value, len(aggs))
-		for ai, at := range aggs {
-			switch at.kind {
-			case "expected_sum":
-				res, err := smp.ExpectedSum(sub, at.argCol)
-				if err != nil {
-					return nil, err
-				}
-				aggVals[ai] = ctable.Float(res.Value)
-			case "expected_count":
-				res, err := smp.ExpectedCount(sub)
-				if err != nil {
-					return nil, err
-				}
-				aggVals[ai] = ctable.Float(res.Value)
-			case "expected_avg":
-				res, err := smp.ExpectedAvg(sub, at.argCol)
-				if err != nil {
-					return nil, err
-				}
-				aggVals[ai] = ctable.Float(res.Value)
-			case "expected_max":
-				res, err := smp.ExpectedMax(sub, at.argCol, 0)
-				if err != nil {
-					return nil, err
-				}
-				aggVals[ai] = ctable.Float(res.Value)
-			case "expected_stddev", "expected_variance":
-				// Per-world spread across the group's rows, averaged over
-				// sampled worlds (per-table semantics).
-				fold := sampler.StdDevFold
-				if at.kind == "expected_variance" {
-					fold = sampler.VarianceFold
-				}
-				n := env.db.Config().FixedSamples
-				if n <= 0 {
-					n = 1000
-				}
-				hist, err := smp.AggregateHistogram(sub, at.argCol, fold, n)
-				if err != nil {
-					return nil, err
-				}
-				total := 0.0
-				for _, v := range hist {
-					total += v
-				}
-				if len(hist) > 0 {
-					total /= float64(len(hist))
-				}
-				aggVals[ai] = ctable.Float(total)
-			case "conf", "aconf":
-				// Joint probability that at least one row of the group
-				// exists (aconf over the disjunction of row conditions).
-				d := cond.FalseCondition()
-				for i := range sub.Tuples {
-					d = d.Or(sub.Tuples[i].Cond)
-				}
-				res := smp.AConf(d)
-				if res.Err != nil {
-					return nil, res.Err
-				}
-				aggVals[ai] = ctable.Float(res.Prob)
-			default:
-				return nil, fmt.Errorf("sql: unhandled aggregate %s", at.kind)
-			}
-		}
-		vals := make([]ctable.Value, len(outCols))
-		for i, oc := range outCols {
-			if oc.isKey {
-				vals[i] = g.Key[oc.keyIdx]
-			} else {
-				vals[i] = aggVals[oc.aggIdx]
-			}
-		}
-		out.Tuples = append(out.Tuples, ctable.NewTuple(vals...))
-	}
-	return out, nil
+	return plan.drain()
 }
 
 func defaultName(n Node) string {
@@ -732,23 +453,3 @@ func defaultName(n Node) string {
 	}
 }
 
-// orderTable sorts deterministically by the named column.
-func orderTable(tb *ctable.Table, ref ColRef, desc bool) error {
-	idx := tb.Schema.ColIndex(ref.Column)
-	if idx < 0 {
-		return fmt.Errorf("%w %s in ORDER BY (not in result)", ErrUnknownColumn, ref)
-	}
-	var sortErr error
-	sort.SliceStable(tb.Tuples, func(i, j int) bool {
-		c, ok := tb.Tuples[i].Values[idx].Compare(tb.Tuples[j].Values[idx])
-		if !ok {
-			sortErr = fmt.Errorf("sql: ORDER BY over symbolic column %s", ref)
-			return false
-		}
-		if desc {
-			return c > 0
-		}
-		return c < 0
-	})
-	return sortErr
-}

@@ -264,8 +264,8 @@ func TestQueryContextStreams(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cur.Close()
-	if _, ok := cur.(*limitCursor); !ok {
-		t.Fatalf("plain SELECT produced %T, want streaming limitCursor", cur)
+	if _, ok := cur.(*limitOp); !ok {
+		t.Fatalf("plain SELECT produced %T, want streaming limitOp", cur)
 	}
 	var names []string
 	for {
@@ -283,26 +283,52 @@ func TestQueryContextStreams(t *testing.T) {
 	}
 }
 
-// TestQueryContextBlockingFallsBack verifies blocking SELECT shapes
-// (aggregates, DISTINCT, ORDER BY) run eagerly behind a table cursor.
-func TestQueryContextBlockingFallsBack(t *testing.T) {
+// TestQueryContextBlockingShapes verifies blocking SELECT shapes
+// (aggregates, DISTINCT, ORDER BY) run on the same planned pipeline as
+// streaming queries: the returned cursor is their physical operator, which
+// materializes its own input internally on the first Next call.
+func TestQueryContextBlockingShapes(t *testing.T) {
 	db := testDB(t)
 	mustExec(t, db, "CREATE TABLE t (v)")
 	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (2)")
 
-	for _, q := range []string{
-		"SELECT expected_sum(v) FROM t",
-		"SELECT DISTINCT v FROM t",
-		"SELECT v FROM t ORDER BY v DESC",
-	} {
-		cur, err := QueryContext(context.Background(), db, q)
+	cases := []struct {
+		q     string
+		wants []float64
+	}{
+		{"SELECT expected_sum(v) FROM t", []float64{5}},
+		{"SELECT DISTINCT v FROM t", []float64{1, 2}},
+		{"SELECT v FROM t ORDER BY v DESC", []float64{2, 2, 1}},
+	}
+	for _, tc := range cases {
+		cur, err := QueryContext(context.Background(), db, tc.q)
 		if err != nil {
-			t.Fatalf("%s: %v", q, err)
+			t.Fatalf("%s: %v", tc.q, err)
 		}
-		if _, ok := cur.(*TableCursor); !ok {
-			t.Fatalf("%s: produced %T, want *TableCursor", q, cur)
+		if _, ok := cur.(operator); !ok {
+			t.Fatalf("%s: produced %T, want a plan operator", tc.q, cur)
+		}
+		var got []float64
+		for {
+			tp, err := cur.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", tc.q, err)
+			}
+			f, _ := tp.Values[0].AsFloat()
+			got = append(got, f)
 		}
 		cur.Close()
+		if len(got) != len(tc.wants) {
+			t.Fatalf("%s: got %v, want %v", tc.q, got, tc.wants)
+		}
+		for i := range got {
+			if got[i] != tc.wants[i] {
+				t.Fatalf("%s: got %v, want %v", tc.q, got, tc.wants)
+			}
+		}
 	}
 }
 

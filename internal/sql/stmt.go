@@ -67,11 +67,12 @@ func (p *Prepared) Query(db *core.DB, args ...ctable.Value) (Cursor, error) {
 	return p.QueryContext(context.Background(), db, args...)
 }
 
-// QueryContext is Query under a request context. Aggregate-free SELECTs
-// (without DISTINCT or ORDER BY, which are blocking) stream: each row is
-// joined, filtered and projected on demand as the cursor advances, without
-// materializing the result table. Other statements execute eagerly and the
-// cursor iterates the materialized result.
+// QueryContext is Query under a request context. Every SELECT streams
+// through the planned operator pipeline: rows are joined, filtered and
+// projected on demand as the cursor advances, and blocking operators
+// (aggregates, DISTINCT, ORDER BY) materialize their own input internally
+// on the first Next call. Other statements execute eagerly and the cursor
+// iterates the materialized result.
 func (p *Prepared) QueryContext(ctx context.Context, db *core.DB, args ...ctable.Value) (Cursor, error) {
 	if err := p.checkArity(args); err != nil {
 		return nil, err
@@ -81,28 +82,17 @@ func (p *Prepared) QueryContext(ctx context.Context, db *core.DB, args ...ctable
 			return nil, err
 		}
 	}
-	if sel, ok := p.st.(*SelectStmt); ok && streamable(sel) {
+	if sel, ok := p.st.(*SelectStmt); ok {
 		env := newExecEnv(ctx, db, args)
-		q, err := compilePlain(env, sel)
+		plan, err := planSelect(env, sel, false)
 		if err != nil {
 			return nil, err
 		}
-		var cur Cursor = q.cursor()
-		if sel.Limit > 0 {
-			cur = &limitCursor{Cursor: cur, remaining: sel.Limit}
-		}
-		return cur, nil
+		return plan.root, nil
 	}
 	tb, err := ExecStmtContext(ctx, db, p.st, args...)
 	if err != nil {
 		return nil, err
 	}
 	return NewTableCursor(tb), nil
-}
-
-// streamable reports whether a SELECT can be evaluated row-at-a-time:
-// aggregates consume the whole input, and DISTINCT / ORDER BY are blocking
-// operators.
-func streamable(st *SelectStmt) bool {
-	return !selectHasAggregates(st) && !st.Distinct && st.OrderBy == nil
 }

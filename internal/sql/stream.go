@@ -4,20 +4,18 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"strings"
 
-	"pip/internal/cond"
 	"pip/internal/core"
 	"pip/internal/ctable"
 	"pip/internal/sampler"
 )
 
 // Cursor is a pull-based iterator over query result rows — the streaming
-// half of the query API. Aggregate-free SELECTs produce cursors that join,
-// filter and project one tuple per Next call instead of materializing the
-// result c-table; blocking statements produce cursors over their
-// materialized result. A Cursor is single-consumer and not safe for
-// concurrent use.
+// half of the query API. Every physical plan operator implements Cursor, so
+// SELECTs stream through the planned pipeline one tuple per Next call;
+// blocking operators (Sort, Distinct, Aggregate) materialize their own
+// input internally on first Next but still emit row by row. A Cursor is
+// single-consumer and not safe for concurrent use.
 type Cursor interface {
 	// Columns returns the result column names (empty for statements that
 	// produce no rows, e.g. DDL).
@@ -32,20 +30,21 @@ type Cursor interface {
 }
 
 // execEnv carries per-execution state through planning and evaluation: the
-// request context, the database, a context-scoped sampler, and the bound
-// placeholder arguments.
+// request context, the database, a context-scoped sampler, the bound
+// placeholder arguments, and the planner hints attached to the context.
 type execEnv struct {
-	ctx  context.Context
-	db   *core.DB
-	smp  *sampler.Sampler
-	args []ctable.Value
+	ctx   context.Context
+	db    *core.DB
+	smp   *sampler.Sampler
+	args  []ctable.Value
+	hints Hints
 }
 
 func newExecEnv(ctx context.Context, db *core.DB, args []ctable.Value) execEnv {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return execEnv{ctx: ctx, db: db, smp: db.SamplerContext(ctx), args: args}
+	return execEnv{ctx: ctx, db: db, smp: db.SamplerContext(ctx), args: args, hints: HintsFrom(ctx)}
 }
 
 // ctxErr reports the request context's cancellation state.
@@ -61,347 +60,10 @@ func (env *execEnv) bindArg(i int) (ctable.Value, error) {
 }
 
 // ---------------------------------------------------------------------------
-// Streaming plain-SELECT evaluation
-
-// plainQuery is the compiled form of an aggregate-free SELECT: snapshots of
-// the FROM tables plus per-tuple filter, projection and row-function steps.
-// Cursors over it evaluate one joined tuple at a time.
-type plainQuery struct {
-	env     execEnv
-	name    string
-	names   []string
-	targets []ctable.Scalar
-	pred    ctable.Predicate // nil when WHERE is absent
-	// confCols / expCols / varCols mark output positions computed by the
-	// per-row functions conf(), expectation() and variance()/stddev().
-	confCols map[int]bool
-	expCols  map[int]bool
-	varCols  map[int]string
-	inputs   [][]ctable.Tuple
-}
-
-// compilePlain lowers an aggregate-free SELECT against the current catalog.
-// Input tuple slices are captured once at compile time, so the cursor's
-// view of each table is fixed for the duration of the scan. As everywhere
-// else in the engine, concurrent DML against a table being read requires
-// external synchronization.
-func compilePlain(env execEnv, st *SelectStmt) (*plainQuery, error) {
-	if len(st.From) == 0 {
-		return nil, fmt.Errorf("sql: SELECT requires FROM")
-	}
-	q := &plainQuery{
-		env:      env,
-		confCols: map[int]bool{},
-		expCols:  map[int]bool{},
-		varCols:  map[int]string{},
-	}
-	schemas := make([]ctable.Schema, len(st.From))
-	nameParts := make([]string, len(st.From))
-	for i, ref := range st.From {
-		tb, err := env.db.Table(ref.Name)
-		if err != nil {
-			return nil, err
-		}
-		q.inputs = append(q.inputs, tb.Tuples)
-		schemas[i] = tb.Schema
-		nameParts[i] = tb.Name
-	}
-	q.name = strings.Join(nameParts, "_x_")
-	r := newResolver(st.From, schemas)
-
-	if len(st.Where) > 0 {
-		var preds ctable.AndPred
-		for _, cmp := range st.Where {
-			op, err := cmpOpFromString(cmp.Op)
-			if err != nil {
-				return nil, err
-			}
-			l, err := compileScalar(cmp.Left, r, env)
-			if err != nil {
-				return nil, err
-			}
-			rr, err := compileScalar(cmp.Right, r, env)
-			if err != nil {
-				return nil, err
-			}
-			preds = append(preds, ctable.Compare{Op: op, Left: l, Right: rr})
-		}
-		q.pred = preds
-	}
-
-	joined := make(ctable.Schema, 0)
-	for _, sch := range schemas {
-		joined = append(joined, sch...)
-	}
-	for _, tgt := range st.Targets {
-		if tgt.Star {
-			for i, c := range joined {
-				q.names = append(q.names, c.Name)
-				q.targets = append(q.targets, ctable.Col(i))
-			}
-			continue
-		}
-		name := tgt.Alias
-		if fc, ok := tgt.Expr.(FuncCall); ok {
-			switch strings.ToLower(fc.Name) {
-			case "conf":
-				if name == "" {
-					name = "conf"
-				}
-				q.confCols[len(q.targets)] = true
-				q.names = append(q.names, name)
-				q.targets = append(q.targets, ctable.LitFloat(0)) // placeholder
-				continue
-			case "expectation":
-				if len(fc.Args) != 1 {
-					return nil, fmt.Errorf("sql: expectation() takes one argument")
-				}
-				sc, err := compileScalar(fc.Args[0], r, env)
-				if err != nil {
-					return nil, err
-				}
-				if name == "" {
-					name = "expectation"
-				}
-				q.expCols[len(q.targets)] = true
-				q.names = append(q.names, name)
-				q.targets = append(q.targets, sc)
-				continue
-			case "variance", "stddev":
-				if len(fc.Args) != 1 {
-					return nil, fmt.Errorf("sql: %s() takes one argument", strings.ToLower(fc.Name))
-				}
-				sc, err := compileScalar(fc.Args[0], r, env)
-				if err != nil {
-					return nil, err
-				}
-				if name == "" {
-					name = strings.ToLower(fc.Name)
-				}
-				q.varCols[len(q.targets)] = strings.ToLower(fc.Name)
-				q.names = append(q.names, name)
-				q.targets = append(q.targets, sc)
-				continue
-			}
-		}
-		sc, err := compileScalar(tgt.Expr, r, env)
-		if err != nil {
-			return nil, err
-		}
-		if name == "" {
-			name = defaultName(tgt.Expr)
-		}
-		q.names = append(q.names, name)
-		q.targets = append(q.targets, sc)
-	}
-	return q, nil
-}
-
-// cursor opens a streaming cursor over the compiled query.
-func (q *plainQuery) cursor() *plainCursor {
-	c := &plainCursor{q: q, idx: make([]int, len(q.inputs))}
-	for _, in := range q.inputs {
-		if len(in) == 0 {
-			c.done = true
-			break
-		}
-	}
-	return c
-}
-
-// drain runs the cursor to completion, materializing the result c-table —
-// the eager execution path shares the streaming machinery. A positive
-// limit stops the scan (and its per-row sampling) after that many rows;
-// pass 0 when a blocking operator (DISTINCT, ORDER BY) must see every row
-// before LIMIT applies.
-func (q *plainQuery) drain(limit int) (*ctable.Table, error) {
-	sch := make(ctable.Schema, len(q.names))
-	for i, n := range q.names {
-		sch[i] = ctable.Column{Name: n}
-	}
-	out := &ctable.Table{Name: q.name, Schema: sch}
-	var cur Cursor = q.cursor()
-	if limit > 0 {
-		cur = &limitCursor{Cursor: cur, remaining: limit}
-	}
-	defer cur.Close()
-	for {
-		t, err := cur.Next()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		out.Tuples = append(out.Tuples, t.Clone())
-	}
-}
-
-// plainCursor is the nested-loop iterator over a plainQuery: an odometer
-// walks the cross product of the input snapshots, and each joined tuple is
-// filtered, projected and row-function-finished on demand.
-type plainCursor struct {
-	q    *plainQuery
-	idx  []int
-	done bool
-	row  ctable.Tuple // scratch for the current output row
-}
-
-// Columns implements Cursor.
-func (c *plainCursor) Columns() []string { return c.q.names }
-
-// Close implements Cursor.
-func (c *plainCursor) Close() error {
-	c.done = true
-	return nil
-}
-
-// Next implements Cursor: it advances the odometer until a tuple survives
-// the filter, then projects and applies per-row functions. The request
-// context is observed between candidate tuples, so cancellation interrupts
-// even a long filtered scan that produces no output.
-func (c *plainCursor) Next() (*ctable.Tuple, error) {
-	for {
-		if c.done {
-			return nil, io.EOF
-		}
-		if err := c.q.env.ctxErr(); err != nil {
-			c.done = true
-			return nil, err
-		}
-		joined, ok := c.nextJoined()
-		if !ok {
-			c.done = true
-			return nil, io.EOF
-		}
-		out, produced, err := c.q.finish(joined)
-		if err != nil {
-			c.done = true
-			return nil, err
-		}
-		if !produced {
-			continue
-		}
-		c.row = out
-		return &c.row, nil
-	}
-}
-
-// nextJoined produces the next cross-product tuple (conjoining input
-// conditions, skipping combinations whose condition is trivially false) and
-// advances the odometer.
-func (c *plainCursor) nextJoined() (ctable.Tuple, bool) {
-	for {
-		vals := make([]ctable.Value, 0)
-		cnd := cond.TrueCondition()
-		for i, in := range c.q.inputs {
-			t := &in[c.idx[i]]
-			vals = append(vals, t.Values...)
-			cnd = cnd.And(t.Cond)
-		}
-		advanced := c.advance()
-		if !cnd.IsFalse() {
-			return ctable.Tuple{Values: vals, Cond: cnd}, true
-		}
-		if !advanced {
-			return ctable.Tuple{}, false
-		}
-	}
-}
-
-// advance increments the odometer, reporting false once every combination
-// has been produced.
-func (c *plainCursor) advance() bool {
-	for i := len(c.idx) - 1; i >= 0; i-- {
-		c.idx[i]++
-		if c.idx[i] < len(c.q.inputs[i]) {
-			return true
-		}
-		c.idx[i] = 0
-	}
-	c.done = true
-	return false
-}
-
-// finish filters, projects and row-function-completes one joined tuple.
-// produced=false means the tuple was filtered out.
-func (q *plainQuery) finish(joined ctable.Tuple) (ctable.Tuple, bool, error) {
-	t := joined
-	if q.pred != nil {
-		kept, keep, err := ctable.ApplyPredicate(&t, q.pred)
-		if err != nil {
-			return ctable.Tuple{}, false, err
-		}
-		if !keep {
-			return ctable.Tuple{}, false, nil
-		}
-		t = kept
-	}
-	vals := make([]ctable.Value, len(q.targets))
-	for j, tgt := range q.targets {
-		v, err := tgt.Resolve(&t)
-		if err != nil {
-			return ctable.Tuple{}, false, err
-		}
-		vals[j] = v
-	}
-	out := ctable.Tuple{Values: vals, Cond: t.Cond}
-
-	for pos := range q.expCols {
-		if !out.Values[pos].IsSymbolic() {
-			continue
-		}
-		res, err := q.env.db.ExpectationContext(q.env.ctx, &out, pos, false)
-		if err != nil {
-			return ctable.Tuple{}, false, err
-		}
-		out.Values[pos] = ctable.Float(res.Mean)
-	}
-	for pos, kind := range q.varCols {
-		e, ok := out.Values[pos].AsExpr()
-		if !ok {
-			return ctable.Tuple{}, false, fmt.Errorf("sql: non-numeric %s() target %s", kind, out.Values[pos])
-		}
-		var clause cond.Clause
-		switch len(out.Cond.Clauses) {
-		case 0:
-			out.Values[pos] = ctable.Float(0)
-			continue
-		case 1:
-			clause = out.Cond.Clauses[0]
-		default:
-			return ctable.Tuple{}, false, fmt.Errorf("sql: %s() over disjunctive conditions is not supported", kind)
-		}
-		v := q.env.smp.Variance(e, clause)
-		if v.Err != nil {
-			return ctable.Tuple{}, false, v.Err
-		}
-		if kind == "stddev" {
-			out.Values[pos] = ctable.Float(v.StdDev)
-		} else {
-			out.Values[pos] = ctable.Float(v.Variance)
-		}
-	}
-	if len(q.confCols) > 0 {
-		// conf() is probability-removing: fill in the probability and strip
-		// the condition.
-		res := q.env.smp.AConf(out.Cond)
-		if res.Err != nil {
-			return ctable.Tuple{}, false, res.Err
-		}
-		for pos := range q.confCols {
-			out.Values[pos] = ctable.Float(res.Prob)
-		}
-		out.Cond = cond.TrueCondition()
-	}
-	return out, true, nil
-}
-
-// ---------------------------------------------------------------------------
 // Materialized cursors
 
-// TableCursor iterates a materialized c-table — the cursor form of blocking
-// statements (aggregates, DISTINCT, ORDER BY) and of DDL/DML results.
+// TableCursor iterates a materialized c-table — the cursor form of
+// DDL/DML/EXPLAIN results.
 type TableCursor struct {
 	tb   *ctable.Table
 	next int
@@ -437,23 +99,4 @@ func (c *TableCursor) Next() (*ctable.Tuple, error) {
 func (c *TableCursor) Close() error {
 	c.done = true
 	return nil
-}
-
-// limitCursor truncates an inner cursor after n rows (streaming LIMIT).
-type limitCursor struct {
-	Cursor
-	remaining int
-}
-
-// Next implements Cursor.
-func (c *limitCursor) Next() (*ctable.Tuple, error) {
-	if c.remaining <= 0 {
-		return nil, io.EOF
-	}
-	t, err := c.Cursor.Next()
-	if err != nil {
-		return nil, err
-	}
-	c.remaining--
-	return t, nil
 }

@@ -35,7 +35,10 @@
 //	deterministic parallel world-evaluation engine (bit-identical results
 //	at any Options.Workers; see docs/ARCHITECTURE.md)
 // internal/core                 — catalog, variables, views
-// internal/sql                  — the SQL subset
+// internal/sql                  — the SQL subset and its two-stage query
+//	planner: logical plan IR + rewrite rules (constant folding, predicate
+//	pushdown, hash-join extraction, projection pruning) lowered onto
+//	streaming Cursor operators; EXPLAIN [ANALYZE] exposes the plan
 // internal/samplefirst          — the MCDB-style baseline used in benchmarks
 // internal/iceberg, internal/tpch — the paper's evaluation datasets (§VI)
 // internal/bench                — experiment harnesses over both engines
@@ -173,6 +176,10 @@ type Expr = expr.Expr
 // Condition is a c-table row condition in DNF — a disjunction of
 // conjunctive clauses over random-variable atoms (exposed by Rows.Cond).
 type Condition = cond.Condition
+
+// PlanNode is one operator of a compiled query plan, as returned by
+// DB.Explain; its String method renders the indented operator tree.
+type PlanNode = sql.PlanNode
 
 // Result reports an expectation/confidence computation.
 type Result = sampler.Result

@@ -2,6 +2,7 @@ package pip
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -151,5 +152,59 @@ func TestDeterministicAcrossOpens(t *testing.T) {
 	}
 	if run() != run() {
 		t.Fatal("results differ across identical runs")
+	}
+}
+
+// TestExplainAPI drives the planner's public surface: DB.Explain returns
+// the typed operator tree, EXPLAIN ANALYZE text carries execution
+// counters, and the rendered tree nests operators by indentation.
+func TestExplainAPI(t *testing.T) {
+	db := Open(Options{Seed: 4})
+	db.MustExec("CREATE TABLE o (cust, shipto, price)")
+	db.MustExec("CREATE TABLE s (dest, duration)")
+	db.MustExec("INSERT INTO o VALUES ('Joe', 'NY', 100), ('Bob', 'LA', 80)")
+	db.MustExec("INSERT INTO s VALUES ('NY', 5), ('LA', 4)")
+
+	plan, err := db.Explain("SELECT o.cust FROM o, s WHERE o.shipto = s.dest AND o.price > ?", 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Op != "Project" || plan.Analyzed {
+		t.Fatalf("root: %+v", plan)
+	}
+	text := plan.String()
+	if !strings.Contains(text, "HashJoin") || !strings.Contains(text, "  Filter") {
+		t.Fatalf("plan text:\n%s", text)
+	}
+
+	plan, err = db.Explain("EXPLAIN ANALYZE SELECT o.cust FROM o, s WHERE o.shipto = s.dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Analyzed || plan.Rows != 2 {
+		t.Fatalf("analyze root: %+v", plan)
+	}
+
+	// The statement form flows through Rows like any query.
+	rows, err := db.QueryRows("EXPLAIN SELECT cust FROM o WHERE 1 = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols := rows.Columns()
+	if len(cols) != 1 || cols[0] != "QUERY PLAN" {
+		t.Fatalf("columns %v", cols)
+	}
+	var lines []string
+	for rows.Next() {
+		var l string
+		if err := rows.Scan(&l); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, l)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "Result") || strings.Contains(joined, "Scan") {
+		t.Fatalf("constant-false plan:\n%s", joined)
 	}
 }

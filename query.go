@@ -93,6 +93,29 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...any) error {
 	return err
 }
 
+// Explain compiles a SELECT through the query planner and returns the
+// typed physical plan tree without executing it. query may be a bare
+// SELECT or an EXPLAIN / EXPLAIN ANALYZE statement — under ANALYZE the
+// query also executes (rows discarded) and every plan node carries its
+// emitted row count and cumulative wall time:
+//
+//	plan, err := db.Explain(`EXPLAIN ANALYZE SELECT o.cust FROM orders o,
+//	    shipping s WHERE o.shipto = s.dest`)
+//	fmt.Println(plan) // indented operator tree with rows= / time=
+func (db *DB) Explain(query string, args ...any) (*PlanNode, error) {
+	return db.ExplainContext(context.Background(), query, args...)
+}
+
+// ExplainContext is Explain under a request context; under EXPLAIN ANALYZE
+// a cancelled context aborts the measured execution.
+func (db *DB) ExplainContext(ctx context.Context, query string, args ...any) (*PlanNode, error) {
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return sql.ExplainContext(ctx, db.core, query, vals...)
+}
+
 // QueryContext runs a statement under ctx with bound placeholder arguments,
 // streaming the result rows. One-shot form of Prepare + Stmt.QueryContext.
 func (db *DB) QueryContext(ctx context.Context, query string, args ...any) (*Rows, error) {
