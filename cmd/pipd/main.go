@@ -1,0 +1,120 @@
+// Command pipd is the PIP network server: it hosts one shared
+// probabilistic database behind the HTTP/JSON wire protocol of
+// internal/server, multiplexing concurrent remote sessions with private
+// SET settings, streaming query results, and propagating client
+// disconnects into the sampler as cancellation.
+//
+//	pipd [-addr :7432] [-seed N] [-workers N] [-epsilon F] [-delta F]
+//	     [-samples N] [-max-samples N] [-session-timeout D] [-demo] [-quiet]
+//
+// Remote clients connect with the database/sql driver and a
+// pip://host:port DSN, with pipql -connect, or with any HTTP client (see
+// docs/OPERATIONS.md for the wire protocol). SIGINT/SIGTERM trigger a
+// graceful shutdown: in-flight requests drain (bounded by the shutdown
+// timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pip"
+	"pip/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7432", "listen address")
+		seed        = flag.Uint64("seed", 1, "world seed (equal seeds give bit-identical results)")
+		workers     = flag.Int("workers", 0, "parallel sampler goroutines (0 = one per CPU)")
+		epsilon     = flag.Float64("epsilon", 0, "confidence parameter in (0, 1); 0 = default")
+		delta       = flag.Float64("delta", 0, "relative-error parameter in (0, 1); 0 = default")
+		samples     = flag.Int("samples", 0, "fixed sample count (0 = adaptive)")
+		maxSamples  = flag.Int("max-samples", 0, "adaptive sampling cap (0 = default)")
+		sessionIdle = flag.Duration("session-timeout", server.DefaultSessionIdle, "expire sessions idle this long (0 = never)")
+		shutdown    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM")
+		demo        = flag.Bool("demo", false, "preload the paper's running example (orders, shipping)")
+		quiet       = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+
+	// Same bounds the SET statement and session settings enforce; a bad
+	// base value would silently corrupt every session's sampling guarantee.
+	for name, v := range map[string]float64{"epsilon": *epsilon, "delta": *delta} {
+		if v != 0 && (v <= 0 || v >= 1) {
+			fmt.Fprintf(os.Stderr, "pipd: -%s must lie in (0, 1), got %g\n", name, v)
+			os.Exit(2)
+		}
+	}
+	if *samples < 0 || *maxSamples < 0 || *workers < 0 {
+		fmt.Fprintln(os.Stderr, "pipd: -samples, -max-samples and -workers must be non-negative")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "pipd ", log.LstdFlags|log.Lmsgprefix)
+	if *quiet {
+		logger = nil
+	}
+
+	db := pip.Open(pip.Options{
+		Seed:         *seed,
+		Workers:      *workers,
+		Epsilon:      *epsilon,
+		Delta:        *delta,
+		FixedSamples: *samples,
+		MaxSamples:   *maxSamples,
+	})
+	if *demo {
+		loadDemo(db)
+	}
+
+	idle := *sessionIdle
+	if idle == 0 {
+		idle = -1 // Config.SessionIdle: negative disables, zero means default.
+	}
+	srv := server.New(server.Config{DB: db, Logger: logger, SessionIdle: idle})
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	if logger != nil {
+		logger.Printf("listening on %s (seed=%d, session-timeout=%v)", *addr, *seed, *sessionIdle)
+	}
+
+	select {
+	case err := <-errc:
+		// Listener failed before shutdown was requested.
+		fmt.Fprintf(os.Stderr, "pipd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	if logger != nil {
+		logger.Printf("shutting down (draining up to %v)", *shutdown)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdown)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "pipd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadDemo installs the paper's running example (orders x shipping).
+func loadDemo(db *pip.DB) {
+	for _, stmt := range server.DemoStatements {
+		db.MustExec(stmt)
+	}
+}

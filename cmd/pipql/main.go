@@ -1,18 +1,23 @@
-// Command pipql is an interactive REPL over PIP's SQL subset.
+// Command pipql is an interactive REPL over PIP's SQL subset, against
+// either an in-process engine or a remote pipd server.
 //
-//	pipql [-seed N] [-demo]
+//	pipql [-seed N] [-demo]                  # in-process database
+//	pipql -connect host:port [-demo]         # remote session on a pipd server
 //
 // With -demo, the running example of the paper (orders x shipping) is
 // preloaded. Statements end with a semicolon; \d lists tables, \timing
 // toggles per-query wall time, \q quits. Results stream row by row,
 // EXPLAIN [ANALYZE] prints the planner's operator tree, Ctrl-C cancels the
-// running query (the parallel sampler aborts at its next round barrier),
-// and parse errors report their line:column position with a caret.
+// running query (the parallel sampler aborts at its next round barrier —
+// in -connect mode the cancellation travels to the server by tearing down
+// the HTTP stream), and parse errors report their line:column position
+// with a caret in both modes.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,21 +27,63 @@ import (
 	"time"
 
 	"pip"
+	"pip/internal/server"
 )
+
+// backend abstracts the two execution modes: run executes one statement
+// and prints its result, exec executes silently (demo loading),
+// demoPresent reports whether the demo tables already exist (a shared
+// server may have them), describe lists the catalog, close releases any
+// remote state.
+type backend interface {
+	run(ctx context.Context, stmt string)
+	exec(ctx context.Context, stmt string) error
+	demoPresent() bool
+	describe()
+	close()
+}
 
 func main() {
 	var (
-		seed = flag.Uint64("seed", 1, "world seed")
-		demo = flag.Bool("demo", false, "preload the paper's running example")
+		seed    = flag.Uint64("seed", 1, "world seed (with -connect, overrides the session's server-inherited seed only when set explicitly)")
+		connect = flag.String("connect", "", "host:port of a pipd server; empty = in-process")
+		demo    = flag.Bool("demo", false, "preload the paper's running example")
 	)
 	flag.Parse()
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
-	db := pip.Open(pip.Options{Seed: *seed})
+	var be backend
+	if *connect != "" {
+		rb, err := newRemoteBackend(*connect, *seed, seedSet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipql: %v\n", err)
+			os.Exit(1)
+		}
+		be = rb
+		fmt.Printf("Connected to pipd at %s (session %s).\n", *connect, rb.sess.ID())
+	} else {
+		be = &localBackend{db: pip.Open(pip.Options{Seed: *seed})}
+	}
+	defer be.close()
+
 	if *demo {
-		loadDemo(db)
-		fmt.Println("Demo tables loaded: orders(cust, shipto, price), shipping(dest, duration)")
-		fmt.Println(`Try: SELECT expected_sum(o.price) FROM orders o, shipping s
+		// A shared server may already hold the demo (pipd -demo, or an
+		// earlier client): reloading would replace the shared tables and
+		// change every other session's results, so skip instead.
+		if be.demoPresent() {
+			fmt.Println("Demo tables already present on the server; not reloading.")
+		} else if err := loadDemo(be); err != nil {
+			fmt.Fprintf(os.Stderr, "pipql: demo load: %v\n", err)
+		} else {
+			fmt.Println("Demo tables loaded: orders(cust, shipto, price), shipping(dest, duration)")
+			fmt.Println(`Try: SELECT expected_sum(o.price) FROM orders o, shipping s
      WHERE o.shipto = s.dest AND o.cust = 'Joe' AND s.duration >= 7;`)
+		}
 	}
 
 	fmt.Println("pipql — PIP probabilistic SQL. End statements with ';'. \\d lists tables, \\timing toggles timing, \\q quits.")
@@ -52,7 +99,7 @@ func main() {
 		case `\q`, "quit", "exit":
 			return
 		case `\d`:
-			describeTables(db)
+			be.describe()
 			fmt.Print("pip> ")
 			continue
 		case `\timing`:
@@ -74,7 +121,7 @@ func main() {
 		stmt := buf.String()
 		buf.Reset()
 		start := time.Now()
-		runStatement(db, stmt)
+		runCancellable(be, stmt)
 		if timing {
 			fmt.Printf("Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
 		}
@@ -82,11 +129,51 @@ func main() {
 	}
 }
 
-// describeTables lists catalog tables; lookup failures print instead of
+// runCancellable executes one statement under a Ctrl-C-cancellable
+// context: the sampler aborts and the query reports the cancellation
+// instead of a partial result (remotely, closing the stream cancels the
+// server-side query).
+func runCancellable(be backend, stmt string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	be.run(ctx, stmt)
+}
+
+// loadDemo installs the paper's running example (server.DemoStatements,
+// the dataset every -demo surface shares) through the backend, so it
+// works identically in-process and against a server.
+func loadDemo(be backend) error {
+	for _, stmt := range server.DemoStatements {
+		if err := be.exec(context.Background(), stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// In-process backend
+
+// localBackend executes against an embedded pip.DB.
+type localBackend struct {
+	db *pip.DB
+}
+
+func (b *localBackend) close() {}
+
+// exec runs a statement without printing (demo loading).
+func (b *localBackend) exec(ctx context.Context, stmt string) error {
+	return b.db.ExecContext(ctx, stmt)
+}
+
+// demoPresent is always false in-process: the database is freshly opened.
+func (b *localBackend) demoPresent() bool { return false }
+
+// describe lists catalog tables; lookup failures print instead of
 // silently dropping the table from the listing.
-func describeTables(db *pip.DB) {
-	for _, n := range db.Core().TableNames() {
-		tb, err := db.Table(n)
+func (b *localBackend) describe() {
+	for _, n := range b.db.Core().TableNames() {
+		tb, err := b.db.Table(n)
 		if err != nil {
 			fmt.Printf("  %s — error: %v\n", n, err)
 			continue
@@ -95,16 +182,11 @@ func describeTables(db *pip.DB) {
 	}
 }
 
-// runStatement executes one statement, streaming result rows. Ctrl-C
-// cancels the statement's context: the sampler aborts and the query
-// reports the cancellation instead of a partial result.
-func runStatement(db *pip.DB, stmt string) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	rows, err := db.QueryContext(ctx, stmt)
+// run executes one statement, streaming result rows.
+func (b *localBackend) run(ctx context.Context, stmt string) {
+	rows, err := b.db.QueryContext(ctx, stmt)
 	if err != nil {
-		printError(stmt, err)
+		printError(err)
 		return
 	}
 	defer rows.Close()
@@ -121,7 +203,7 @@ func runStatement(db *pip.DB, stmt string) {
 			fmt.Println(rows.Values()[0].S)
 		}
 		if err := rows.Err(); err != nil {
-			printError(stmt, err)
+			printError(err)
 		}
 		return
 	}
@@ -136,15 +218,173 @@ func runStatement(db *pip.DB, stmt string) {
 		n++
 	}
 	if err := rows.Err(); err != nil {
-		printError(stmt, err)
+		printError(err)
 		return
 	}
 	fmt.Printf("%d row(s)\n", n)
 }
 
-// printError reports a statement failure; parse errors render the offending
-// source line with a caret under the error column.
-func printError(stmt string, err error) {
+// ---------------------------------------------------------------------------
+// Remote backend
+
+// remoteBackend executes against a pipd session over the wire protocol.
+// settings are kept so an expired session can be reopened transparently.
+type remoteBackend struct {
+	client   *server.Client
+	sess     *server.ClientSession
+	settings map[string]json.Number
+}
+
+// newRemoteBackend connects, verifies liveness, and opens a session. The
+// session inherits the server's configured seed unless the user set
+// -seed explicitly — pipd's operator chooses the default, not this
+// client's flag default.
+func newRemoteBackend(addr string, seed uint64, seedSet bool) (*remoteBackend, error) {
+	client := server.NewClient(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := client.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("cannot reach pipd at %s: %v", addr, err)
+	}
+	var settings map[string]json.Number
+	if seedSet {
+		settings = map[string]json.Number{"seed": json.Number(fmt.Sprint(seed))}
+	}
+	sess, err := client.Session(ctx, settings)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteBackend{client: client, sess: sess, settings: settings}, nil
+}
+
+// refresh reopens the backend's session after the server forgot it (idle
+// sweep or restart), so a long-idle REPL recovers instead of failing
+// every statement. SET state of the old session is lost; the original
+// connect-time settings are re-applied.
+func (b *remoteBackend) refresh(ctx context.Context) error {
+	sess, err := b.client.Session(ctx, b.settings)
+	if err != nil {
+		return err
+	}
+	b.sess = sess
+	fmt.Printf("(session expired on the server; reconnected as %s — SET state was reset)\n", sess.ID())
+	return nil
+}
+
+// sessionLost reports whether err means the server no longer knows our
+// session.
+func sessionLost(err error) bool { return errors.Is(err, server.ErrSessionUnknown) }
+
+func (b *remoteBackend) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = b.sess.Close(ctx)
+}
+
+// exec runs a statement without printing (demo loading).
+func (b *remoteBackend) exec(ctx context.Context, stmt string) error {
+	_, err := b.sess.Exec(ctx, stmt)
+	if sessionLost(err) {
+		if rerr := b.refresh(ctx); rerr == nil {
+			_, err = b.sess.Exec(ctx, stmt)
+		}
+	}
+	return err
+}
+
+// demoPresent reports whether the server's shared catalog already holds
+// the demo tables.
+func (b *remoteBackend) demoPresent() bool {
+	tables, err := b.client.Tables(context.Background())
+	if err != nil {
+		return false
+	}
+	have := map[string]bool{}
+	for _, t := range tables {
+		have[t.Name] = true
+	}
+	return have["orders"] && have["shipping"]
+}
+
+// describe lists the server's shared catalog.
+func (b *remoteBackend) describe() {
+	tables, err := b.client.Tables(context.Background())
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	for _, t := range tables {
+		fmt.Printf("  %s(%s) — %d rows\n", t.Name, strings.Join(t.Columns, ", "), t.Rows)
+	}
+}
+
+// run executes one statement in the remote session, streaming rows as the
+// server emits them. A session the server expired is reopened once and
+// the statement retried.
+func (b *remoteBackend) run(ctx context.Context, stmt string) {
+	rows, err := b.sess.Query(ctx, stmt)
+	if sessionLost(err) {
+		if rerr := b.refresh(ctx); rerr == nil {
+			rows, err = b.sess.Query(ctx, stmt)
+		}
+	}
+	if err != nil {
+		printError(err)
+		return
+	}
+	defer rows.Close()
+
+	cols := rows.Columns()
+	if len(cols) == 0 {
+		// Drain to the done chunk so the statement's outcome is real and
+		// the connection returns to the keep-alive pool (closing early
+		// reads as a client disconnect server-side).
+		for rows.Next() {
+		}
+		if err := rows.Err(); err != nil {
+			printError(err)
+			return
+		}
+		fmt.Println("ok")
+		return
+	}
+	if len(cols) == 1 && cols[0] == "QUERY PLAN" {
+		for rows.Next() {
+			fmt.Println(rows.Row()[0].S)
+		}
+		if err := rows.Err(); err != nil {
+			printError(err)
+		}
+		return
+	}
+	fmt.Printf("(%s)\n", strings.Join(cols, ", "))
+	n := 0
+	for rows.Next() {
+		cells := make([]string, 0, len(cols))
+		for _, v := range rows.Row() {
+			cells = append(cells, v.String())
+		}
+		// Render deterministic rows exactly as the local backend does.
+		cond := rows.Cond()
+		if cond == "" {
+			cond = "TRUE"
+		}
+		fmt.Printf("  (%s) | %s\n", strings.Join(cells, ", "), cond)
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		printError(err)
+		return
+	}
+	fmt.Printf("%d row(s)\n", n)
+}
+
+// ---------------------------------------------------------------------------
+
+// printError reports a statement failure; parse errors render the
+// offending source line with a caret under the error column (local and
+// remote — the wire carries the position).
+func printError(err error) {
 	if errors.Is(err, context.Canceled) {
 		fmt.Println("cancelled")
 		return
@@ -159,13 +399,4 @@ func printError(stmt string, err error) {
 		return
 	}
 	fmt.Printf("error: %v\n", err)
-}
-
-func loadDemo(db *pip.DB) {
-	db.MustExec("CREATE TABLE orders (cust, shipto, price)")
-	db.MustExec("CREATE TABLE shipping (dest, duration)")
-	db.MustExec("INSERT INTO orders VALUES ('Joe', 'NY', CREATE_VARIABLE('Normal', 100, 10))")
-	db.MustExec("INSERT INTO orders VALUES ('Bob', 'LA', CREATE_VARIABLE('Normal', 80, 5))")
-	db.MustExec("INSERT INTO shipping VALUES ('NY', CREATE_VARIABLE('Normal', 5, 2))")
-	db.MustExec("INSERT INTO shipping VALUES ('LA', CREATE_VARIABLE('Normal', 4, 1))")
 }

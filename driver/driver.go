@@ -16,8 +16,10 @@
 //
 // # Data source names
 //
-// The DSN is a &-separated key=value list. An empty DSN opens a fresh
-// in-memory database private to that sql.DB pool. Keys:
+// The driver has two backends, selected by the DSN.
+//
+// An **in-process** DSN is a &-separated key=value list. An empty DSN
+// opens a fresh in-memory database private to that sql.DB pool. Keys:
 //
 //	name        share one in-memory database between every sql.Open with
 //	            the same name (process-wide), like SQLite's shared cache
@@ -30,6 +32,18 @@
 //
 // Every connection of a pool shares the same underlying pip.DB, so DDL
 // executed on one pooled connection is visible to all others.
+//
+// A **remote** DSN of the form
+//
+//	pip://host:port[?seed=N&workers=N&epsilon=F&delta=F&samples=N&max_samples=N&min_samples=N]
+//
+// routes every statement through the pipd wire protocol (internal/server).
+// Each pooled connection opens its own server-side session, created with
+// the DSN's settings: SET statements and prepared statements are
+// per-connection, while the catalog is shared by every session of the
+// server — DDL on one connection (or one client process) is visible to
+// all. The determinism contract crosses the wire intact: equal seeds give
+// bit-identical results whether the DSN is in-process or remote.
 //
 // # Value mapping
 //
@@ -53,6 +67,7 @@ import (
 
 	"pip"
 	"pip/internal/ctable"
+	"pip/internal/server"
 )
 
 func init() {
@@ -78,9 +93,19 @@ func (d *Driver) Open(dsn string) (driver.Conn, error) {
 	return c.Connect(context.Background())
 }
 
-// OpenConnector implements driver.DriverContext: the DSN is parsed once,
-// and every connection of the pool shares one pip.DB.
+// OpenConnector implements driver.DriverContext, dispatching on the DSN:
+// pip://host:port DSNs return a remote connector speaking the pipd wire
+// protocol (each pooled connection opens its own server session), any
+// other DSN is parsed once as in-process options and every connection of
+// the pool shares one pip.DB.
 func (d *Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	if isRemoteDSN(dsn) {
+		addr, settings, err := parseRemoteDSN(dsn)
+		if err != nil {
+			return nil, err
+		}
+		return &remoteConnector{d: d, client: server.NewClient(addr), settings: settings}, nil
+	}
 	name, opts, err := parseDSN(dsn)
 	if err != nil {
 		return nil, err

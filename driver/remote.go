@@ -1,0 +1,247 @@
+package driver
+
+import (
+	"context"
+	"database/sql/driver"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"pip/internal/server"
+)
+
+// remoteScheme prefixes DSNs that route through the wire protocol to a
+// pipd server instead of an in-process engine.
+const remoteScheme = "pip://"
+
+// isRemoteDSN reports whether the DSN names a network server.
+func isRemoteDSN(dsn string) bool { return strings.HasPrefix(dsn, remoteScheme) }
+
+// parseRemoteDSN splits pip://host:port?key=value&... into the server
+// address and the session settings forwarded at connection time. Keys are
+// the SQL SET names (seed, workers, epsilon, delta, samples, max_samples,
+// min_samples); values are validated by the server with the same bounds as
+// SET.
+func parseRemoteDSN(dsn string) (addr string, settings map[string]json.Number, err error) {
+	u, err := url.Parse(dsn)
+	if err != nil {
+		return "", nil, fmt.Errorf("pip driver: malformed remote DSN %q: %v", dsn, err)
+	}
+	if u.Host == "" {
+		return "", nil, fmt.Errorf("pip driver: remote DSN %q has no host:port", dsn)
+	}
+	if u.Path != "" && u.Path != "/" {
+		return "", nil, fmt.Errorf("pip driver: remote DSN %q must not carry a path", dsn)
+	}
+	q, err := url.ParseQuery(u.RawQuery)
+	if err != nil {
+		return "", nil, fmt.Errorf("pip driver: malformed remote DSN query %q: %v", u.RawQuery, err)
+	}
+	settings = map[string]json.Number{}
+	for k, vs := range q {
+		switch k {
+		case "seed", "workers", "epsilon", "delta", "samples", "max_samples", "min_samples":
+			v := vs[len(vs)-1]
+			// Syntactic check up front so a bad value is a clear DSN error
+			// at sql.Open time; range validation stays server-side with
+			// the same bounds as SET.
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				return "", nil, fmt.Errorf("pip driver: invalid remote DSN value %q for %s (want a number)", v, k)
+			}
+			settings[k] = json.Number(v)
+		case "name":
+			return "", nil, fmt.Errorf("pip driver: DSN key %q is for in-process databases (a server is already shared by name: its address)", k)
+		default:
+			return "", nil, fmt.Errorf("pip driver: unknown remote DSN key %q", k)
+		}
+	}
+	return u.Host, settings, nil
+}
+
+// remoteConnector implements driver.Connector against a pipd server: every
+// pooled connection opens its own server-side session, so per-session
+// state (SET settings, prepared statements) is per-connection, while the
+// catalog behind all sessions is shared — DDL on one pooled connection is
+// visible to every other, exactly like the in-process backend.
+type remoteConnector struct {
+	d        *Driver
+	client   *server.Client
+	settings map[string]json.Number
+}
+
+// Connect implements driver.Connector by creating a server session.
+func (c *remoteConnector) Connect(ctx context.Context) (driver.Conn, error) {
+	sess, err := c.client.Session(ctx, c.settings)
+	if err != nil {
+		return nil, fmt.Errorf("pip driver: connect: %w", err)
+	}
+	return &remoteConn{sess: sess}, nil
+}
+
+// Driver implements driver.Connector.
+func (c *remoteConnector) Driver() driver.Driver { return c.d }
+
+// remoteConn is one pooled connection: a live server-side session.
+type remoteConn struct {
+	sess *server.ClientSession
+}
+
+// mapSessionErr converts a lost-session failure (expired by the server's
+// idle sweep, or a server restart) into driver.ErrBadConn, so
+// database/sql discards this pooled connection and retries the statement
+// on a fresh one — which opens a fresh server session — instead of
+// failing every future statement on a permanently poisoned connection.
+func mapSessionErr(err error) error {
+	if errors.Is(err, server.ErrSessionUnknown) {
+		return driver.ErrBadConn
+	}
+	return err
+}
+
+// Close implements driver.Conn by releasing the server-side session (the
+// pool calls this without a context, so the release is time-bounded).
+func (c *remoteConn) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return c.sess.Close(ctx)
+}
+
+// Begin implements driver.Conn. Transactions are not supported.
+func (c *remoteConn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("pip driver: transactions are not supported")
+}
+
+// Prepare implements driver.Conn.
+func (c *remoteConn) Prepare(query string) (driver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext implements driver.ConnPrepareContext: the statement is
+// parsed and cached server-side.
+func (c *remoteConn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
+	st, err := c.sess.Prepare(ctx, query)
+	if err != nil {
+		return nil, mapSessionErr(err)
+	}
+	return &remoteStmt{st: st}, nil
+}
+
+// QueryContext implements driver.QueryerContext (direct, unprepared
+// queries) over one wire round trip.
+func (c *remoteConn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	bound, err := bindNamed(args)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.sess.Query(ctx, query, bound...)
+	if err != nil {
+		return nil, mapSessionErr(err)
+	}
+	return &remoteRows{rows: rows}, nil
+}
+
+// ExecContext implements driver.ExecerContext (direct, unprepared
+// statements).
+func (c *remoteConn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	bound, err := bindNamed(args)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.sess.Exec(ctx, query, bound...); err != nil {
+		return nil, mapSessionErr(err)
+	}
+	return driver.ResultNoRows, nil
+}
+
+// remoteStmt implements driver.Stmt over a server-side prepared statement.
+type remoteStmt struct {
+	st *server.ClientStmt
+}
+
+// Close implements driver.Stmt.
+func (s *remoteStmt) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.st.Close(ctx)
+}
+
+// NumInput implements driver.Stmt.
+func (s *remoteStmt) NumInput() int { return s.st.NumInput() }
+
+// Exec implements driver.Stmt.
+func (s *remoteStmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.ExecContext(context.Background(), namedValues(args))
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *remoteStmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	bound, err := bindNamed(args)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.st.Exec(ctx, bound...); err != nil {
+		return nil, mapSessionErr(err)
+	}
+	return driver.ResultNoRows, nil
+}
+
+// Query implements driver.Stmt.
+func (s *remoteStmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.QueryContext(context.Background(), namedValues(args))
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *remoteStmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	bound, err := bindNamed(args)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.st.Query(ctx, bound...)
+	if err != nil {
+		return nil, mapSessionErr(err)
+	}
+	return &remoteRows{rows: rows}, nil
+}
+
+// remoteRows implements driver.Rows by consuming the NDJSON row stream
+// incrementally — a remote result set costs the same per-row memory as a
+// local one.
+type remoteRows struct {
+	rows *server.ClientRows
+}
+
+// Columns implements driver.Rows.
+func (r *remoteRows) Columns() []string { return r.rows.Columns() }
+
+// Close implements driver.Rows; closing mid-stream cancels the
+// server-side query.
+func (r *remoteRows) Close() error { return r.rows.Close() }
+
+// Next implements driver.Rows: deterministic cells convert to their
+// driver.Value type, symbolic cells to their equation string — the same
+// mapping as the in-process backend, bit-identical under equal seeds.
+func (r *remoteRows) Next(dest []driver.Value) error {
+	if !r.rows.Next() {
+		if err := r.rows.Err(); err != nil {
+			return err
+		}
+		return io.EOF
+	}
+	row := r.rows.Row()
+	if len(dest) != len(row) {
+		return fmt.Errorf("pip driver: %d destinations for %d columns", len(dest), len(row))
+	}
+	for i, v := range row {
+		n, err := v.Native()
+		if err != nil {
+			return err
+		}
+		dest[i] = n
+	}
+	return nil
+}

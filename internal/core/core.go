@@ -28,23 +28,47 @@ import (
 // match it with errors.Is. The wrapping error names the missing table.
 var ErrUnknownTable = errors.New("core: unknown table")
 
-// DB is a PIP probabilistic database instance.
-type DB struct {
+// catalog is the state shared by a database and all of its session views:
+// the table namespace, the rows of the tables in it, and the
+// random-variable allocator. One mutex guards all three, so concurrent
+// sessions never race on DDL, DML (AppendRow/Snapshot) or
+// CREATE_VARIABLE, and variable identifiers stay unique across every view
+// of the database.
+type catalog struct {
 	mu      sync.Mutex
 	nextVar uint64
 	tables  map[string]*ctable.Table
-	smp     *sampler.Sampler
-	cfg     sampler.Config
+}
+
+// DB is a PIP probabilistic database instance. Handles created by Session
+// and WithConfig share one catalog (tables, variable namespace) but carry
+// independent sampling configurations.
+type DB struct {
+	cat *catalog
+	mu  sync.Mutex // guards smp and cfg
+	smp *sampler.Sampler
+	cfg sampler.Config
 }
 
 // NewDB creates a database with the given sampling configuration.
 func NewDB(cfg sampler.Config) *DB {
 	return &DB{
-		nextVar: 1,
-		tables:  map[string]*ctable.Table{},
-		smp:     sampler.New(cfg),
-		cfg:     cfg,
+		cat: &catalog{nextVar: 1, tables: map[string]*ctable.Table{}},
+		smp: sampler.New(cfg),
+		cfg: cfg,
 	}
+}
+
+// Session returns a handle sharing this database's catalog and random-
+// variable namespace but carrying its own sampling configuration,
+// initialized from the current one. Configuration updates on the session
+// (SET statements, UpdateConfig) leave every other handle untouched, while
+// DDL/DML and CREATE_VARIABLE act on the shared catalog and are visible to
+// all. This is the isolation unit behind the network server's per-session
+// settings.
+func (db *DB) Session() *DB {
+	cfg := db.Config()
+	return &DB{cat: db.cat, smp: sampler.New(cfg), cfg: cfg}
 }
 
 // Sampler returns the database's sampler. The returned sampler is immutable
@@ -89,18 +113,11 @@ func (db *DB) UpdateConfig(mutate func(*sampler.Config)) sampler.Config {
 }
 
 // WithConfig returns a database sharing this database's catalog and
-// variable namespace but sampling under a different configuration. Useful
-// for fixed-sample experiment runs against the same data.
+// variable namespace but sampling under the given configuration. Useful
+// for fixed-sample experiment runs against the same data; Session is the
+// same operation seeded from the current configuration.
 func (db *DB) WithConfig(cfg sampler.Config) *DB {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	clone := &DB{
-		nextVar: db.nextVar,
-		tables:  db.tables,
-		smp:     sampler.New(cfg),
-		cfg:     cfg,
-	}
-	return clone
+	return &DB{cat: db.cat, smp: sampler.New(cfg), cfg: cfg}
 }
 
 // CreateVariable implements CREATE_VARIABLE(distribution, params...): it
@@ -123,10 +140,10 @@ func (db *DB) CreateVariable(distName string, params ...float64) (*expr.Variable
 // NewVariableFromInstance allocates a variable for an existing distribution
 // instance, optionally named for display.
 func (db *DB) NewVariableFromInstance(inst dist.Instance, name string) *expr.Variable {
-	db.mu.Lock()
-	id := db.nextVar
-	db.nextVar++
-	db.mu.Unlock()
+	db.cat.mu.Lock()
+	id := db.cat.nextVar
+	db.cat.nextVar++
+	db.cat.mu.Unlock()
 	return &expr.Variable{Key: expr.VarKey{ID: id}, Dist: inst, Name: name}
 }
 
@@ -138,10 +155,10 @@ func (db *DB) CreateJointVariables(inst dist.Instance, name string) ([]*expr.Var
 	if !ok {
 		return nil, fmt.Errorf("core: %s is not a multivariate class", inst.Class.Name())
 	}
-	db.mu.Lock()
-	id := db.nextVar
-	db.nextVar++
-	db.mu.Unlock()
+	db.cat.mu.Lock()
+	id := db.cat.nextVar
+	db.cat.nextVar++
+	db.cat.mu.Unlock()
 	n := mv.Dim(inst.Params)
 	out := make([]*expr.Variable, n)
 	for i := 0; i < n; i++ {
@@ -152,36 +169,57 @@ func (db *DB) CreateJointVariables(inst dist.Instance, name string) ([]*expr.Var
 
 // Register installs (or replaces) a named table in the catalog.
 func (db *DB) Register(t *ctable.Table) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.tables[strings.ToLower(t.Name)] = t
+	db.cat.mu.Lock()
+	defer db.cat.mu.Unlock()
+	db.cat.tables[strings.ToLower(t.Name)] = t
 }
 
 // Table fetches a catalog table by name. A failed lookup wraps
 // ErrUnknownTable.
 func (db *DB) Table(name string) (*ctable.Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[strings.ToLower(name)]
+	db.cat.mu.Lock()
+	defer db.cat.mu.Unlock()
+	t, ok := db.cat.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownTable, name)
 	}
 	return t, nil
 }
 
+// AppendRow appends one tuple to a catalog table under the catalog lock.
+// All DML on live catalog tables goes through here (not Table.Append
+// directly), so concurrent sessions' inserts and snapshots never race:
+// existing tuples are immutable, appends are serialized, and snapshots
+// capture a consistent prefix.
+func (db *DB) AppendRow(t *ctable.Table, tp ctable.Tuple) error {
+	db.cat.mu.Lock()
+	defer db.cat.mu.Unlock()
+	return t.Append(tp)
+}
+
+// Snapshot returns the table's current rows under the catalog lock, with
+// capacity clipped so a concurrent AppendRow reallocates instead of
+// writing into the returned slice. Query scans iterate snapshots, never
+// the live slice header.
+func (db *DB) Snapshot(t *ctable.Table) []ctable.Tuple {
+	db.cat.mu.Lock()
+	defer db.cat.mu.Unlock()
+	return t.Tuples[:len(t.Tuples):len(t.Tuples)]
+}
+
 // Drop removes a table from the catalog.
 func (db *DB) Drop(name string) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	delete(db.tables, strings.ToLower(name))
+	db.cat.mu.Lock()
+	defer db.cat.mu.Unlock()
+	delete(db.cat.tables, strings.ToLower(name))
 }
 
 // TableNames lists catalog tables in sorted order.
 func (db *DB) TableNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	out := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	db.cat.mu.Lock()
+	defer db.cat.mu.Unlock()
+	out := make([]string, 0, len(db.cat.tables))
+	for n := range db.cat.tables {
 		out = append(out, n)
 	}
 	sort.Strings(out)

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client speaks the pipd wire protocol. It is the transport behind the
+// remote database/sql backend (pip://host:port DSNs), pipql -connect, and
+// the clientserver example; it is safe for concurrent use (the underlying
+// http.Client pools connections).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for a pipd server. addr is host:port or a
+// full http:// base URL.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+}
+
+// post issues one JSON request; on a non-200 response the server's error
+// body is decoded back into a typed engine error. The response body is
+// returned open for the caller to consume.
+func (c *Client) post(ctx context.Context, path string, reqBody any) (*http.Response, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(reqBody); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer drainClose(resp.Body)
+		var eb struct {
+			Error *Error `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != nil {
+			return nil, eb.Error.Err()
+		}
+		return nil, fmt.Errorf("server: %s returned HTTP %d", path, resp.StatusCode)
+	}
+	return resp, nil
+}
+
+// drainClose reads a response body to EOF before closing so the
+// http.Transport can return the connection to its keep-alive pool —
+// otherwise every round trip would pay a fresh TCP handshake.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, body)
+	body.Close()
+}
+
+// postJSON issues one JSON request and decodes a single JSON response.
+func (c *Client) postJSON(ctx context.Context, path string, reqBody, respBody any) error {
+	resp, err := c.post(ctx, path, reqBody)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	return json.NewDecoder(resp.Body).Decode(respBody)
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: healthz returned HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Tables lists the server's shared catalog.
+func (c *Client) Tables(ctx context.Context) ([]TableInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/tables", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: tables returned HTTP %d", resp.StatusCode)
+	}
+	var out []TableInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Session creates a server-side session with the given initial settings
+// (same keys and bounds as SQL SET; see SessionRequest) and returns a
+// handle for executing statements in it.
+func (c *Client) Session(ctx context.Context, settings map[string]json.Number) (*ClientSession, error) {
+	var resp SessionResponse
+	if err := c.postJSON(ctx, "/v1/session", SessionRequest{Settings: settings}, &resp); err != nil {
+		return nil, err
+	}
+	return &ClientSession{c: c, id: resp.ID}, nil
+}
+
+// ClientSession is a handle on one server-side session: statements
+// executed through it share the session's settings (SET applies to this
+// session only) and the server's shared catalog.
+type ClientSession struct {
+	c  *Client
+	id string
+}
+
+// ID returns the server-assigned session identifier.
+func (s *ClientSession) ID() string { return s.id }
+
+// Close releases the server-side session.
+func (s *ClientSession) Close(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, s.c.base+"/v1/session/"+s.id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	drainClose(resp.Body)
+	return nil
+}
+
+// bindWire converts Go arguments to wire values.
+func bindWire(args []any) ([]Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := BindArg(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Query executes a statement and streams its result rows. Cancelling ctx
+// mid-iteration closes the HTTP stream, which cancels the server-side
+// query down into the sampler.
+func (s *ClientSession) Query(ctx context.Context, query string, args ...any) (*ClientRows, error) {
+	wargs, err := bindWire(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.stream(ctx, QueryRequest{Session: s.id, Query: query, Args: wargs})
+}
+
+// Exec executes a statement, discarding result rows; it returns the
+// discarded row count (0 for DDL/DML).
+func (s *ClientSession) Exec(ctx context.Context, query string, args ...any) (int64, error) {
+	wargs, err := bindWire(args)
+	if err != nil {
+		return 0, err
+	}
+	var resp ExecResponse
+	if err := s.c.postJSON(ctx, "/v1/exec", QueryRequest{Session: s.id, Query: query, Args: wargs}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Rows, nil
+}
+
+// Prepare parses a statement server-side for repeated execution.
+func (s *ClientSession) Prepare(ctx context.Context, query string) (*ClientStmt, error) {
+	var resp PrepareResponse
+	if err := s.c.postJSON(ctx, "/v1/prepare", PrepareRequest{Session: s.id, Query: query}, &resp); err != nil {
+		return nil, err
+	}
+	return &ClientStmt{sess: s, id: resp.Stmt, numInput: resp.NumInput}, nil
+}
+
+// ClientStmt is a server-side prepared statement.
+type ClientStmt struct {
+	sess     *ClientSession
+	id       int64
+	numInput int
+}
+
+// NumInput returns the statement's ? placeholder count.
+func (st *ClientStmt) NumInput() int { return st.numInput }
+
+// Query executes the prepared statement with bound arguments, streaming
+// the result rows.
+func (st *ClientStmt) Query(ctx context.Context, args ...any) (*ClientRows, error) {
+	wargs, err := bindWire(args)
+	if err != nil {
+		return nil, err
+	}
+	return st.sess.c.stream(ctx, QueryRequest{Session: st.sess.id, Stmt: st.id, Args: wargs})
+}
+
+// Exec executes the prepared statement, discarding result rows.
+func (st *ClientStmt) Exec(ctx context.Context, args ...any) (int64, error) {
+	wargs, err := bindWire(args)
+	if err != nil {
+		return 0, err
+	}
+	var resp ExecResponse
+	if err := st.sess.c.postJSON(ctx, "/v1/exec", QueryRequest{Session: st.sess.id, Stmt: st.id, Args: wargs}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Rows, nil
+}
+
+// Close releases the server-side statement.
+func (st *ClientStmt) Close(ctx context.Context) error {
+	var resp struct {
+		OK bool `json:"ok"`
+	}
+	return st.sess.c.postJSON(ctx, "/v1/stmt/close", StmtCloseRequest{Session: st.sess.id, Stmt: st.id}, &resp)
+}
+
+// stream opens a /v1/query NDJSON stream and consumes its head chunk.
+func (c *Client) stream(ctx context.Context, req QueryRequest) (*ClientRows, error) {
+	resp, err := c.post(ctx, "/v1/query", req)
+	if err != nil {
+		return nil, err
+	}
+	rows := &ClientRows{ctx: ctx, body: resp.Body, rd: bufio.NewReader(resp.Body)}
+	head, err := rows.readChunk()
+	if err != nil {
+		rows.Close()
+		return nil, err
+	}
+	if head.K != "head" {
+		rows.Close()
+		return nil, fmt.Errorf("server: protocol error: expected head chunk, got %q", head.K)
+	}
+	rows.cols = head.Columns
+	return rows, nil
+}
+
+// ClientRows streams a remote query's result rows, mirroring pip.Rows:
+// Next advances, Row/Cond expose the current row, Err reports the terminal
+// error, Close releases the stream (cancelling the server-side query if it
+// is still running). Values arrive in wire form; symbolic cells and row
+// conditions are rendered strings.
+type ClientRows struct {
+	ctx    context.Context
+	body   io.ReadCloser
+	rd     *bufio.Reader
+	cols   []string
+	row    []Value
+	cond   string
+	count  int64
+	err    error
+	done   bool
+	closed bool
+}
+
+// Columns returns the result column names (empty for DDL/DML).
+func (r *ClientRows) Columns() []string { return r.cols }
+
+// readChunk reads one NDJSON line. Lines are unbounded (equation strings
+// can be long), hence ReadBytes rather than a Scanner.
+func (r *ClientRows) readChunk() (Chunk, error) {
+	line, err := r.rd.ReadBytes('\n')
+	if err != nil && (len(line) == 0 || err != io.EOF) {
+		// Prefer the caller's cancellation over the transport's rendering
+		// of the connection teardown it caused.
+		if r.ctx != nil && r.ctx.Err() != nil {
+			return Chunk{}, r.ctx.Err()
+		}
+		return Chunk{}, err
+	}
+	var ch Chunk
+	if uerr := json.Unmarshal(line, &ch); uerr != nil {
+		if err == io.EOF {
+			// A partial trailing line is a severed stream (server died
+			// mid-chunk), not a protocol bug: surface it as truncation.
+			return Chunk{}, io.EOF
+		}
+		return Chunk{}, fmt.Errorf("server: malformed chunk: %v", uerr)
+	}
+	return ch, nil
+}
+
+// Next advances to the next row, reporting false at the end of the stream
+// or on error (distinguish with Err).
+func (r *ClientRows) Next() bool {
+	if r.done || r.closed || r.err != nil {
+		return false
+	}
+	ch, err := r.readChunk()
+	if err != nil {
+		r.err = err
+		return false
+	}
+	switch ch.K {
+	case "row":
+		r.row, r.cond = ch.Row, ch.Cond
+		r.count++
+		return true
+	case "done":
+		r.done = true
+		return false
+	case "err":
+		r.done = true
+		r.err = ch.Error.Err()
+		return false
+	default:
+		r.done = true
+		r.err = fmt.Errorf("server: protocol error: unexpected chunk %q", ch.K)
+		return false
+	}
+}
+
+// Row returns the current row's wire values (valid until the next call to
+// Next); nil when no row is positioned.
+func (r *ClientRows) Row() []Value { return r.row }
+
+// Cond returns the current row's rendered c-table condition, "" for
+// deterministic rows.
+func (r *ClientRows) Cond() string { return r.cond }
+
+// RowCount returns the number of rows consumed so far.
+func (r *ClientRows) RowCount() int64 { return r.count }
+
+// Err returns the error that terminated iteration, if any; a cancelled
+// context surfaces as ctx.Err(), typed engine failures as their sentinel
+// (errors.Is(err, pip.ErrParse) etc.).
+func (r *ClientRows) Err() error {
+	if errors.Is(r.err, io.EOF) {
+		// A stream that ends without a done chunk was severed mid-flight.
+		return fmt.Errorf("server: result stream truncated")
+	}
+	return r.err
+}
+
+// Close releases the stream. After a fully consumed stream the body is
+// drained so the connection returns to the keep-alive pool; closing
+// before the done chunk instead tears down the HTTP request, which the
+// server turns into context cancellation for the running query.
+func (r *ClientRows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.done {
+		drainClose(r.body)
+		return nil
+	}
+	return r.body.Close()
+}

@@ -1,0 +1,14 @@
+package server
+
+// DemoStatements is the paper's running example (§1.1: orders x
+// shipping), shared by `pipd -demo` and `pipql -demo` so every surface
+// preloads the identical dataset and the documented example outputs hold
+// regardless of which binary loaded it.
+var DemoStatements = []string{
+	"CREATE TABLE orders (cust, shipto, price)",
+	"CREATE TABLE shipping (dest, duration)",
+	"INSERT INTO orders VALUES ('Joe', 'NY', CREATE_VARIABLE('Normal', 100, 10))",
+	"INSERT INTO orders VALUES ('Bob', 'LA', CREATE_VARIABLE('Normal', 80, 5))",
+	"INSERT INTO shipping VALUES ('NY', CREATE_VARIABLE('Normal', 5, 2))",
+	"INSERT INTO shipping VALUES ('LA', CREATE_VARIABLE('Normal', 4, 1))",
+}

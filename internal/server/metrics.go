@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's counter set, exported in Prometheus text format
+// by /metrics. All counters are monotonic atomics except the gauges
+// (in-flight queries, live sessions) sampled at render time.
+type metrics struct {
+	start time.Time
+
+	requestsTotal   atomic.Int64 // every HTTP request served
+	queriesTotal    atomic.Int64 // /v1/query + /v1/exec statements started
+	queriesInflight atomic.Int64 // statements currently executing
+	errorsTotal     atomic.Int64 // statements that ended in an error chunk/status
+	cancelledTotal  atomic.Int64 // statements ended by client disconnect/cancel
+	rowsTotal       atomic.Int64 // result rows streamed to clients
+	sessionsTotal   atomic.Int64 // sessions ever created
+	sessionsSwept   atomic.Int64 // sessions reclaimed by the idle sweep
+	queryNanos      atomic.Int64 // cumulative statement wall time
+}
+
+// newMetrics starts the uptime clock.
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// observeQuery records one finished statement.
+func (m *metrics) observeQuery(d time.Duration, rows int64, err error, cancelled bool) {
+	m.queriesInflight.Add(-1)
+	m.queryNanos.Add(int64(d))
+	m.rowsTotal.Add(rows)
+	if cancelled {
+		m.cancelledTotal.Add(1)
+	} else if err != nil {
+		m.errorsTotal.Add(1)
+	}
+}
+
+// write renders the Prometheus text exposition. sessionsActive is sampled
+// from the session manager at call time.
+func (m *metrics) write(w io.Writer, sessionsActive int) {
+	type metric struct {
+		name, help, typ string
+		value           float64
+	}
+	ms := []metric{
+		{"pip_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(m.start).Seconds()},
+		{"pip_requests_total", "HTTP requests served, all endpoints.", "counter", float64(m.requestsTotal.Load())},
+		{"pip_queries_total", "SQL statements started via /v1/query and /v1/exec.", "counter", float64(m.queriesTotal.Load())},
+		{"pip_queries_inflight", "SQL statements currently executing.", "gauge", float64(m.queriesInflight.Load())},
+		{"pip_query_errors_total", "Statements that ended in an error.", "counter", float64(m.errorsTotal.Load())},
+		{"pip_query_cancelled_total", "Statements ended by client cancellation or disconnect.", "counter", float64(m.cancelledTotal.Load())},
+		{"pip_rows_streamed_total", "Result rows streamed to clients.", "counter", float64(m.rowsTotal.Load())},
+		{"pip_sessions_active", "Live sessions.", "gauge", float64(sessionsActive)},
+		{"pip_sessions_total", "Sessions ever created.", "counter", float64(m.sessionsTotal.Load())},
+		{"pip_sessions_swept_total", "Sessions reclaimed by the idle sweep.", "counter", float64(m.sessionsSwept.Load())},
+		{"pip_query_seconds_total", "Cumulative statement execution wall time.", "counter", time.Duration(m.queryNanos.Load()).Seconds()},
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, mt := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", mt.name, mt.help, mt.name, mt.typ, mt.name, mt.value)
+	}
+}

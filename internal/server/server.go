@@ -1,0 +1,474 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"pip"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DB is the shared database all sessions view. Required.
+	DB *pip.DB
+	// Logger receives one line per HTTP request (method, path, status,
+	// duration, bytes). Nil disables request logging.
+	Logger *log.Logger
+	// SessionIdle expires sessions with no request for this long and none
+	// in flight; the zero value takes DefaultSessionIdle, negative disables
+	// expiry.
+	SessionIdle time.Duration
+}
+
+// DefaultSessionIdle is the idle session expiry applied when
+// Config.SessionIdle is zero.
+const DefaultSessionIdle = 30 * time.Minute
+
+// Server is the HTTP/JSON query service: it multiplexes one shared pip.DB
+// across concurrent remote sessions, streaming query results chunk by
+// chunk and propagating client disconnects into the sampler as context
+// cancellation. Create with New, mount via Handler (or ServeHTTP), stop
+// with Close.
+type Server struct {
+	db       *pip.DB
+	logger   *log.Logger
+	sessions *sessionManager
+	met      *metrics
+	handler  http.Handler
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New creates a server over cfg.DB and starts its idle-session sweeper.
+func New(cfg Config) *Server {
+	if cfg.DB == nil {
+		panic("server: Config.DB is required")
+	}
+	idle := cfg.SessionIdle
+	if idle == 0 {
+		idle = DefaultSessionIdle
+	}
+	s := &Server{
+		db:       cfg.DB,
+		logger:   cfg.Logger,
+		sessions: newSessionManager(cfg.DB, idle),
+		met:      newMetrics(),
+		stop:     make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	mux.HandleFunc("POST /v1/stmt/close", s.handleStmtClose)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/exec", s.handleExec)
+	mux.HandleFunc("GET /v1/tables", s.handleTables)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.logged(mux)
+	go s.sweeper()
+	return s
+}
+
+// Handler returns the server's HTTP handler (request logging and metrics
+// included), for mounting under an http.Server of the caller's choosing.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ServeHTTP implements http.Handler by delegating to Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// SessionCount returns the number of live sessions (also surfaced by
+// /healthz and the pip_sessions_active metric).
+func (s *Server) SessionCount() int { return s.sessions.count() }
+
+// Close stops the idle-session sweeper; it is idempotent. In-flight
+// requests are governed by the http.Server hosting the handler (use its
+// Shutdown for graceful drain).
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// sweeper periodically expires idle sessions until Close.
+func (s *Server) sweeper() {
+	if s.sessions.idle <= 0 {
+		return
+	}
+	t := time.NewTicker(s.sessions.idle / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			if n := s.sessions.sweep(now); n > 0 {
+				s.met.sessionsSwept.Add(int64(n))
+				s.logf("swept %d idle session(s)", n)
+			}
+		}
+	}
+}
+
+// logf writes one server log line when logging is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Middleware
+
+// statusWriter captures the response status and byte count for the request
+// log while passing Flush through to the underlying writer (streaming
+// responses depend on it).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the status.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts payload bytes.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the wrapped writer's Flusher.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logged is the outermost middleware: request counting + access logging.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.requestsTotal.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if s.logger != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.logger.Printf("%s %s %d %dB %.3fms %s",
+				r.Method, r.URL.Path, status, sw.bytes,
+				float64(time.Since(start).Microseconds())/1000, r.RemoteAddr)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// JSON plumbing
+
+// writeJSON emits one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errStatus maps a wire error code to its HTTP status.
+func errStatus(code string) int {
+	switch code {
+	case CodeParse, CodeUnknownTable, CodeUnknownColumn, CodeBind:
+		return http.StatusBadRequest
+	case CodeSession:
+		return http.StatusNotFound
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeCancelled:
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusClientClosedRequest reports a query ended by client disconnect
+// (nginx's non-standard but widely understood 499).
+const statusClientClosedRequest = 499
+
+// writeError emits an engine error as a JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	we := EncodeError(err)
+	writeJSON(w, errStatus(we.Code), struct {
+		Error *Error `json:"error"`
+	}{we})
+}
+
+// decodeBody parses a JSON request body into dst.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: malformed request body: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Session endpoints
+
+// handleSessionCreate implements POST /v1/session.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if r.ContentLength != 0 {
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	sess, err := s.sessions.create(req.Settings)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.met.sessionsTotal.Add(1)
+	writeJSON(w, http.StatusOK, SessionResponse{ID: sess.id})
+}
+
+// handleSessionDelete implements DELETE /v1/session/{id}.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.close(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+// handlePrepare implements POST /v1/prepare.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req PrepareRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	sess, release, err := s.sessions.acquire(req.Session)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	id, st, err := sess.prepare(req.Query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PrepareResponse{Stmt: id, NumInput: st.NumInput()})
+}
+
+// handleStmtClose implements POST /v1/stmt/close.
+func (s *Server) handleStmtClose(w http.ResponseWriter, r *http.Request) {
+	var req StmtCloseRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	sess, release, err := s.sessions.acquire(req.Session)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	sess.closeStmt(req.Stmt)
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+// ---------------------------------------------------------------------------
+// Statement endpoints
+
+// openRows resolves a QueryRequest to a streaming result: session lookup,
+// argument decoding, and prepared-vs-text dispatch, all under the request
+// context so a disconnected client aborts the sampler.
+func (s *Server) openRows(ctx context.Context, req *QueryRequest) (*pip.Rows, func(), error) {
+	sess, release, err := s.sessions.acquire(req.Session)
+	if err != nil {
+		return nil, nil, err
+	}
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	var rows *pip.Rows
+	if req.Stmt != 0 {
+		if req.Query != "" {
+			release()
+			return nil, nil, fmt.Errorf("server: request sets both query text and a prepared statement id")
+		}
+		st, err := sess.stmt(req.Stmt)
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		rows, err = st.QueryContext(ctx, args...)
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+	} else {
+		rows, err = sess.db.QueryContext(ctx, req.Query, args...)
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+	}
+	return rows, release, nil
+}
+
+// handleQuery implements POST /v1/query: an NDJSON stream of head, row...,
+// done|err chunks. Errors before the first chunk (unknown session, parse
+// failures) are plain JSON error responses with a non-200 status; once
+// streaming begins, failures arrive as a terminal err chunk.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx := r.Context()
+	s.met.queriesTotal.Add(1)
+	s.met.queriesInflight.Add(1)
+	start := time.Now()
+	rows, release, err := s.openRows(ctx, &req)
+	if err != nil {
+		s.met.observeQuery(time.Since(start), 0, err, isCancel(err))
+		writeError(w, err)
+		return
+	}
+	defer release()
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(Chunk{K: "head", Columns: rows.Columns()})
+	flush()
+
+	var n int64
+	for rows.Next() {
+		vals := rows.Values()
+		wire := make([]Value, len(vals))
+		for i, v := range vals {
+			wire[i] = EncodeValue(v)
+		}
+		chunk := Chunk{K: "row", Row: wire}
+		if c := rows.Cond(); !c.IsTrue() {
+			chunk.Cond = c.String()
+		}
+		if enc.Encode(chunk) != nil {
+			// The client went away; the request context is (or will be)
+			// cancelled, which aborts the sampler. Stop streaming.
+			break
+		}
+		flush()
+		n++
+	}
+	err = rows.Err()
+	if err != nil {
+		_ = enc.Encode(Chunk{K: "err", Error: EncodeError(err)})
+	} else {
+		_ = enc.Encode(Chunk{K: "done", Rows: n})
+	}
+	flush()
+	s.met.observeQuery(time.Since(start), n, err, isCancel(err) || ctx.Err() != nil)
+}
+
+// handleExec implements POST /v1/exec: execute a statement, discard any
+// result rows, report how many there were.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx := r.Context()
+	s.met.queriesTotal.Add(1)
+	s.met.queriesInflight.Add(1)
+	start := time.Now()
+	rows, release, err := s.openRows(ctx, &req)
+	if err != nil {
+		s.met.observeQuery(time.Since(start), 0, err, isCancel(err))
+		writeError(w, err)
+		return
+	}
+	defer release()
+	var n int64
+	for rows.Next() {
+		n++
+	}
+	err = rows.Err()
+	rows.Close()
+	s.met.observeQuery(time.Since(start), 0, err, isCancel(err))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExecResponse{OK: true, Rows: n})
+}
+
+// isCancel reports whether err is a context cancellation/timeout.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// handleTables implements GET /v1/tables: the shared catalog listing.
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	out := []TableInfo{}
+	for _, n := range s.db.Core().TableNames() {
+		tb, err := s.db.Table(n)
+		if err != nil {
+			continue // dropped concurrently; the listing is best-effort
+		}
+		// Row count via a locked snapshot: tb.Len() would read the live
+		// slice header unsynchronized against concurrent inserts.
+		out = append(out, TableInfo{Name: n, Columns: tb.Schema.Names(), Rows: len(s.db.Core().Snapshot(tb))})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---------------------------------------------------------------------------
+// Operational endpoints
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Sessions      int     `json:"sessions"`
+	}{"ok", time.Since(s.met.start).Seconds(), s.sessions.count()})
+}
+
+// handleMetrics implements GET /metrics (Prometheus text format).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.sessions.count())
+}

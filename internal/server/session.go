@@ -1,0 +1,237 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"pip"
+	"pip/internal/sampler"
+)
+
+// session is one remote client's state: a database view with private
+// sampling settings (pip.DB.Session) over the server's shared catalog, and
+// the statements prepared through it. Statement-level requests name the
+// session by id; concurrent requests on one session are safe but share its
+// settings.
+type session struct {
+	id string
+	db *pip.DB
+
+	mu       sync.Mutex
+	stmts    map[int64]*pip.Stmt
+	nextStmt int64
+	lastUsed time.Time
+	inflight int
+}
+
+// touch marks the session used now and pins it against the idle sweep for
+// the duration of a request; the returned func releases the pin.
+func (s *session) touch() func() {
+	s.mu.Lock()
+	s.lastUsed = time.Now()
+	s.inflight++
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.lastUsed = time.Now()
+		s.inflight--
+		s.mu.Unlock()
+	}
+}
+
+// prepare parses a statement and registers it under a fresh id.
+func (s *session) prepare(query string) (int64, *pip.Stmt, error) {
+	st, err := s.db.Prepare(query)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.mu.Lock()
+	s.nextStmt++
+	id := s.nextStmt
+	s.stmts[id] = st
+	s.mu.Unlock()
+	return id, st, nil
+}
+
+// stmt resolves a prepared statement id.
+func (s *session) stmt(id int64) (*pip.Stmt, error) {
+	s.mu.Lock()
+	st := s.stmts[id]
+	s.mu.Unlock()
+	if st == nil {
+		return nil, fmt.Errorf("server: session %s has no prepared statement %d", s.id, id)
+	}
+	return st, nil
+}
+
+// closeStmt releases a prepared statement id (idempotent).
+func (s *session) closeStmt(id int64) {
+	s.mu.Lock()
+	delete(s.stmts, id)
+	s.mu.Unlock()
+}
+
+// sessionManager owns the server's session table: creation (with initial
+// settings), lookup, explicit close, and an idle sweep that reclaims
+// sessions whose clients vanished without a DELETE.
+type sessionManager struct {
+	base *pip.DB
+	idle time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+}
+
+// newSessionManager creates a manager over the shared database. idle <= 0
+// disables expiry.
+func newSessionManager(base *pip.DB, idle time.Duration) *sessionManager {
+	return &sessionManager{base: base, idle: idle, sessions: map[string]*session{}}
+}
+
+// create allocates a session, applying the requested settings before it
+// serves its first statement.
+func (m *sessionManager) create(settings map[string]json.Number) (*session, error) {
+	db := m.base.Session()
+	if err := applySettings(db, settings); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.nextID++
+	id := fmt.Sprintf("s%d-%08x", m.nextID, randTag())
+	s := &session{id: id, db: db, stmts: map[int64]*pip.Stmt{}, lastUsed: time.Now()}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	return s, nil
+}
+
+// randTag draws 32 random bits to make session ids unguessable across
+// server restarts (they are capability tokens of a sort, not security).
+func randTag() uint32 {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// acquire resolves a session id and pins it against the idle sweep in one
+// step (lookup and touch under the manager lock, so the sweeper can never
+// reclaim a session between resolution and use); the returned release
+// func unpins it. A miss wraps ErrSessionUnknown.
+func (m *sessionManager) acquire(id string) (*session, func(), error) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	if s == nil {
+		m.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w %q (closed, expired, or never created)", ErrSessionUnknown, id)
+	}
+	release := s.touch()
+	m.mu.Unlock()
+	return s, release, nil
+}
+
+// close removes a session; its in-flight requests finish normally.
+func (m *sessionManager) close(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; !ok {
+		return fmt.Errorf("%w %q (closed, expired, or never created)", ErrSessionUnknown, id)
+	}
+	delete(m.sessions, id)
+	return nil
+}
+
+// count returns the number of live sessions.
+func (m *sessionManager) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// sweep expires sessions idle beyond the configured timeout with no
+// requests in flight, returning how many it reclaimed.
+func (m *sessionManager) sweep(now time.Time) int {
+	if m.idle <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id, s := range m.sessions {
+		s.mu.Lock()
+		expired := s.inflight == 0 && now.Sub(s.lastUsed) > m.idle
+		s.mu.Unlock()
+		if expired {
+			delete(m.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// applySettings applies session-creation settings with the same names and
+// bounds as the SQL SET statement. seed is parsed as a full-precision
+// uint64 (SET's float64 path cannot express every seed above 2^53).
+func applySettings(db *pip.DB, settings map[string]json.Number) error {
+	for k, raw := range settings {
+		bad := func(want string) error {
+			return fmt.Errorf("%w: invalid setting %s=%s (%s)", ErrBadRequest, k, raw, want)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(raw.String(), 10, 64)
+			if err != nil {
+				return bad("want a non-negative integer")
+			}
+			if n == 0 {
+				// Parity with pip.Options and in-process DSNs: the zero
+				// seed is replaced by the engine's fixed default, so
+				// seed=0 means the same thing local and remote.
+				n = sampler.DefaultConfig().WorldSeed
+			}
+			db.Core().UpdateConfig(func(cfg *sampler.Config) { cfg.WorldSeed = n })
+		case "workers", "samples", "min_samples":
+			n, err := strconv.Atoi(raw.String())
+			if err != nil || n < 0 {
+				return bad("want a non-negative integer")
+			}
+			db.Core().UpdateConfig(func(cfg *sampler.Config) {
+				switch k {
+				case "workers":
+					cfg.Workers = n
+				case "samples":
+					cfg.FixedSamples = n
+				case "min_samples":
+					cfg.MinSamples = n
+				}
+			})
+		case "max_samples":
+			n, err := strconv.Atoi(raw.String())
+			if err != nil || n < 1 {
+				return bad("want a positive integer")
+			}
+			db.Core().UpdateConfig(func(cfg *sampler.Config) { cfg.MaxSamples = n })
+		case "epsilon", "delta":
+			f, err := strconv.ParseFloat(raw.String(), 64)
+			if err != nil || f <= 0 || f >= 1 {
+				return bad("want a float in (0, 1)")
+			}
+			db.Core().UpdateConfig(func(cfg *sampler.Config) {
+				if k == "epsilon" {
+					cfg.Epsilon = f
+				} else {
+					cfg.Delta = f
+				}
+			})
+		default:
+			return fmt.Errorf("%w: unknown setting %q (have seed, workers, epsilon, delta, samples, max_samples, min_samples)", ErrBadRequest, k)
+		}
+	}
+	return nil
+}

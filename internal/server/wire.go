@@ -1,0 +1,352 @@
+// Package server is PIP's network front end: an HTTP/JSON query service
+// (pipd) that multiplexes one shared probabilistic database across
+// concurrent remote sessions, plus the client used by the remote
+// database/sql backend, pipql -connect and the examples.
+//
+// # Wire protocol
+//
+// The protocol is plain HTTP + JSON so any language can speak it with a
+// stock HTTP client. Endpoints (all under /v1 except the operational two):
+//
+//	POST   /v1/session        create a session; body {"settings": {...}}
+//	DELETE /v1/session/{id}   close a session
+//	POST   /v1/prepare        prepare a statement in a session
+//	POST   /v1/query          execute (text or prepared), stream result rows
+//	POST   /v1/exec           execute, discard rows, report the row count
+//	POST   /v1/stmt/close     release a prepared statement
+//	GET    /healthz           liveness + uptime
+//	GET    /metrics           Prometheus text-format counters
+//
+// A query response is newline-delimited JSON (NDJSON) over a chunked HTTP
+// body: one head chunk naming the result columns, one chunk per row, and a
+// terminal done (with the row count) or err chunk. Rows stream as the
+// engine produces them, so a remote client consumes a large result with
+// the same incremental cost as a local Rows loop, and closing the request
+// body cancels the server-side query through its context.
+//
+// # Determinism across the wire
+//
+// Equal seeds give bit-identical results whether a query runs in-process
+// or through a server: floats travel as shortest round-trip decimal
+// strings (strconv 'g'/-1, lossless for every float64 including ±Inf and
+// NaN), ints as int64, and the engine below the wire is the same. What
+// does NOT cross the wire is symbolic state: random-variable equations and
+// row conditions arrive as their rendered strings, sufficient for display
+// and for the paper's expectation surface (which returns numbers), but not
+// re-queryable — use the in-process API for programmatic symbolic work.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pip"
+	"pip/internal/ctable"
+	"pip/internal/sql"
+)
+
+// Value is the wire form of one c-table cell. T tags the kind; exactly one
+// payload field is meaningful:
+//
+//	"null"  SQL NULL (no payload)
+//	"f"     float64 in F, as a shortest round-trip decimal string
+//	"i"     int64 in I
+//	"s"     string in S
+//	"b"     bool in B
+//	"e"     symbolic equation in S, rendered (e.g. "(x1 + 5)")
+//
+// Floats are strings, not JSON numbers, so ±Inf and NaN survive and every
+// bit pattern round-trips exactly — the wire cannot perturb determinism.
+type Value struct {
+	T string `json:"t"`
+	F string `json:"f,omitempty"`
+	I int64  `json:"i,omitempty"`
+	S string `json:"s,omitempty"`
+	B bool   `json:"b,omitempty"`
+}
+
+// EncodeValue converts an engine cell to its wire form.
+func EncodeValue(v pip.Value) Value {
+	switch v.Kind {
+	case ctable.KindFloat:
+		return Value{T: "f", F: strconv.FormatFloat(v.F, 'g', -1, 64)}
+	case ctable.KindInt:
+		return Value{T: "i", I: v.I}
+	case ctable.KindString:
+		return Value{T: "s", S: v.S}
+	case ctable.KindBool:
+		return Value{T: "b", B: v.B}
+	case ctable.KindExpr:
+		return Value{T: "e", S: v.E.String()}
+	default:
+		return Value{T: "null"}
+	}
+}
+
+// Native unwraps a wire value into its natural Go representation: float64,
+// int64, string, bool, nil — or the equation string for symbolic cells,
+// mirroring how the local database/sql backend surfaces them.
+func (v Value) Native() (any, error) {
+	switch v.T {
+	case "f":
+		f, err := strconv.ParseFloat(v.F, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: malformed wire float %q", v.F)
+		}
+		return f, nil
+	case "i":
+		return v.I, nil
+	case "s":
+		return v.S, nil
+	case "b":
+		return v.B, nil
+	case "e":
+		return v.S, nil
+	case "null", "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("server: unknown wire value kind %q", v.T)
+	}
+}
+
+// String renders the value exactly as the engine's own display formatting
+// (ctable.Value.String), so pipql output is identical local and remote.
+func (v Value) String() string {
+	switch v.T {
+	case "f":
+		f, err := strconv.ParseFloat(v.F, 64)
+		if err != nil {
+			return v.F
+		}
+		return ctable.Float(f).String()
+	case "i":
+		return strconv.FormatInt(v.I, 10)
+	case "s", "e":
+		return v.S
+	case "b":
+		return strconv.FormatBool(v.B)
+	default:
+		return "NULL"
+	}
+}
+
+// BindArg converts a Go argument (the remote driver's value set: int64,
+// float64, bool, string, []byte, nil) to its wire form for transmission.
+func BindArg(a any) (Value, error) {
+	v, err := pip.BindValue(a)
+	if err != nil {
+		return Value{}, err
+	}
+	return EncodeValue(v), nil
+}
+
+// decodeArgs converts wire arguments back to engine bind values.
+func decodeArgs(args []Value) ([]any, error) {
+	out := make([]any, len(args))
+	for i, a := range args {
+		n, err := a.Native()
+		if err != nil {
+			return nil, err
+		}
+		if a.T == "e" {
+			return nil, fmt.Errorf("server: symbolic arguments cannot cross the wire (argument %d)", i+1)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// SessionRequest creates a session. Settings apply before the session
+// serves its first statement, with the same names and validation as SQL
+// SET (seed, workers, epsilon, delta, samples, max_samples, min_samples);
+// values arrive as JSON numbers and seed is parsed as a full-precision
+// uint64.
+type SessionRequest struct {
+	Settings map[string]json.Number `json:"settings,omitempty"`
+}
+
+// SessionResponse returns the new session's identifier, which every
+// statement-level request echoes back.
+type SessionResponse struct {
+	ID string `json:"id"`
+}
+
+// PrepareRequest prepares one statement inside a session.
+type PrepareRequest struct {
+	Session string `json:"session"`
+	Query   string `json:"query"`
+}
+
+// PrepareResponse identifies the server-side prepared statement and its
+// placeholder arity.
+type PrepareResponse struct {
+	Stmt     int64 `json:"stmt"`
+	NumInput int   `json:"num_input"`
+}
+
+// StmtCloseRequest releases a prepared statement.
+type StmtCloseRequest struct {
+	Session string `json:"session"`
+	Stmt    int64  `json:"stmt"`
+}
+
+// QueryRequest executes a statement — either Query text or a prepared
+// Stmt id (exactly one must be set) — with bound placeholder arguments.
+// The same body drives /v1/query (streaming rows) and /v1/exec (rows
+// discarded).
+type QueryRequest struct {
+	Session string  `json:"session"`
+	Query   string  `json:"query,omitempty"`
+	Stmt    int64   `json:"stmt,omitempty"`
+	Args    []Value `json:"args,omitempty"`
+}
+
+// ExecResponse reports a completed /v1/exec statement.
+type ExecResponse struct {
+	OK   bool  `json:"ok"`
+	Rows int64 `json:"rows"`
+}
+
+// TableInfo describes one catalog table in a GET /v1/tables listing. The
+// catalog is shared by every session, so the listing takes no session id.
+type TableInfo struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    int      `json:"rows"`
+}
+
+// Chunk is one NDJSON line of a streaming /v1/query response. K selects
+// the variant:
+//
+//	"head"  Columns carries the result column names (empty for DDL/DML)
+//	"row"   Row carries one result row's cells, Cond its c-table condition
+//	        rendered as a string ("" for deterministic rows)
+//	"done"  Rows carries the total row count; the stream is complete
+//	"err"   Error carries the failure; no further chunks follow
+//
+// A well-formed stream is head, zero or more rows, then exactly one done
+// or err.
+type Chunk struct {
+	K       string   `json:"k"`
+	Columns []string `json:"columns,omitempty"`
+	Row     []Value  `json:"row,omitempty"`
+	Cond    string   `json:"cond,omitempty"`
+	Rows    int64    `json:"rows,omitempty"`
+	Error   *Error   `json:"error,omitempty"`
+}
+
+// Error codes carried by wire errors, so clients can reconstruct the typed
+// error surface (pip.ErrParse and friends) without string matching.
+const (
+	CodeParse         = "parse"
+	CodeUnknownTable  = "unknown_table"
+	CodeUnknownColumn = "unknown_column"
+	CodeBind          = "bind"
+	CodeCancelled     = "cancelled"
+	CodeSession       = "session"
+	CodeBadRequest    = "bad_request"
+	CodeInternal      = "internal"
+)
+
+// ErrBadRequest is wrapped by client-input failures that carry no more
+// specific code (malformed request bodies, invalid session settings), so
+// they surface as HTTP 400 rather than a server fault.
+var ErrBadRequest = errors.New("server: bad request")
+
+// Error is the wire form of a failure. Parse errors carry their position
+// and source line so remote clients render the same caret diagnostics as
+// local ones.
+type Error struct {
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	Line       int    `json:"line,omitempty"`
+	Col        int    `json:"col,omitempty"`
+	SourceLine string `json:"source_line,omitempty"`
+}
+
+// ErrSessionUnknown is wrapped by failures naming a session the server
+// does not know (never created, closed, or expired by the idle sweep).
+var ErrSessionUnknown = errors.New("server: unknown session")
+
+// EncodeError maps an engine error to its wire form.
+func EncodeError(err error) *Error {
+	we := &Error{Code: CodeInternal, Message: err.Error()}
+	var pe *sql.ParseError
+	switch {
+	case errors.As(err, &pe):
+		we.Code = CodeParse
+		// The bare message, not err.Error(): the client rebuilds a
+		// ParseError from Line/Col/Message, and ParseError.Error() adds
+		// the position prefix itself.
+		we.Message = pe.Msg
+		we.Line, we.Col = pe.Line, pe.Col
+		we.SourceLine = pe.SourceLine()
+	case errors.Is(err, pip.ErrUnknownTable):
+		we.Code = CodeUnknownTable
+	case errors.Is(err, pip.ErrUnknownColumn):
+		we.Code = CodeUnknownColumn
+	case errors.Is(err, pip.ErrBind):
+		we.Code = CodeBind
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		we.Code = CodeCancelled
+	case errors.Is(err, ErrSessionUnknown):
+		we.Code = CodeSession
+	case errors.Is(err, ErrBadRequest):
+		we.Code = CodeBadRequest
+	}
+	return we
+}
+
+// Err converts a wire error back to a typed engine error: the returned
+// error matches the corresponding sentinel with errors.Is, and parse
+// errors are genuine *sql.ParseError values (errors.As works), rebuilt
+// from the transmitted position and source line.
+func (e *Error) Err() error {
+	if e == nil {
+		return nil
+	}
+	switch e.Code {
+	case CodeParse:
+		if e.Line > 0 {
+			// Rebuild a positioned ParseError from the transmitted
+			// position. Src is padded with newlines so Line/Col and
+			// SourceLine (hence caret rendering) behave exactly as they do
+			// locally, including for multi-line statements.
+			src := strings.Repeat("\n", e.Line-1) + e.SourceLine
+			return &sql.ParseError{Src: src, Line: e.Line, Col: e.Col, Msg: e.Message}
+		}
+		return fmt.Errorf("%w: %s", pip.ErrParse, e.Message)
+	case CodeUnknownTable:
+		return remoteErr{sentinel: pip.ErrUnknownTable, msg: e.Message}
+	case CodeUnknownColumn:
+		return remoteErr{sentinel: pip.ErrUnknownColumn, msg: e.Message}
+	case CodeBind:
+		return remoteErr{sentinel: pip.ErrBind, msg: e.Message}
+	case CodeCancelled:
+		return remoteErr{sentinel: context.Canceled, msg: e.Message}
+	case CodeSession:
+		return remoteErr{sentinel: ErrSessionUnknown, msg: e.Message}
+	case CodeBadRequest:
+		return remoteErr{sentinel: ErrBadRequest, msg: e.Message}
+	default:
+		return errors.New(e.Message)
+	}
+}
+
+// remoteErr carries a server-side message while matching the local typed
+// sentinel, without double-prefixing the message (the server already
+// rendered the full chain).
+type remoteErr struct {
+	sentinel error
+	msg      string
+}
+
+// Error returns the server-rendered message.
+func (e remoteErr) Error() string { return e.msg }
+
+// Unwrap ties the error to its sentinel for errors.Is.
+func (e remoteErr) Unwrap() error { return e.sentinel }

@@ -199,7 +199,7 @@ func execInsert(env execEnv, st *InsertStmt) error {
 			}
 			vals[i] = v
 		}
-		if err := tb.Append(ctable.NewTuple(vals...)); err != nil {
+		if err := env.db.AppendRow(tb, ctable.NewTuple(vals...)); err != nil {
 			return err
 		}
 	}

@@ -93,7 +93,9 @@ func buildLogical(env execEnv, st *SelectStmt) (lnode, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		scans[i] = &lScan{table: tb.Name, alias: ref.Alias, tuples: tb.Tuples, schema: tb.Schema}
+		// Snapshot under the catalog lock: a concurrent session's INSERT
+		// must not race this scan (it sees a consistent row prefix).
+		scans[i] = &lScan{table: tb.Name, alias: ref.Alias, tuples: env.db.Snapshot(tb), schema: tb.Schema}
 		schemas[i] = tb.Schema
 		offs[i] = width
 		width += len(tb.Schema)

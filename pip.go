@@ -113,6 +113,14 @@ func Open(opts Options) *DB {
 // custom operators).
 func (db *DB) Core() *core.DB { return db.core }
 
+// Session returns a handle sharing this database's tables and random-
+// variable namespace but carrying its own sampling configuration: SET
+// statements executed through the session change only that session, while
+// DDL/DML remain shared and visible to every handle. Sessions are how the
+// network server (internal/server, cmd/pipd) gives each remote client
+// private settings over one shared database.
+func (db *DB) Session() *DB { return &DB{core: db.core.Session()} }
+
 // ---------------------------------------------------------------------------
 // SQL interface
 //

@@ -3,9 +3,12 @@
 // of revive's `exported`/`package-comments` rules used by CI to keep the
 // godoc surface complete:
 //
-//	go run ./tools/doclint ./internal/sampler ./internal/cond ...
+//	go run ./tools/doclint ./...                      # the whole module
+//	go run ./tools/doclint ./internal/sampler ./driver
 //
-// Exit status is 1 when any finding is reported.
+// The ./... form walks every directory under the current module that
+// contains Go files (skipping hidden directories and testdata). Exit
+// status is 1 when any finding is reported.
 package main
 
 import (
@@ -13,19 +16,61 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
 func main() {
 	bad := 0
 	for _, dir := range os.Args[1:] {
+		if dir == "./..." || dir == "..." {
+			dirs, err := goDirs(".")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+				os.Exit(1)
+			}
+			for _, d := range dirs {
+				bad += lintDir(d)
+			}
+			continue
+		}
 		bad += lintDir(strings.TrimPrefix(dir, "./"))
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", bad)
 		os.Exit(1)
 	}
+}
+
+// goDirs walks root and returns every directory holding at least one
+// non-test Go file, skipping hidden directories and testdata.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+		return nil
+	})
+	return out, err
 }
 
 func lintDir(dir string) int {
@@ -45,9 +90,13 @@ func lintDir(dir string) int {
 				hasPkgDoc = true
 			}
 		}
-		if !hasPkgDoc && pkg.Name != "main" {
-			fmt.Printf("%s: package %s missing package doc comment\n", dir, pkg.Name)
-			bad++
+		if !hasPkgDoc {
+			// main packages document themselves as commands; every other
+			// package must carry a package doc comment.
+			if pkg.Name != "main" {
+				fmt.Printf("%s: package %s missing package doc comment\n", dir, pkg.Name)
+				bad++
+			}
 		}
 		for _, f := range pkg.Files {
 			bad += lintFile(fset, f)
