@@ -1,0 +1,142 @@
+// Machine-readable benchmark reports: `pipbench -json FILE` runs a compact
+// measurement suite and writes one JSON document designed for regression
+// gating (tools/benchgate) and CI artifact upload. The schema is versioned
+// so downstream tooling can reject incompatible files instead of
+// misreading them.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"pip"
+	"pip/internal/bench"
+	"pip/internal/server"
+	"pip/internal/tpch"
+)
+
+// benchSchemaVersion identifies the report layout; bump on any
+// incompatible field change so tools/benchgate refuses stale comparisons.
+const benchSchemaVersion = 1
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	GitSHA        string `json:"git_sha"`
+	GoVersion     string `json:"go_version"`
+	Quick         bool   `json:"quick"`
+	Seed          uint64 `json:"seed"`
+	Samples       int    `json:"samples"`
+
+	// QueriesPerSec is the throughput of a simple expectation SELECT over
+	// the demo catalog, single client, measured over a fixed iteration
+	// count.
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// NsPerSample is the sampler's per-sample cost on the Q1 workload
+	// (SampleTime / sample budget).
+	NsPerSample float64 `json:"ns_per_sample"`
+	// Join reports the hash-join query benchmark.
+	Join joinReport `json:"join"`
+	// Speedup is the parallel world-evaluation curve (bench.Speedup), one
+	// row per workload.
+	Speedup []speedupReport `json:"speedup"`
+}
+
+// joinReport measures one equi-join expectation query end to end.
+type joinReport struct {
+	Query string  `json:"query"`
+	Ms    float64 `json:"ms"`
+}
+
+// speedupReport is one bench.SpeedupRow, flattened for JSON.
+type speedupReport struct {
+	Workload  string  `json:"workload"`
+	Workers   int     `json:"workers"`
+	SeqMs     float64 `json:"seq_ms"`
+	ParMs     float64 `json:"par_ms"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// gitSHA best-efforts the current commit (CI has git; a release tarball
+// may not).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runJSON produces the report and writes it to path.
+func runJSON(path string, opt bench.Options, quick bool, workers int) error {
+	rep := benchReport{
+		SchemaVersion: benchSchemaVersion,
+		GitSHA:        gitSHA(),
+		GoVersion:     runtime.Version(),
+		Quick:         quick,
+		Seed:          opt.Seed,
+		Samples:       opt.Samples,
+	}
+
+	// Throughput: simple expectation SELECT over the demo catalog.
+	db := pip.Open(pip.Options{Seed: opt.Seed})
+	for _, stmt := range server.DemoStatements {
+		db.MustExec(stmt)
+	}
+	const iters = 50
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		db.MustQuery("SELECT expected_sum(price) FROM orders")
+	}
+	rep.QueriesPerSec = iters / time.Since(t0).Seconds()
+
+	// Join: the paper's running-example equi-join, planned as a hash join.
+	joinQ := "SELECT expected_sum(o.price) FROM orders o, shipping s WHERE o.shipto = s.dest AND s.duration >= 7"
+	t0 = time.Now()
+	db.MustQuery(joinQ)
+	rep.Join = joinReport{Query: joinQ, Ms: float64(time.Since(t0).Microseconds()) / 1000}
+
+	// Per-sample cost: Q1's sampling phase over the TPC-H generator.
+	data := tpch.Generate(opt.Scale, opt.Seed)
+	q1, err := bench.Q1PIP(data, opt.Samples, opt.Seed)
+	if err != nil {
+		return fmt.Errorf("q1: %w", err)
+	}
+	if q1.Samples > 0 {
+		rep.NsPerSample = float64(q1.SampleTime.Nanoseconds()) / float64(q1.Samples)
+	}
+
+	// Parallel speedup curve with the bit-identity verdicts.
+	rows, err := bench.Speedup(opt, workers)
+	if err != nil {
+		return fmt.Errorf("speedup: %w", err)
+	}
+	for _, r := range rows {
+		rep.Speedup = append(rep.Speedup, speedupReport{
+			Workload:  r.Workload,
+			Workers:   r.Workers,
+			SeqMs:     float64(r.SeqTime.Microseconds()) / 1000,
+			ParMs:     float64(r.ParTime.Microseconds()) / 1000,
+			Speedup:   r.Speedup(),
+			Identical: r.Identical,
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

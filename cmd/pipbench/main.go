@@ -28,6 +28,7 @@ func main() {
 		samples    = flag.Int("samples", 0, "override the PIP sample budget (0 = default 1000)")
 		trials     = flag.Int("trials", 0, "override the RMS trial count (0 = default 30)")
 		workers    = flag.Int("workers", 0, "worker pool size for the speedup experiment (0 = one per CPU)")
+		jsonOut    = flag.String("json", "", "write a machine-readable benchmark report to this file ('-' = stdout) and exit")
 	)
 	flag.Parse()
 
@@ -43,6 +44,14 @@ func main() {
 	}
 	if *trials > 0 {
 		opt.Trials = *trials
+	}
+
+	if *jsonOut != "" {
+		if err := runJSON(*jsonOut, opt, *quick, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "pipbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {

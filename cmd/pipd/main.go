@@ -5,11 +5,15 @@
 // disconnects into the sampler as cancellation.
 //
 //	pipd [-addr :7432] [-seed N] [-workers N] [-epsilon F] [-delta F]
-//	     [-samples N] [-max-samples N] [-session-timeout D] [-demo] [-quiet]
+//	     [-samples N] [-max-samples N] [-session-timeout D]
+//	     [-slow-query D] [-debug-addr addr] [-demo] [-quiet]
 //
 // Remote clients connect with the database/sql driver and a
 // pip://host:port DSN, with pipql -connect, or with any HTTP client (see
-// docs/OPERATIONS.md for the wire protocol). SIGINT/SIGTERM trigger a
+// docs/OPERATIONS.md for the wire protocol). Request logging is structured
+// (log/slog, logfmt-style text to stderr); -slow-query warns on statements
+// slower than the threshold, and -debug-addr serves net/http/pprof on a
+// separate listener kept off the query port. SIGINT/SIGTERM trigger a
 // graceful shutdown: in-flight requests drain (bounded by the shutdown
 // timeout), then the process exits.
 package main
@@ -19,8 +23,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +46,8 @@ func main() {
 		maxSamples  = flag.Int("max-samples", 0, "adaptive sampling cap (0 = default)")
 		sessionIdle = flag.Duration("session-timeout", server.DefaultSessionIdle, "expire sessions idle this long (0 = never)")
 		shutdown    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM")
+		slowQuery   = flag.Duration("slow-query", 0, "warn on statements slower than this (0 = off)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 		demo        = flag.Bool("demo", false, "preload the paper's running example (orders, shipping)")
 		quiet       = flag.Bool("quiet", false, "disable request logging")
 	)
@@ -59,9 +66,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	logger := log.New(os.Stderr, "pipd ", log.LstdFlags|log.Lmsgprefix)
-	if *quiet {
-		logger = nil
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
 	db := pip.Open(pip.Options{
@@ -80,17 +87,31 @@ func main() {
 	if idle == 0 {
 		idle = -1 // Config.SessionIdle: negative disables, zero means default.
 	}
-	srv := server.New(server.Config{DB: db, Logger: logger, SessionIdle: idle})
+	srv := server.New(server.Config{DB: db, Logger: logger, SlowQuery: *slowQuery, SessionIdle: idle})
 	defer srv.Close()
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		// pprof stays on its own listener so profiling endpoints are never
+		// reachable through the query port. The blank net/http/pprof import
+		// registered its handlers on http.DefaultServeMux.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pipd: debug listener: %v\n", err)
+			}
+		}()
+		if logger != nil {
+			logger.Info("pprof enabled", "addr", *debugAddr)
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	if logger != nil {
-		logger.Printf("listening on %s (seed=%d, session-timeout=%v)", *addr, *seed, *sessionIdle)
+		logger.Info("listening", "addr", *addr, "seed", *seed, "session_timeout", *sessionIdle)
 	}
 
 	select {
@@ -102,7 +123,7 @@ func main() {
 	}
 
 	if logger != nil {
-		logger.Printf("shutting down (draining up to %v)", *shutdown)
+		logger.Info("shutting down", "drain_timeout", *shutdown)
 	}
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdown)
 	defer cancel()

@@ -33,14 +33,21 @@ import (
 // backend abstracts the two execution modes: run executes one statement
 // and prints its result, exec executes silently (demo loading),
 // demoPresent reports whether the demo tables already exist (a shared
-// server may have them), describe lists the catalog, close releases any
-// remote state.
+// server may have them), describe lists the catalog, stats fetches the
+// engine's SHOW STATS rows for \trace, close releases any remote state.
 type backend interface {
 	run(ctx context.Context, stmt string)
 	exec(ctx context.Context, stmt string) error
 	demoPresent() bool
 	describe()
+	stats(ctx context.Context) ([]statRow, error)
 	close()
+}
+
+// statRow is one (scope, name, value) row of SHOW STATS, backend-neutral.
+type statRow struct {
+	scope, name string
+	value       float64
 }
 
 func main() {
@@ -86,10 +93,11 @@ func main() {
 		}
 	}
 
-	fmt.Println("pipql — PIP probabilistic SQL. End statements with ';'. \\d lists tables, \\timing toggles timing, \\q quits.")
+	fmt.Println("pipql — PIP probabilistic SQL. End statements with ';'. \\d lists tables, \\timing toggles timing, \\stats shows engine telemetry, \\trace toggles per-query phase timings, \\q quits.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	timing := false
+	trace := false
 	var buf strings.Builder
 	fmt.Print("pip> ")
 	for sc.Scan() {
@@ -100,6 +108,19 @@ func main() {
 			return
 		case `\d`:
 			be.describe()
+			fmt.Print("pip> ")
+			continue
+		case `\stats`:
+			runCancellable(be, "SHOW STATS;")
+			fmt.Print("pip> ")
+			continue
+		case `\trace`:
+			trace = !trace
+			if trace {
+				fmt.Println("Tracing is on: phase timings print after each statement.")
+			} else {
+				fmt.Println("Tracing is off.")
+			}
 			fmt.Print("pip> ")
 			continue
 		case `\timing`:
@@ -125,8 +146,45 @@ func main() {
 		if timing {
 			fmt.Printf("Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
 		}
+		if trace {
+			printTrace(be)
+		}
 		fmt.Print("pip> ")
 	}
+}
+
+// printTrace renders the last query's phase timings and sampler counters
+// (the query-scope rows of SHOW STATS) as one compact line — the \trace
+// output printed after each statement.
+func printTrace(be backend) {
+	rows, err := be.stats(context.Background())
+	if err != nil {
+		fmt.Printf("trace: %v\n", err)
+		return
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		if r.scope == "query" {
+			byName[r.name] = r.value
+		}
+	}
+	if len(byName) == 0 {
+		fmt.Println("Trace: no traced query yet.")
+		return
+	}
+	parts := make([]string, 0, 6)
+	for _, ph := range []string{"parse", "plan", "rewrite", "execute"} {
+		if secs, ok := byName["phase_"+ph+"_seconds"]; ok {
+			parts = append(parts, fmt.Sprintf("%s %s", ph, time.Duration(secs*float64(time.Second)).Round(time.Microsecond)))
+		}
+	}
+	if n := byName["samples"]; n > 0 {
+		parts = append(parts, fmt.Sprintf("samples=%.0f batches=%.0f", n, byName["batches"]))
+	}
+	if att := byName["rejection_attempts"]; att > 0 {
+		parts = append(parts, fmt.Sprintf("accept=%.3f", byName["rejection_accepts"]/att))
+	}
+	fmt.Printf("Trace: %s\n", strings.Join(parts, " · "))
 }
 
 // runCancellable executes one statement under a Ctrl-C-cancellable
@@ -168,6 +226,21 @@ func (b *localBackend) exec(ctx context.Context, stmt string) error {
 
 // demoPresent is always false in-process: the database is freshly opened.
 func (b *localBackend) demoPresent() bool { return false }
+
+// stats fetches SHOW STATS rows from the embedded engine.
+func (b *localBackend) stats(ctx context.Context) ([]statRow, error) {
+	rows, err := b.db.QueryContext(ctx, "SHOW STATS")
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []statRow
+	for rows.Next() {
+		v := rows.Values()
+		out = append(out, statRow{scope: v[0].S, name: v[1].S, value: v[2].F})
+	}
+	return out, rows.Err()
+}
 
 // describe lists catalog tables; lookup failures print instead of
 // silently dropping the table from the listing.
@@ -304,6 +377,32 @@ func (b *remoteBackend) demoPresent() bool {
 		have[t.Name] = true
 	}
 	return have["orders"] && have["shipping"]
+}
+
+// stats fetches SHOW STATS rows over the wire — the schema is identical to
+// the local surface, so the rows decode the same way.
+func (b *remoteBackend) stats(ctx context.Context) ([]statRow, error) {
+	rows, err := b.sess.Query(ctx, "SHOW STATS")
+	if sessionLost(err) {
+		if rerr := b.refresh(ctx); rerr == nil {
+			rows, err = b.sess.Query(ctx, "SHOW STATS")
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []statRow
+	for rows.Next() {
+		r := rows.Row()
+		val, err := r[2].Native()
+		if err != nil {
+			return nil, err
+		}
+		f, _ := val.(float64)
+		out = append(out, statRow{scope: r[0].S, name: r[1].S, value: f})
+	}
+	return out, rows.Err()
 }
 
 // describe lists the server's shared catalog.

@@ -1,0 +1,95 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"reflect"
+	"testing"
+
+	"pip"
+)
+
+// TestShowStatsSchemaAcrossSurfaces asserts SHOW STATS returns the same
+// (scope, name, value) schema and the same engine-scope row names on every
+// query surface: the native API, the in-process database/sql driver, and
+// the pip:// remote driver. The values differ per engine instance — the
+// contract is the shape.
+func TestShowStatsSchemaAcrossSurfaces(t *testing.T) {
+	wantCols := []string{"scope", "name", "value"}
+
+	// Surface 1: native API.
+	native := pip.Open(pip.Options{Seed: 3})
+	nRows, err := native.QueryContext(context.Background(), "SHOW STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nRows.Columns(), wantCols) {
+		t.Fatalf("native columns %v, want %v", nRows.Columns(), wantCols)
+	}
+	var nativeNames []string
+	for nRows.Next() {
+		v := nRows.Values()
+		if v[0].S == "engine" {
+			nativeNames = append(nativeNames, v[1].S)
+		}
+	}
+	nRows.Close()
+
+	engineNames := func(t *testing.T, db *sql.DB) []string {
+		t.Helper()
+		rows, err := db.Query("SHOW STATS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		cols, err := rows.Columns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cols, wantCols) {
+			t.Fatalf("columns %v, want %v", cols, wantCols)
+		}
+		var names []string
+		for rows.Next() {
+			var scope, name string
+			var value float64
+			if err := rows.Scan(&scope, &name, &value); err != nil {
+				t.Fatal(err)
+			}
+			if scope == "engine" {
+				names = append(names, name)
+			}
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return names
+	}
+
+	// Surface 2: in-process database/sql driver.
+	local, err := sql.Open("pip", "seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	localNames := engineNames(t, local)
+
+	// Surface 3: remote database/sql driver over the wire protocol.
+	addr := bootServer(t, 3)
+	remote, err := sql.Open("pip", "pip://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	remoteNames := engineNames(t, remote)
+
+	if len(nativeNames) == 0 {
+		t.Fatal("native surface returned no engine rows")
+	}
+	if !reflect.DeepEqual(localNames, nativeNames) {
+		t.Fatalf("local driver engine rows %v != native %v", localNames, nativeNames)
+	}
+	if !reflect.DeepEqual(remoteNames, nativeNames) {
+		t.Fatalf("remote driver engine rows %v != native %v", remoteNames, nativeNames)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"pip/internal/ctable"
 	"pip/internal/dist"
 	"pip/internal/expr"
+	"pip/internal/obs"
 	"pip/internal/sampler"
 )
 
@@ -38,6 +39,10 @@ type catalog struct {
 	mu      sync.Mutex
 	nextVar uint64
 	tables  map[string]*ctable.Table
+	// stats is the engine-wide telemetry root: every session's sampler
+	// counters roll up into it, and it holds the most recent query trace.
+	// It has its own synchronization and is never touched under mu.
+	stats obs.EngineStats
 }
 
 // DB is a PIP probabilistic database instance. Handles created by Session
@@ -50,10 +55,17 @@ type DB struct {
 	cfg sampler.Config
 }
 
-// NewDB creates a database with the given sampling configuration.
+// NewDB creates a database with the given sampling configuration. Unless
+// the configuration already carries a stats collection point, the engine's
+// own telemetry root is installed, so every sampler the database hands out
+// feeds the engine-wide counters surfaced by SHOW STATS.
 func NewDB(cfg sampler.Config) *DB {
+	cat := &catalog{nextVar: 1, tables: map[string]*ctable.Table{}}
+	if cfg.Stats == nil {
+		cfg.Stats = &cat.stats.Sampler
+	}
 	return &DB{
-		cat: &catalog{nextVar: 1, tables: map[string]*ctable.Table{}},
+		cat: cat,
 		smp: sampler.New(cfg),
 		cfg: cfg,
 	}
@@ -117,7 +129,29 @@ func (db *DB) UpdateConfig(mutate func(*sampler.Config)) sampler.Config {
 // for fixed-sample experiment runs against the same data; Session is the
 // same operation seeded from the current configuration.
 func (db *DB) WithConfig(cfg sampler.Config) *DB {
+	if cfg.Stats == nil {
+		cfg.Stats = &db.cat.stats.Sampler
+	}
 	return &DB{cat: db.cat, smp: sampler.New(cfg), cfg: cfg}
+}
+
+// Stats returns the engine-wide telemetry root shared by every handle of
+// this database: the global sampler counter set plus the trace of the most
+// recently observed query. It is the backing store of SHOW STATS.
+func (db *DB) Stats() *obs.EngineStats {
+	return &db.cat.stats
+}
+
+// ObserveQuery registers a statement trace as the engine's most recent
+// query; the SQL layer calls it once per planned SELECT.
+func (db *DB) ObserveQuery(q *obs.QueryStats) {
+	db.cat.stats.ObserveQuery(q)
+}
+
+// LastQuery returns the trace of the most recently observed query (nil
+// before the first planned statement).
+func (db *DB) LastQuery() *obs.QueryStats {
+	return db.cat.stats.LastQuery()
 }
 
 // CreateVariable implements CREATE_VARIABLE(distribution, params...): it
@@ -255,12 +289,19 @@ func (db *DB) Expectation(t *ctable.Tuple, col int, getP bool) (sampler.Result, 
 // ExpectationContext is Expectation under a request context: cancellation
 // aborts sampling promptly and returns ctx.Err(), never a partial estimate.
 func (db *DB) ExpectationContext(ctx context.Context, t *ctable.Tuple, col int, getP bool) (sampler.Result, error) {
+	return TupleExpectation(db.SamplerContext(ctx), t, col, getP)
+}
+
+// TupleExpectation computes E[column | row condition] for one tuple using
+// the given sampler — the sampler-parameterized core of ExpectationContext,
+// letting callers (query operators) route the work through a scoped sampler
+// that records into their own telemetry collection point.
+func TupleExpectation(smp *sampler.Sampler, t *ctable.Tuple, col int, getP bool) (sampler.Result, error) {
 	v := t.Values[col]
 	e, ok := v.AsExpr()
 	if !ok {
 		return sampler.Result{}, fmt.Errorf("core: non-numeric expectation target %s", v)
 	}
-	smp := db.SamplerContext(ctx)
 	var r sampler.Result
 	if len(t.Cond.Clauses) == 1 {
 		r = smp.Expectation(e, t.Cond.Clauses[0], getP)

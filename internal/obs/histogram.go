@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket cumulative histogram safe for concurrent
+// observation: per-bucket atomic counts over a static ascending bound
+// slice, plus an atomic count and CAS-maintained float64 sum, matching the
+// Prometheus histogram data model (an implicit +Inf bucket catches values
+// above the last bound). Recording methods are no-ops on a nil receiver.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// The bound slice is retained, not copied; callers must not mutate it.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// ExpBuckets returns n ascending bounds starting at start, each factor
+// times the previous — the standard latency/size bucket ladder.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, in cumulative
+// Prometheus form.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] is the cumulative count
+	// of observations ≤ Bounds[i], and Counts[len(Bounds)] the total (the
+	// +Inf bucket).
+	Bounds []float64
+	Counts []int64
+	// Count and Sum are the observation count and value sum.
+	Count int64
+	Sum   float64
+}
+
+// Snapshot copies the histogram's current state with cumulative bucket
+// counts (zero value on nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		s.Counts[i] = cum
+	}
+	return s
+}

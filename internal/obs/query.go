@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PhaseSpan is one timed phase of a query's life (parse, plan, rewrite,
+// execute). Depth records span nesting: a span started while another is
+// open sits one level deeper than its enclosing span.
+type PhaseSpan struct {
+	// Name is the phase name ("parse", "plan", "rewrite", "execute").
+	Name string
+	// Depth is the nesting level, 0 for top-level phases.
+	Depth int
+	// Duration is the phase's wall time.
+	Duration time.Duration
+}
+
+// QueryStats collects one statement's telemetry: the statement text, a
+// span list of its timed phases, and a SamplerStats scope that aggregates
+// every sampler counter the statement's operators touch. Methods are
+// no-ops on a nil receiver, so unobserved paths cost nothing.
+type QueryStats struct {
+	// Query is the statement text being traced.
+	Query string
+	// Sampler is the statement-scope counter set; operator-level sets
+	// parent it, and it parents the engine-wide set.
+	Sampler *SamplerStats
+
+	mu     sync.Mutex
+	phases []PhaseSpan
+	depth  int
+}
+
+// NewQueryStats starts a trace for one statement, chaining its sampler
+// scope to engine (which may be nil).
+func NewQueryStats(query string, engine *SamplerStats) *QueryStats {
+	return &QueryStats{Query: query, Sampler: &SamplerStats{Parent: engine}}
+}
+
+// StartPhase opens a timed phase span and returns the func that closes it.
+// Spans opened while another is open record a greater Depth; the returned
+// close func must be called on the same goroutine flow (spans are not
+// concurrent — query phases are sequential by construction).
+func (q *QueryStats) StartPhase(name string) func() {
+	if q == nil {
+		return func() {}
+	}
+	q.mu.Lock()
+	depth := q.depth
+	q.depth++
+	q.mu.Unlock()
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		q.mu.Lock()
+		q.depth--
+		q.phases = append(q.phases, PhaseSpan{Name: name, Depth: depth, Duration: d})
+		q.mu.Unlock()
+	}
+}
+
+// AddPhase records an already-measured phase at top level, for phases
+// timed outside the span mechanism (e.g. parse time captured at Prepare).
+func (q *QueryStats) AddPhase(name string, d time.Duration) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.phases = append(q.phases, PhaseSpan{Name: name, Duration: d})
+	q.mu.Unlock()
+}
+
+// Phases returns a copy of the recorded spans in completion order (nested
+// spans complete before — and therefore precede — their enclosing span).
+func (q *QueryStats) Phases() []PhaseSpan {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]PhaseSpan(nil), q.phases...)
+}
+
+// EngineStats is the engine-wide telemetry root shared by every session of
+// a database: the global sampler counter set, the count of statements
+// traced, and the most recent query trace.
+type EngineStats struct {
+	// Sampler is the engine-wide counter set; every query scope parents it.
+	Sampler SamplerStats
+
+	queries atomic.Int64
+	mu      sync.Mutex
+	last    *QueryStats
+}
+
+// ObserveQuery registers a completed (or executing) statement trace as the
+// engine's last query and bumps the traced-statement count.
+func (e *EngineStats) ObserveQuery(q *QueryStats) {
+	if e == nil || q == nil {
+		return
+	}
+	e.queries.Add(1)
+	e.mu.Lock()
+	e.last = q
+	e.mu.Unlock()
+}
+
+// LastQuery returns the most recently observed statement trace (nil if no
+// statement has been traced yet).
+func (e *EngineStats) LastQuery() *QueryStats {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}
+
+// Queries returns the number of statement traces observed.
+func (e *EngineStats) Queries() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.queries.Load()
+}

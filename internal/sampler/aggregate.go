@@ -402,6 +402,13 @@ func (s *Sampler) AggregateHistogram(tb *ctable.Table, col int, fold FoldFunc, n
 			return nil, err
 		}
 	}
+	// Barrier point: the batch fan-out is complete, so counting here is
+	// deterministic-neutral. Every drawn world is kept (no rejection).
+	if st := s.cfg.Stats; st != nil {
+		st.AddRound()
+		st.AddBatches(int64(len(offs)))
+		st.AddSamples(int64(n))
+	}
 	return out, nil
 }
 

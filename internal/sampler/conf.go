@@ -123,6 +123,7 @@ func (s *Sampler) clauseProbDetail(g cond.Group) (prob float64, exact bool, n in
 	}
 	if !s.cfg.DisableExactCDF {
 		if p, ok := exactSingleVarProb(g); ok {
+			s.cfg.Stats.AddExactCDFHit()
 			return p, true, 0
 		}
 	}

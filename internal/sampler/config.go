@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"pip/internal/dist"
+	"pip/internal/obs"
 )
 
 // Config tunes the sampling process. The zero value is not valid; use
@@ -79,6 +80,15 @@ type Config struct {
 	// unaffected — a query either completes identically or fails with
 	// ctx.Err(). Use Sampler.WithContext to scope a sampler to a request.
 	Ctx context.Context
+
+	// Stats, when non-nil, receives the engine's telemetry: samples merged
+	// at round barriers, batches dispatched, rounds run, rejection and
+	// Metropolis accounting, fast-path hits, and the epsilon-trajectory of
+	// adaptive stopping. Recording is deterministic-neutral — counters are
+	// atomic, updated at barriers or on the sequential walk, and never
+	// influence PRNG state, batch boundaries, or merge order. Use
+	// Sampler.WithStats to scope a sampler to a collection point.
+	Stats *obs.SamplerStats
 
 	// Ablation switches (all false in normal operation).
 	DisableCDFInversion bool // force natural generation + rejection
@@ -156,6 +166,24 @@ func (c Config) wantSamples(n int, sum, sumSq float64) bool {
 // stopping check applied at batch barriers by the parallel engine.
 func (c Config) wantMore(a Accumulator) bool {
 	return c.wantSamples(a.N, a.Sum, a.SumSq)
+}
+
+// relWidth returns the z-scaled confidence half-width of the accumulator's
+// running mean, relative to the same mean floor the stopping rule uses —
+// the quantity wantSamples compares against Delta. It parameterizes the
+// recorded epsilon-trajectory; it never feeds back into control flow.
+func (c Config) relWidth(a Accumulator) float64 {
+	if a.N == 0 {
+		return 0
+	}
+	fn := float64(a.N)
+	mean := a.Sum / fn
+	variance := a.SumSq/fn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	stderr := math.Sqrt(variance / fn)
+	return c.zTarget() * stderr / math.Max(math.Abs(mean), 1e-9)
 }
 
 // nextRoundSize returns how many further samples the adaptive engine should

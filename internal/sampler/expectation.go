@@ -6,6 +6,7 @@ import (
 
 	"pip/internal/cond"
 	"pip/internal/expr"
+	"pip/internal/obs"
 )
 
 // Result reports the outcome of an expectation or confidence computation.
@@ -61,6 +62,20 @@ func (s *Sampler) WithContext(ctx context.Context) *Sampler {
 	return &Sampler{cfg: cfg}
 }
 
+// WithStats returns a sampler identical to s whose computations record
+// their telemetry into st: samples, batches, rounds, rejection/Metropolis
+// accounting and the adaptive epsilon-trajectory. A nil st returns s
+// unchanged. Stats recording is deterministic-neutral (see Config.Stats),
+// so a scoped sampler produces bit-identical values to an unscoped one.
+func (s *Sampler) WithStats(st *obs.SamplerStats) *Sampler {
+	if st == nil {
+		return s
+	}
+	cfg := s.cfg
+	cfg.Stats = st
+	return &Sampler{cfg: cfg}
+}
+
 // Expectation implements Algorithm 4.3: compute E[e | c] and, when getP is
 // set, P[c]. The clause is partitioned into minimal independent groups;
 // only groups sharing variables with e need sampling for the mean, and
@@ -77,6 +92,7 @@ func (s *Sampler) Expectation(e expr.Expr, c cond.Clause, getP bool) Result {
 	// means ("potentially even sidestep [sampling] entirely", §III-A).
 	if c.IsTrue() && !s.cfg.DisableClosedForm {
 		if mean, ok := linearClosedFormMean(e, eVars); ok {
+			s.cfg.Stats.AddClosedFormHit()
 			return Result{Mean: mean, Prob: 1, Exact: true}
 		}
 	}
@@ -124,6 +140,7 @@ func (s *Sampler) Expectation(e expr.Expr, c cond.Clause, getP bool) Result {
 		}
 		if atomFree {
 			if mean, ok := linearClosedFormMean(e, eVars); ok {
+				s.cfg.Stats.AddClosedFormHit()
 				res.Mean = mean
 				res.Exact = true
 				if !getP {

@@ -165,6 +165,7 @@ func (gs *groupSampler) maybePreEscalate() {
 	if pReject > gs.cfg.MetropolisThreshold && wNaive > wMetropolis {
 		if m := newMetroState(gs, 0); m != nil {
 			gs.metro = m
+			gs.cfg.Stats.AddEscalation()
 		}
 	}
 }
@@ -252,6 +253,7 @@ func (gs *groupSampler) drawInto(asn expr.Assignment, sampleIdx uint64) bool {
 			if rejRate > gs.cfg.MetropolisThreshold {
 				if m := newMetroState(gs, sampleIdx); m != nil {
 					gs.metro = m
+					gs.cfg.Stats.AddEscalation()
 					return gs.metro.next(asn, sampleIdx)
 				}
 				// No PDFs: keep rejecting until the cap.

@@ -217,6 +217,7 @@ func (m *metroState) walkStep(scratch expr.Assignment) {
 		scratch[k] = v
 	}
 	if !m.gs.group.Atoms.Holds(scratch) {
+		m.gs.cfg.Stats.AddMetropolis(false)
 		// Restore scratch to the current point for the caller.
 		for _, k := range m.keys {
 			scratch[k] = m.cur[k]
@@ -225,10 +226,12 @@ func (m *metroState) walkStep(scratch expr.Assignment) {
 	}
 	lp := m.logDensity(prop)
 	if lp >= m.logP || m.rng.Float64() < math.Exp(lp-m.logP) {
+		m.gs.cfg.Stats.AddMetropolis(true)
 		m.cur = prop
 		m.logP = lp
 		return
 	}
+	m.gs.cfg.Stats.AddMetropolis(false)
 	for _, k := range m.keys {
 		scratch[k] = m.cur[k]
 	}

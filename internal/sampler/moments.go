@@ -87,10 +87,12 @@ func (s *Sampler) Moment(e expr.Expr, c cond.Clause, k int) MomentResult {
 		if v, ok := e.(expr.Var); ok {
 			mean, okM := v.V.Dist.Mean()
 			if k == 1 && okM {
+				s.cfg.Stats.AddClosedFormHit()
 				return MomentResult{Moment: mean, Exact: true}
 			}
 			variance, okV := v.V.Dist.Variance()
 			if k == 2 && okM && okV {
+				s.cfg.Stats.AddClosedFormHit()
 				return MomentResult{Moment: variance + mean*mean, Exact: true}
 			}
 		}
@@ -128,6 +130,7 @@ func (s *Sampler) Variance(e expr.Expr, c cond.Clause) VarianceResult {
 		if v, ok := e.(expr.Var); ok {
 			if variance, okV := v.V.Dist.Variance(); okV {
 				mean, _ := v.V.Dist.Mean()
+				s.cfg.Stats.AddClosedFormHit()
 				return VarianceResult{
 					Variance: variance,
 					StdDev:   math.Sqrt(variance),

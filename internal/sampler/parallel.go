@@ -186,6 +186,27 @@ func (ge *groupEngine) runRound(start, count int) bool {
 		return false
 	}
 	offs := splitRange(start, count, sampleBatchSize)
+	// Telemetry baselines, recorded as deltas once the barrier merge has
+	// completed (or failed mid-merge). The counters never steer the round.
+	preN := ge.acc.N
+	preAtt, preAcc := 0, 0
+	for _, gs := range ge.protos {
+		preAtt += gs.attempts
+		preAcc += gs.accepts
+	}
+	record := func() {
+		if st := ge.cfg.Stats; st != nil {
+			att, acc := 0, 0
+			for _, gs := range ge.protos {
+				att += gs.attempts
+				acc += gs.accepts
+			}
+			st.AddRound()
+			st.AddBatches(int64(len(offs)))
+			st.AddSamples(int64(ge.acc.N - preN))
+			st.AddRejection(int64(att-preAtt), int64(acc-preAcc))
+		}
+	}
 	results := make([]groupBatch, len(offs))
 	run := func(b int) {
 		n := sampleBatchSize
@@ -231,9 +252,11 @@ func (ge *groupEngine) runRound(start, count int) bool {
 		}
 		if r.failedAt >= 0 {
 			ge.failed = true
+			record()
 			return false
 		}
 	}
+	record()
 	// If any batch escalated this round, later rounds run sequentially on
 	// the prototypes: their merged counters immediately re-trigger the
 	// escalation inside drawInto, so the burn-in is paid once for the rest
@@ -319,6 +342,9 @@ func (ge *groupEngine) runAdaptive() (Accumulator, bool) {
 		if !ge.runRound(ge.acc.N, round) {
 			return ge.acc, false
 		}
+		// Epsilon-trajectory: one barrier observation of the confidence
+		// half-width the stopping rule just evaluated.
+		ge.cfg.Stats.RecordTrajectory(ge.acc.N, ge.cfg.relWidth(ge.acc))
 	}
 	return ge.acc, true
 }
@@ -395,6 +421,12 @@ func runWorldRound(cfg *Config, draw func(asn expr.Assignment, idx uint64) (floa
 			merged.values = append(merged.values, results[b].values...)
 			merged.idxs = append(merged.idxs, results[b].idxs...)
 		}
+	}
+	if st := cfg.Stats; st != nil {
+		st.AddRound()
+		st.AddBatches(int64(len(offs)))
+		st.AddSamples(int64(merged.acc.N))
+		st.AddRejection(int64(merged.attempts), int64(merged.acc.N))
 	}
 	return merged
 }

@@ -1,12 +1,27 @@
+// Server metrics: the counter and histogram families behind /metrics,
+// rendered in the Prometheus text exposition format (version 0.0.4). The
+// flat counter families of earlier releases are all preserved; the
+// histogram families (latency, rows, samples per statement, labelled by
+// endpoint) are built on obs.Histogram so the hot path stays a few atomic
+// adds.
+
 package server
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"pip/internal/obs"
 )
+
+// queryEndpoints are the label values of the per-endpoint histogram
+// families. Both series render from startup so scrapes see a stable set of
+// label sets regardless of traffic.
+var queryEndpoints = []string{"exec", "query"}
 
 // metrics is the server's counter set, exported in Prometheus text format
 // by /metrics. All counters are monotonic atomics except the gauges
@@ -23,13 +38,60 @@ type metrics struct {
 	sessionsTotal   atomic.Int64 // sessions ever created
 	sessionsSwept   atomic.Int64 // sessions reclaimed by the idle sweep
 	queryNanos      atomic.Int64 // cumulative statement wall time
+
+	// Per-endpoint histograms, keyed by queryEndpoints values.
+	querySeconds map[string]*obs.Histogram // statement latency
+	queryRows    map[string]*obs.Histogram // rows per statement
+	querySamples map[string]*obs.Histogram // Monte Carlo samples per statement
 }
 
-// newMetrics starts the uptime clock.
-func newMetrics() *metrics { return &metrics{start: time.Now()} }
+// newMetrics starts the uptime clock and allocates one histogram series per
+// endpoint.
+func newMetrics() *metrics {
+	m := &metrics{
+		start:        time.Now(),
+		querySeconds: map[string]*obs.Histogram{},
+		queryRows:    map[string]*obs.Histogram{},
+		querySamples: map[string]*obs.Histogram{},
+	}
+	for _, ep := range queryEndpoints {
+		m.querySeconds[ep] = obs.NewHistogram(obs.ExpBuckets(1e-4, 4, 10)) // 100µs .. ~26s
+		m.queryRows[ep] = obs.NewHistogram(obs.ExpBuckets(1, 4, 10))       // 1 .. ~260k rows
+		m.querySamples[ep] = obs.NewHistogram(obs.ExpBuckets(64, 4, 10))   // one batch .. ~16M samples
+	}
+	return m
+}
 
-// observeQuery records one finished statement.
-func (m *metrics) observeQuery(d time.Duration, rows int64, err error, cancelled bool) {
+// queryTracker follows one statement from start to finish. finish is
+// idempotent, so handlers can arm a deferred call as a safety net (keeping
+// pip_queries_inflight exact even on a panic or early return) and still
+// report the real row/sample counts from the normal exit path — the first
+// call wins.
+type queryTracker struct {
+	m        *metrics
+	endpoint string
+	start    time.Time
+	finished bool
+}
+
+// startQuery counts a statement as started and in flight on the given
+// endpoint ("query" or "exec") and returns its tracker.
+func (m *metrics) startQuery(endpoint string) *queryTracker {
+	m.queriesTotal.Add(1)
+	m.queriesInflight.Add(1)
+	return &queryTracker{m: m, endpoint: endpoint, start: time.Now()}
+}
+
+// finish records the statement's outcome: wall time, streamed rows, Monte
+// Carlo samples (negative = unknown, skips the samples histogram), and the
+// error/cancellation disposition. Calls after the first are no-ops.
+func (t *queryTracker) finish(rows, samples int64, err error, cancelled bool) {
+	if t == nil || t.finished {
+		return
+	}
+	t.finished = true
+	d := time.Since(t.start)
+	m := t.m
 	m.queriesInflight.Add(-1)
 	m.queryNanos.Add(int64(d))
 	m.rowsTotal.Add(rows)
@@ -37,6 +99,11 @@ func (m *metrics) observeQuery(d time.Duration, rows int64, err error, cancelled
 		m.cancelledTotal.Add(1)
 	} else if err != nil {
 		m.errorsTotal.Add(1)
+	}
+	m.querySeconds[t.endpoint].Observe(d.Seconds())
+	m.queryRows[t.endpoint].Observe(float64(rows))
+	if samples >= 0 {
+		m.querySamples[t.endpoint].Observe(float64(samples))
 	}
 }
 
@@ -64,4 +131,34 @@ func (m *metrics) write(w io.Writer, sessionsActive int) {
 	for _, mt := range ms {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", mt.name, mt.help, mt.name, mt.typ, mt.name, mt.value)
 	}
+	writeHistogramFamily(w, "pip_query_seconds", "Statement execution latency in seconds.", m.querySeconds)
+	writeHistogramFamily(w, "pip_query_rows", "Result rows per statement.", m.queryRows)
+	writeHistogramFamily(w, "pip_query_samples", "Monte Carlo samples drawn per statement.", m.querySamples)
+}
+
+// writeHistogramFamily renders one histogram family with an endpoint label
+// per series, in the standard _bucket/_sum/_count shape with cumulative
+// bucket counts and a closing le="+Inf" bucket.
+func writeHistogramFamily(w io.Writer, name, help string, series map[string]*obs.Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	eps := make([]string, 0, len(series))
+	for ep := range series {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		snap := series[ep].Snapshot()
+		for i, b := range snap.Bounds {
+			fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=%q} %d\n", name, ep, formatBound(b), snap.Counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, ep, snap.Count)
+		fmt.Fprintf(w, "%s_sum{endpoint=%q} %g\n", name, ep, snap.Sum)
+		fmt.Fprintf(w, "%s_count{endpoint=%q} %d\n", name, ep, snap.Count)
+	}
+}
+
+// formatBound renders a bucket upper bound the way Prometheus clients
+// expect ("0.0001", "64", not Go's %g exponent forms for large values).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
 }

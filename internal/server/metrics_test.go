@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrapeMetrics fetches /metrics from a test server.
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$`)
+)
+
+// lintExposition is the promtext lint: every line must be a well-formed
+// HELP/TYPE comment or a sample, every sample's family must be declared by
+// HELP and TYPE before its first sample, and every value must parse as a
+// float. Returns the per-family sample values keyed by full series name
+// (family + label set).
+func lintExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	declared := map[string]bool{}
+	typed := map[string]string{}
+	series := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := helpRe.FindStringSubmatch(line); m != nil {
+				declared[m[1]] = true
+				continue
+			}
+			if m := typeRe.FindStringSubmatch(line); m != nil {
+				typed[m[1]] = m[2]
+				continue
+			}
+			t.Fatalf("malformed comment line: %q", line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, labels, valText := m[1], m[2], m[3]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if typed[strings.TrimSuffix(name, suffix)] == "histogram" {
+				family = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if !declared[family] || typed[family] == "" {
+			t.Fatalf("sample %q precedes its HELP/TYPE declaration", line)
+		}
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("sample %q: value does not parse: %v", line, err)
+		}
+		series[name+labels] = val
+	}
+	return series
+}
+
+// TestMetricsExposition boots a server, drives traffic over both
+// statement endpoints (including a failing statement), and lints the
+// resulting exposition: well-formed text, all expected families present,
+// histogram bucket counts cumulative with +Inf == count.
+func TestMetricsExposition(t *testing.T) {
+	addr, _, ts := newTestServer(t, 7)
+	client := NewClient(addr)
+	ctx := context.Background()
+	sess, err := client.Session(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(ctx)
+
+	if _, err := sess.Exec(ctx, "CREATE TABLE t (v)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(ctx, "INSERT INTO t VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query(ctx, "SELECT v FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	rows.Close()
+	if _, err := sess.Exec(ctx, "SELEKT nonsense"); err == nil {
+		t.Fatal("malformed statement did not error")
+	}
+
+	text := scrapeMetrics(t, ts.URL)
+	series := lintExposition(t, text)
+
+	for _, family := range []string{"pip_queries_total", "pip_queries_inflight",
+		"pip_sessions_total", "pip_query_errors_total", "pip_rows_streamed_total"} {
+		if _, ok := series[family]; !ok {
+			t.Fatalf("flat family %s missing from exposition", family)
+		}
+	}
+	if series["pip_queries_inflight"] != 0 {
+		t.Fatalf("pip_queries_inflight = %g after all statements finished, want 0",
+			series["pip_queries_inflight"])
+	}
+	if series["pip_query_errors_total"] < 1 {
+		t.Fatal("failed statement not counted in pip_query_errors_total")
+	}
+
+	for _, family := range []string{"pip_query_seconds", "pip_query_rows", "pip_query_samples"} {
+		for _, ep := range queryEndpoints {
+			count, ok := series[fmt.Sprintf("%s_count{endpoint=%q}", family, ep)]
+			if !ok {
+				t.Fatalf("histogram %s missing series for endpoint %s", family, ep)
+			}
+			inf, ok := series[fmt.Sprintf("%s_bucket{endpoint=%q,le=\"+Inf\"}", family, ep)]
+			if !ok || inf != count {
+				t.Fatalf("%s{endpoint=%s}: +Inf bucket %g != count %g", family, ep, inf, count)
+			}
+			// Bucket counts must be cumulative (non-decreasing in le order).
+			prev := -1.0
+			var last float64
+			for _, line := range strings.Split(text, "\n") {
+				prefix := fmt.Sprintf("%s_bucket{endpoint=%q,le=", family, ep)
+				if !strings.HasPrefix(line, prefix) {
+					continue
+				}
+				v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+				if err != nil {
+					t.Fatalf("bucket line %q: %v", line, err)
+				}
+				if v < prev {
+					t.Fatalf("%s{endpoint=%s}: bucket counts not cumulative: %g after %g", family, ep, v, prev)
+				}
+				prev, last = v, v
+			}
+			if last != count {
+				t.Fatalf("%s{endpoint=%s}: final bucket %g != count %g", family, ep, last, count)
+			}
+		}
+	}
+	// The query endpoint streamed 3 rows; latency observations must exist.
+	if series[`pip_query_seconds_count{endpoint="query"}`] < 1 {
+		t.Fatal("no latency observations on the query endpoint")
+	}
+}
+
+// TestInflightNeverNegative hammers both endpoints concurrently with a mix
+// of succeeding and failing statements; afterwards the in-flight gauge
+// must read exactly zero (the historical bug double-decremented on error
+// paths, driving it negative).
+func TestInflightNeverNegative(t *testing.T) {
+	addr, srv, ts := newTestServer(t, 11)
+	client := NewClient(addr)
+	ctx := context.Background()
+	sess, err := client.Session(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(ctx)
+	if _, err := sess.Exec(ctx, "CREATE TABLE t (v)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(ctx, "INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if (g+i)%3 == 0 {
+					_, _ = sess.Exec(ctx, "SELEKT broken") // parse error path
+					continue
+				}
+				rows, err := sess.Query(ctx, "SELECT v FROM t")
+				if err != nil {
+					continue
+				}
+				for rows.Next() {
+				}
+				rows.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := srv.met.queriesInflight.Load(); got != 0 {
+		t.Fatalf("pip_queries_inflight = %d after drain, want 0", got)
+	}
+	series := lintExposition(t, scrapeMetrics(t, ts.URL))
+	if series["pip_queries_inflight"] != 0 {
+		t.Fatalf("scraped inflight %g, want 0", series["pip_queries_inflight"])
+	}
+}
+
+// TestQueryTrackerIdempotent pins the defer-safety contract: calling
+// finish twice (explicit + deferred safety net) decrements the in-flight
+// gauge exactly once.
+func TestQueryTrackerIdempotent(t *testing.T) {
+	m := newMetrics()
+	qt := m.startQuery("query")
+	if got := m.queriesInflight.Load(); got != 1 {
+		t.Fatalf("inflight after start = %d, want 1", got)
+	}
+	qt.finish(5, 100, nil, false)
+	qt.finish(0, -1, nil, false) // the deferred safety net
+	if got := m.queriesInflight.Load(); got != 0 {
+		t.Fatalf("inflight after double finish = %d, want 0", got)
+	}
+	if got := m.rowsTotal.Load(); got != 5 {
+		t.Fatalf("rows recorded %d, want 5 (second finish must be a no-op)", got)
+	}
+	var nilTracker *queryTracker
+	nilTracker.finish(0, -1, nil, false) // nil-safe
+}

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -17,9 +17,14 @@ import (
 type Config struct {
 	// DB is the shared database all sessions view. Required.
 	DB *pip.DB
-	// Logger receives one line per HTTP request (method, path, status,
-	// duration, bytes). Nil disables request logging.
-	Logger *log.Logger
+	// Logger receives one structured record per HTTP request (method, path,
+	// status, duration, bytes) plus server lifecycle events. Nil disables
+	// request logging.
+	Logger *slog.Logger
+	// SlowQuery logs statements whose wall time exceeds this threshold at
+	// Warn level with the query text attached. Zero or negative disables
+	// slow-query logging. Requires Logger.
+	SlowQuery time.Duration
 	// SessionIdle expires sessions with no request for this long and none
 	// in flight; the zero value takes DefaultSessionIdle, negative disables
 	// expiry.
@@ -36,13 +41,14 @@ const DefaultSessionIdle = 30 * time.Minute
 // cancellation. Create with New, mount via Handler (or ServeHTTP), stop
 // with Close.
 type Server struct {
-	db       *pip.DB
-	logger   *log.Logger
-	sessions *sessionManager
-	met      *metrics
-	handler  http.Handler
-	stop     chan struct{}
-	stopOnce sync.Once
+	db        *pip.DB
+	logger    *slog.Logger
+	slowQuery time.Duration
+	sessions  *sessionManager
+	met       *metrics
+	handler   http.Handler
+	stop      chan struct{}
+	stopOnce  sync.Once
 }
 
 // New creates a server over cfg.DB and starts its idle-session sweeper.
@@ -55,11 +61,12 @@ func New(cfg Config) *Server {
 		idle = DefaultSessionIdle
 	}
 	s := &Server{
-		db:       cfg.DB,
-		logger:   cfg.Logger,
-		sessions: newSessionManager(cfg.DB, idle),
-		met:      newMetrics(),
-		stop:     make(chan struct{}),
+		db:        cfg.DB,
+		logger:    cfg.Logger,
+		slowQuery: cfg.SlowQuery,
+		sessions:  newSessionManager(cfg.DB, idle),
+		met:       newMetrics(),
+		stop:      make(chan struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
@@ -110,17 +117,24 @@ func (s *Server) sweeper() {
 		case now := <-t.C:
 			if n := s.sessions.sweep(now); n > 0 {
 				s.met.sessionsSwept.Add(int64(n))
-				s.logf("swept %d idle session(s)", n)
+				if s.logger != nil {
+					s.logger.Info("swept idle sessions", "sessions", n)
+				}
 			}
 		}
 	}
 }
 
-// logf writes one server log line when logging is configured.
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
+// slowLog emits a Warn record when a statement exceeded the slow-query
+// threshold. query is the statement text when known (prepared-statement
+// requests carry only the id).
+func (s *Server) slowLog(endpoint, query string, d time.Duration, rows int64) {
+	if s.logger == nil || s.slowQuery <= 0 || d < s.slowQuery {
+		return
 	}
+	s.logger.Warn("slow query",
+		"endpoint", endpoint, "query", query,
+		"duration", d, "threshold", s.slowQuery, "rows", rows)
 }
 
 // ---------------------------------------------------------------------------
@@ -158,7 +172,8 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// logged is the outermost middleware: request counting + access logging.
+// logged is the outermost middleware: request counting + structured access
+// logging.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.met.requestsTotal.Add(1)
@@ -170,9 +185,10 @@ func (s *Server) logged(next http.Handler) http.Handler {
 			if status == 0 {
 				status = http.StatusOK
 			}
-			s.logger.Printf("%s %s %d %dB %.3fms %s",
-				r.Method, r.URL.Path, status, sw.bytes,
-				float64(time.Since(start).Microseconds())/1000, r.RemoteAddr)
+			s.logger.Info("request",
+				"method", r.Method, "path", r.URL.Path, "status", status,
+				"bytes", sw.bytes, "duration", time.Since(start),
+				"remote", r.RemoteAddr)
 		}
 	})
 }
@@ -349,12 +365,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	s.met.queriesTotal.Add(1)
-	s.met.queriesInflight.Add(1)
+	qt := s.met.startQuery("query")
+	// Safety net: finish is idempotent, so this keeps pip_queries_inflight
+	// exact even if the handler unwinds early; the explicit finish below
+	// carries the real counts.
+	defer qt.finish(0, -1, nil, false)
 	start := time.Now()
 	rows, release, err := s.openRows(ctx, &req)
 	if err != nil {
-		s.met.observeQuery(time.Since(start), 0, err, isCancel(err))
+		qt.finish(0, -1, err, isCancel(err))
 		writeError(w, err)
 		return
 	}
@@ -399,7 +418,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(Chunk{K: "done", Rows: n})
 	}
 	flush()
-	s.met.observeQuery(time.Since(start), n, err, isCancel(err) || ctx.Err() != nil)
+	qt.finish(n, s.lastQuerySamples(), err, isCancel(err) || ctx.Err() != nil)
+	s.slowLog("query", req.Query, time.Since(start), n)
 }
 
 // handleExec implements POST /v1/exec: execute a statement, discard any
@@ -411,12 +431,12 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	s.met.queriesTotal.Add(1)
-	s.met.queriesInflight.Add(1)
+	qt := s.met.startQuery("exec")
+	defer qt.finish(0, -1, nil, false) // safety net; see handleQuery
 	start := time.Now()
 	rows, release, err := s.openRows(ctx, &req)
 	if err != nil {
-		s.met.observeQuery(time.Since(start), 0, err, isCancel(err))
+		qt.finish(0, -1, err, isCancel(err))
 		writeError(w, err)
 		return
 	}
@@ -427,12 +447,26 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	err = rows.Err()
 	rows.Close()
-	s.met.observeQuery(time.Since(start), 0, err, isCancel(err))
+	qt.finish(0, s.lastQuerySamples(), err, isCancel(err) || ctx.Err() != nil)
+	s.slowLog("exec", req.Query, time.Since(start), n)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ExecResponse{OK: true, Rows: n})
+}
+
+// lastQuerySamples reads the sample count from the engine's most recent
+// query trace. Under concurrent statements another query may have displaced
+// the trace between execution and this read, so the pip_query_samples
+// histogram is best-effort attribution; engine-wide sample totals (SHOW
+// STATS) are exact. Returns -1 when no trace exists.
+func (s *Server) lastQuerySamples() int64 {
+	q := s.db.Core().LastQuery()
+	if q == nil {
+		return -1
+	}
+	return q.Sampler.Snapshot().Samples
 }
 
 // isCancel reports whether err is a context cancellation/timeout.

@@ -62,6 +62,14 @@ type SetStmt struct {
 
 func (*SetStmt) stmt() {}
 
+// ShowStmt is SHOW STATS: report the engine-wide telemetry counters and the
+// most recent query's trace as a (scope, name, value) result table. Being a
+// plain result table, it flows unchanged through every query surface —
+// local, driver, and the pip:// wire protocol.
+type ShowStmt struct{}
+
+func (*ShowStmt) stmt() {}
+
 // Target is one SELECT target: an expression (possibly an aggregate call)
 // with an optional alias.
 type Target struct {

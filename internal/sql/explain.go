@@ -35,6 +35,17 @@ type PlanNode struct {
 	// Elapsed is cumulative operator wall time, children included
 	// (ANALYZE only).
 	Elapsed time.Duration
+	// Sampling reports that the operator carries its own sampler telemetry
+	// scope (Project and Aggregate nodes); Samples, Batches and AcceptRate
+	// are meaningful only when it is set.
+	Sampling bool
+	// Samples and Batches count the accepted samples and dispatched sample
+	// batches the operator's sampler work consumed.
+	Samples int64
+	Batches int64
+	// AcceptRate is the rejection sampler's acceptance fraction for this
+	// operator, negative when no rejection attempts were made.
+	AcceptRate float64
 	// Children are the operator's inputs, left to right.
 	Children []*PlanNode
 }
@@ -58,7 +69,14 @@ func (n *PlanNode) render(out *[]string, depth int) {
 		line += " " + n.Detail
 	}
 	if n.Analyzed {
-		line += fmt.Sprintf(" [rows=%d time=%s]", n.Rows, n.Elapsed.Round(time.Microsecond))
+		line += fmt.Sprintf(" [rows=%d time=%s", n.Rows, n.Elapsed.Round(time.Microsecond))
+		if n.Sampling {
+			line += fmt.Sprintf(" samples=%d batches=%d", n.Samples, n.Batches)
+			if n.AcceptRate >= 0 {
+				line += fmt.Sprintf(" accept=%.3f", n.AcceptRate)
+			}
+		}
+		line += "]"
 	}
 	*out = append(*out, line)
 	for _, c := range n.Children {
@@ -78,6 +96,17 @@ func toPlanNode(op operator, analyzed bool) *PlanNode {
 	if analyzed {
 		n.Rows = b.stats.rows
 		n.Elapsed = b.stats.elapsed
+		if b.samp != nil {
+			snap := b.samp.Snapshot()
+			n.Sampling = true
+			n.Samples = snap.Samples
+			n.Batches = snap.Batches
+			if rate, ok := snap.AcceptRate(); ok {
+				n.AcceptRate = rate
+			} else {
+				n.AcceptRate = -1
+			}
+		}
 	}
 	for _, k := range b.kids {
 		n.Children = append(n.Children, toPlanNode(k, analyzed))
@@ -118,6 +147,7 @@ func ExplainContext(ctx context.Context, db *core.DB, src string, args ...ctable
 			ErrBind, n, len(args))
 	}
 	env := newExecEnv(ctx, db, args)
+	env.qs.Query = src
 	if err := env.ctxErr(); err != nil {
 		return nil, err
 	}

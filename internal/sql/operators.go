@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"pip/internal/cond"
+	"pip/internal/core"
 	"pip/internal/ctable"
+	"pip/internal/obs"
 	"pip/internal/sampler"
 )
 
@@ -38,6 +40,10 @@ type opBase struct {
 	kids   []operator
 	stats  opStats
 	timed  bool
+	// samp, set only on operators that invoke the sampler (Project,
+	// Aggregate), scopes their sampler work for EXPLAIN ANALYZE's samples=
+	// / batches= / accept= annotations. It chains to the statement scope.
+	samp *obs.SamplerStats
 }
 
 func (b *opBase) base() *opBase { return b }
@@ -80,11 +86,14 @@ func (b *opBase) closeKids() error {
 type physPlan struct {
 	root operator
 	name string // result table name
+	qs   *obs.QueryStats
 }
 
 // drain runs the plan to completion, materializing the result c-table —
-// the eager execution path shares the streaming operator pipeline.
+// the eager execution path shares the streaming operator pipeline. The
+// whole pull loop is the trace's "execute" phase.
 func (p *physPlan) drain() (*ctable.Table, error) {
+	defer p.qs.StartPhase("execute")()
 	names := p.root.Columns()
 	sch := make(ctable.Schema, len(names))
 	for i, n := range names {
@@ -146,13 +155,17 @@ func lowerNode(env execEnv, n lnode, timed bool) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &projectOp{opBase: mk(t.names, child), env: env, child: child, spec: t}, nil
+		b := mk(t.names, child)
+		oenv := opScope(env, &b)
+		return &projectOp{opBase: b, env: oenv, child: child, spec: t}, nil
 	case *lAggregate:
 		child, err := lowerNode(env, t.input, timed)
 		if err != nil {
 			return nil, err
 		}
-		return &aggOp{opBase: mk(t.outNames, child), env: env, child: child, spec: t}, nil
+		b := mk(t.outNames, child)
+		oenv := opScope(env, &b)
+		return &aggOp{opBase: b, env: oenv, child: child, spec: t}, nil
 	case *lDistinct:
 		child, err := lowerNode(env, t.input, timed)
 		if err != nil {
@@ -176,6 +189,21 @@ func lowerNode(env execEnv, n lnode, timed bool) (operator, error) {
 	default:
 		return nil, fmt.Errorf("sql: unknown plan node %T", n)
 	}
+}
+
+// opScope gives a sampling operator (Project, Aggregate) its own telemetry
+// scope chained to the statement trace, and returns a copy of env whose
+// sampler records into it — so EXPLAIN ANALYZE can attribute sampler work
+// to the operator that caused it while the statement and engine counters
+// keep aggregating through the parent chain.
+func opScope(env execEnv, b *opBase) execEnv {
+	var parent *obs.SamplerStats
+	if env.qs != nil {
+		parent = env.qs.Sampler
+	}
+	b.samp = &obs.SamplerStats{Parent: parent}
+	env.smp = env.smp.WithStats(b.samp)
+	return env
 }
 
 // ---------------------------------------------------------------------------
@@ -560,7 +588,7 @@ func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
 		if !out.Values[pos].IsSymbolic() {
 			continue
 		}
-		res, err := o.env.db.ExpectationContext(o.env.ctx, &out, pos, false)
+		res, err := core.TupleExpectation(o.env.smp, &out, pos, false)
 		if err != nil {
 			return nil, err
 		}

@@ -104,6 +104,11 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return &DropStmt{Name: name}, nil
 	case p.acceptKw("set"):
 		return p.parseSet()
+	case p.acceptKw("show"):
+		if err := p.expectKw("stats"); err != nil {
+			return nil, err
+		}
+		return &ShowStmt{}, nil
 	case p.acceptKw("explain"):
 		analyze := p.acceptKw("analyze")
 		if err := p.expectKw("select"); err != nil {
@@ -115,7 +120,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		}
 		return &ExplainStmt{Analyze: analyze, Query: inner.(*SelectStmt)}, nil
 	default:
-		return nil, p.errf("expected SELECT, CREATE, INSERT, DROP, SET or EXPLAIN, got %q", p.peek().Text)
+		return nil, p.errf("expected SELECT, CREATE, INSERT, DROP, SET, SHOW or EXPLAIN, got %q", p.peek().Text)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"pip/internal/cond"
 	"pip/internal/core"
@@ -52,11 +53,21 @@ func ExecStmt(db *core.DB, st Stmt) (*ctable.Table, error) {
 // cancellation the statement's side effects may be partially applied for
 // DML, but a SELECT never returns a partial table: the result is ctx.Err().
 func ExecStmtContext(ctx context.Context, db *core.DB, st Stmt, args ...ctable.Value) (*ctable.Table, error) {
+	return execStmtTraced(ctx, db, st, "", 0, args)
+}
+
+// execStmtTraced is ExecStmtContext carrying the statement text and parse
+// time into the execution's telemetry trace (the Prepared path knows both).
+func execStmtTraced(ctx context.Context, db *core.DB, st Stmt, src string, parseTime time.Duration, args []ctable.Value) (*ctable.Table, error) {
 	if n := NumParams(st); n != len(args) {
 		return nil, fmt.Errorf("%w: statement has %d placeholder(s), got %d argument(s)",
 			ErrBind, n, len(args))
 	}
 	env := newExecEnv(ctx, db, args)
+	env.qs.Query = src
+	if parseTime > 0 {
+		env.qs.AddPhase("parse", parseTime)
+	}
 	if err := env.ctxErr(); err != nil {
 		return nil, err
 	}
@@ -90,6 +101,8 @@ func execStmt(env execEnv, st Stmt) (*ctable.Table, error) {
 		return execExplain(env, s)
 	case *SetStmt:
 		return nil, execSet(env.db, s)
+	case *ShowStmt:
+		return execShow(env)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", st)
 	}

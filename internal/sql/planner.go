@@ -60,15 +60,22 @@ type conjunct struct {
 // operators. timed enables per-operator wall-time tracking (EXPLAIN
 // ANALYZE).
 func planSelect(env execEnv, st *SelectStmt, timed bool) (*physPlan, error) {
+	endPlan := env.qs.StartPhase("plan")
 	root, name, err := buildLogical(env, st)
 	if err != nil {
+		endPlan()
 		return nil, err
 	}
 	op, err := lowerNode(env, root, timed)
+	endPlan()
 	if err != nil {
 		return nil, err
 	}
-	return &physPlan{root: op, name: name}, nil
+	// Register the trace as the engine's last query here — only planned
+	// statements (SELECT, EXPLAIN) become "the last query"; SHOW STATS and
+	// DML never displace the snapshot they would be reporting on.
+	env.db.ObserveQuery(env.qs)
+	return &physPlan{root: op, name: name, qs: env.qs}, nil
 }
 
 // buildLogical binds a SELECT against the catalog and assembles the
@@ -182,6 +189,7 @@ func buildLogical(env execEnv, st *SelectStmt) (lnode, string, error) {
 	}
 
 	// Rewrite rules (rewrite.go).
+	endRewrite := env.qs.StartPhase("rewrite")
 	constFalse, foldReason := rewriteFold(conjs, h)
 	globalMap := identityMap(width)
 	newOffs := offs
@@ -190,6 +198,7 @@ func buildLogical(env execEnv, st *SelectStmt) (lnode, string, error) {
 		rewriteHashKeys(conjs, offs, h)
 		globalMap, newOffs = rewritePrune(conjs, scans, offs, proj, agg, h)
 	}
+	endRewrite()
 
 	// Assemble: scans -> left-deep joins -> filter -> project/aggregate ->
 	// distinct -> sort -> limit.

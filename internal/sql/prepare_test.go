@@ -264,8 +264,12 @@ func TestQueryContextStreams(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cur.Close()
-	if _, ok := cur.(*limitOp); !ok {
-		t.Fatalf("plain SELECT produced %T, want streaming limitOp", cur)
+	sc, ok := cur.(*spanCursor)
+	if !ok {
+		t.Fatalf("plain SELECT produced %T, want span-traced plan cursor", cur)
+	}
+	if _, ok := sc.inner.(*limitOp); !ok {
+		t.Fatalf("plain SELECT pipeline is %T, want streaming limitOp", sc.inner)
 	}
 	var names []string
 	for {

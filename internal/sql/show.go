@@ -1,0 +1,84 @@
+// SHOW STATS: the SQL surface of the engine's telemetry. The statement
+// renders the engine-wide sampler counters and the most recent query's
+// trace as a plain (scope, name, value) c-table, so the numbers reach every
+// query surface — eager Exec, streaming Rows, the database/sql driver and
+// the pip:// wire protocol — with an identical schema.
+
+package sql
+
+import (
+	"sort"
+
+	"pip/internal/ctable"
+	"pip/internal/obs"
+)
+
+// execShow runs SHOW STATS. Engine-scope rows report the database-wide
+// counter set (every session of the catalog rolls up into it); query-scope
+// rows report the most recently planned statement's trace — sampler
+// counters, phase durations (phase_<name>_seconds) and the length of its
+// recorded epsilon-trajectory. Rows are emitted in sorted name order per
+// scope, engine first, so the shape is stable across surfaces and runs.
+func execShow(env execEnv) (*ctable.Table, error) {
+	es := env.db.Stats()
+	out := &ctable.Table{Name: "stats", Schema: ctable.Schema{
+		{Name: "scope"}, {Name: "name"}, {Name: "value"},
+	}}
+	appendRows(out, "engine", samplerRows(es.Sampler.Snapshot(), map[string]float64{
+		"queries_traced": float64(es.Queries()),
+	}))
+	if q := es.LastQuery(); q != nil {
+		extra := map[string]float64{
+			"trajectory_points": float64(len(q.Sampler.Trajectory())),
+		}
+		for name, d := range phaseSeconds(q.Phases()) {
+			extra["phase_"+name+"_seconds"] = d
+		}
+		appendRows(out, "query", samplerRows(q.Sampler.Snapshot(), extra))
+	}
+	return out, nil
+}
+
+// samplerRows flattens a sampler snapshot (plus any extra metrics) into a
+// name -> value map.
+func samplerRows(s obs.SamplerSnapshot, extra map[string]float64) map[string]float64 {
+	rows := map[string]float64{
+		"samples":              float64(s.Samples),
+		"batches":              float64(s.Batches),
+		"rounds":               float64(s.Rounds),
+		"rejection_attempts":   float64(s.RejectionAttempts),
+		"rejection_accepts":    float64(s.RejectionAccepts),
+		"metropolis_proposals": float64(s.MetropolisProposals),
+		"metropolis_accepts":   float64(s.MetropolisAccepts),
+		"escalations":          float64(s.Escalations),
+		"exact_cdf_hits":       float64(s.ExactCDFHits),
+		"closed_form_hits":     float64(s.ClosedFormHits),
+	}
+	for k, v := range extra {
+		rows[k] = v
+	}
+	return rows
+}
+
+// phaseSeconds aggregates recorded spans by phase name into seconds (a
+// statement may record several spans of one phase, e.g. nested rewrites).
+func phaseSeconds(phases []obs.PhaseSpan) map[string]float64 {
+	out := map[string]float64{}
+	for _, p := range phases {
+		out[p.Name] += p.Duration.Seconds()
+	}
+	return out
+}
+
+// appendRows emits one scope's metrics in sorted name order.
+func appendRows(out *ctable.Table, scope string, rows map[string]float64) {
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.Tuples = append(out.Tuples, ctable.NewTuple(
+			ctable.String_(scope), ctable.String_(n), ctable.Float(rows[n])))
+	}
+}

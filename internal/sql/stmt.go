@@ -3,6 +3,7 @@ package sql
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pip/internal/core"
 	"pip/internal/ctable"
@@ -17,16 +18,21 @@ type Prepared struct {
 	src      string
 	st       Stmt
 	numInput int
+	// parseTime is the lex+parse wall time, replayed into each execution's
+	// trace as its "parse" phase (the statement parses once, so every
+	// execution shares the cost it actually paid).
+	parseTime time.Duration
 }
 
 // Prepare parses one statement for later execution. Syntax errors are
 // *ParseError values wrapping ErrParse.
 func Prepare(src string) (*Prepared, error) {
+	start := time.Now()
 	st, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{src: src, st: st, numInput: NumParams(st)}, nil
+	return &Prepared{src: src, st: st, numInput: NumParams(st), parseTime: time.Since(start)}, nil
 }
 
 // NumInput returns the number of ? placeholders the statement binds.
@@ -58,7 +64,7 @@ func (p *Prepared) ExecContext(ctx context.Context, db *core.DB, args ...ctable.
 	if err := p.checkArity(args); err != nil {
 		return nil, err
 	}
-	return ExecStmtContext(ctx, db, p.st, args...)
+	return execStmtTraced(ctx, db, p.st, p.src, p.parseTime, args)
 }
 
 // Query executes the statement with bound arguments, returning a streaming
@@ -84,11 +90,16 @@ func (p *Prepared) QueryContext(ctx context.Context, db *core.DB, args ...ctable
 	}
 	if sel, ok := p.st.(*SelectStmt); ok {
 		env := newExecEnv(ctx, db, args)
+		env.qs.Query = p.src
+		env.qs.AddPhase("parse", p.parseTime)
 		plan, err := planSelect(env, sel, false)
 		if err != nil {
 			return nil, err
 		}
-		return plan.root, nil
+		// The streaming path leaves plan.root untouched (EXPLAIN reads the
+		// operator tree) and wraps it in a cursor that accumulates the
+		// "execute" phase as the consumer drains it.
+		return newSpanCursor(plan.root, env.qs), nil
 	}
 	tb, err := ExecStmtContext(ctx, db, p.st, args...)
 	if err != nil {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"pip/internal/core"
 	"pip/internal/ctable"
+	"pip/internal/obs"
 	"pip/internal/sampler"
 )
 
@@ -31,20 +33,30 @@ type Cursor interface {
 
 // execEnv carries per-execution state through planning and evaluation: the
 // request context, the database, a context-scoped sampler, the bound
-// placeholder arguments, and the planner hints attached to the context.
+// placeholder arguments, the planner hints attached to the context, and the
+// statement's telemetry trace.
 type execEnv struct {
 	ctx   context.Context
 	db    *core.DB
 	smp   *sampler.Sampler
 	args  []ctable.Value
 	hints Hints
+	// qs traces this execution: phase spans plus a statement-scope sampler
+	// counter set chained to the engine-wide one. The env's sampler records
+	// into it, and per-operator scopes chain onto qs.Sampler in lowerNode.
+	qs *obs.QueryStats
 }
 
 func newExecEnv(ctx context.Context, db *core.DB, args []ctable.Value) execEnv {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return execEnv{ctx: ctx, db: db, smp: db.SamplerContext(ctx), args: args, hints: HintsFrom(ctx)}
+	smp := db.SamplerContext(ctx)
+	// Chain the statement scope onto whatever collection point the sampler
+	// already carries (the engine root by default), so engine-wide counters
+	// keep aggregating while the trace isolates this statement's share.
+	qs := obs.NewQueryStats("", smp.Config().Stats)
+	return execEnv{ctx: ctx, db: db, smp: smp.WithStats(qs.Sampler), args: args, hints: HintsFrom(ctx), qs: qs}
 }
 
 // ctxErr reports the request context's cancellation state.
@@ -57,6 +69,58 @@ func (env *execEnv) bindArg(i int) (ctable.Value, error) {
 		return ctable.Value{}, fmt.Errorf("%w: placeholder %d is unbound (prepare the statement and pass arguments)", ErrBind, i+1)
 	}
 	return env.args[i], nil
+}
+
+// spanCursor wraps the streaming SELECT cursor, accumulating the wall time
+// the consumer spends inside Next as the trace's "execute" phase. The phase
+// is flushed exactly once — at EOF, on the first error, or at Close — so a
+// partially drained stream still reports the time it actually spent.
+type spanCursor struct {
+	inner   operator
+	qs      *obs.QueryStats
+	elapsed time.Duration
+	flushed bool
+}
+
+func newSpanCursor(inner operator, qs *obs.QueryStats) Cursor {
+	if qs == nil {
+		return inner
+	}
+	return &spanCursor{inner: inner, qs: qs}
+}
+
+// base exposes the wrapped root operator's metadata: the span wrapper is
+// transparent to plan introspection — the cursor IS the planned pipeline,
+// plus phase accounting.
+func (c *spanCursor) base() *opBase { return c.inner.base() }
+
+// Columns implements Cursor.
+func (c *spanCursor) Columns() []string { return c.inner.Columns() }
+
+// Next implements Cursor.
+func (c *spanCursor) Next() (*ctable.Tuple, error) {
+	start := time.Now()
+	t, err := c.inner.Next()
+	c.elapsed += time.Since(start)
+	if err != nil {
+		c.flush()
+	}
+	return t, err
+}
+
+// Close implements Cursor.
+func (c *spanCursor) Close() error {
+	err := c.inner.Close()
+	c.flush()
+	return err
+}
+
+func (c *spanCursor) flush() {
+	if c.flushed {
+		return
+	}
+	c.flushed = true
+	c.qs.AddPhase("execute", c.elapsed)
 }
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,8 @@
 //	planner: logical plan IR + rewrite rules (constant folding, predicate
 //	pushdown, hash-join extraction, projection pruning) lowered onto
 //	streaming Cursor operators; EXPLAIN [ANALYZE] exposes the plan
+// internal/obs                  — telemetry primitives (counters, histograms,
+//	phase timers) behind SHOW STATS and /metrics; see docs/OBSERVABILITY.md
 // internal/samplefirst          — the MCDB-style baseline used in benchmarks
 // internal/iceberg, internal/tpch — the paper's evaluation datasets (§VI)
 // internal/bench                — experiment harnesses over both engines
