@@ -6,6 +6,7 @@
 //
 //	pipd [-addr :7432] [-seed N] [-workers N] [-epsilon F] [-delta F]
 //	     [-samples N] [-max-samples N] [-session-timeout D]
+//	     [-data-dir DIR] [-fsync] [-snapshot-every N]
 //	     [-slow-query D] [-debug-addr addr] [-demo] [-quiet]
 //
 // Remote clients connect with the database/sql driver and a
@@ -13,9 +14,17 @@
 // docs/OPERATIONS.md for the wire protocol). Request logging is structured
 // (log/slog, logfmt-style text to stderr); -slow-query warns on statements
 // slower than the threshold, and -debug-addr serves net/http/pprof on a
-// separate listener kept off the query port. SIGINT/SIGTERM trigger a
-// graceful shutdown: in-flight requests drain (bounded by the shutdown
-// timeout), then the process exits.
+// separate listener kept off the query port.
+//
+// With -data-dir the database is durable: the directory is recovered
+// before the listener opens (latest catalog snapshot + write-ahead log
+// replay), every catalog-mutating statement is logged — and, with -fsync
+// (the default), synced — before it is acknowledged, and -snapshot-every
+// bounds replay time by snapshotting the catalog every N logged
+// statements. Without -data-dir the database is in-memory, as before.
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
+// (bounded by the shutdown timeout), a final snapshot is taken when a data
+// directory is configured, then the process exits.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 
 	"pip"
 	"pip/internal/server"
+	"pip/internal/wal"
 )
 
 func main() {
@@ -45,6 +55,9 @@ func main() {
 		samples     = flag.Int("samples", 0, "fixed sample count (0 = adaptive)")
 		maxSamples  = flag.Int("max-samples", 0, "adaptive sampling cap (0 = default)")
 		sessionIdle = flag.Duration("session-timeout", server.DefaultSessionIdle, "expire sessions idle this long (0 = never)")
+		dataDir     = flag.String("data-dir", "", "durable data directory: recover on boot, log statements (empty = in-memory)")
+		fsync       = flag.Bool("fsync", true, "fsync the write-ahead log on every commit (requires -data-dir)")
+		snapEvery   = flag.Int("snapshot-every", 4096, "snapshot the catalog every N logged statements (0 = only on shutdown)")
 		shutdown    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM")
 		slowQuery   = flag.Duration("slow-query", 0, "warn on statements slower than this (0 = off)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -65,6 +78,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pipd: -samples, -max-samples and -workers must be non-negative")
 		os.Exit(2)
 	}
+	if *snapEvery < 0 {
+		fmt.Fprintln(os.Stderr, "pipd: -snapshot-every must be non-negative")
+		os.Exit(2)
+	}
 
 	var logger *slog.Logger
 	if !*quiet {
@@ -79,15 +96,50 @@ func main() {
 		FixedSamples: *samples,
 		MaxSamples:   *maxSamples,
 	})
+	// Recover and attach the write-ahead log before anything (demo load
+	// included) can mutate the catalog or open the listener: recovery must
+	// see exactly the statements that were acknowledged pre-crash, and no
+	// statement may be acknowledged unlogged.
+	var store *wal.Store
+	if *dataDir != "" {
+		var info *wal.RecoveryInfo
+		var err error
+		store, info, err = wal.Open(*dataDir, db.Core(), wal.Options{Fsync: *fsync, SnapshotEvery: *snapEvery})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipd: recover %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		if logger != nil {
+			logger.Info("recovered", "data_dir", *dataDir,
+				"snapshot_seq", info.SnapshotSeq, "replayed", info.Replayed,
+				"last_seq", info.LastSeq, "duration", info.Duration)
+			if info.TailErr != nil {
+				// Expected after a crash mid-append: the torn, never-acknowledged
+				// tail was dropped. Worth a warning so operators can correlate.
+				logger.Warn("dropped torn log tail", "bytes", info.TailTruncated, "reason", info.TailErr.Error())
+			}
+			for _, skipped := range info.SkippedSnapshots {
+				logger.Warn("skipped unreadable snapshot", "reason", skipped)
+			}
+		}
+	}
 	if *demo {
-		loadDemo(db)
+		// A recovered catalog already holds its data (demo tables included if
+		// it was seeded with -demo originally); reloading would double rows.
+		if len(db.Core().TableNames()) > 0 {
+			if logger != nil {
+				logger.Info("skipping demo load: recovered catalog is not empty")
+			}
+		} else {
+			loadDemo(db)
+		}
 	}
 
 	idle := *sessionIdle
 	if idle == 0 {
 		idle = -1 // Config.SessionIdle: negative disables, zero means default.
 	}
-	srv := server.New(server.Config{DB: db, Logger: logger, SlowQuery: *slowQuery, SessionIdle: idle})
+	srv := server.New(server.Config{DB: db, Logger: logger, SlowQuery: *slowQuery, SessionIdle: idle, WAL: store})
 	defer srv.Close()
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -130,6 +182,17 @@ func main() {
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "pipd: shutdown: %v\n", err)
 		os.Exit(1)
+	}
+	if store != nil {
+		// Final snapshot so the next boot recovers without replay, then a
+		// clean detach. Failures are non-fatal: the log already holds
+		// everything a snapshot would.
+		if err := store.Snapshot(); err != nil {
+			fmt.Fprintf(os.Stderr, "pipd: final snapshot: %v\n", err)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pipd: close wal: %v\n", err)
+		}
 	}
 }
 

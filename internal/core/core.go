@@ -36,13 +36,20 @@ var ErrUnknownTable = errors.New("core: unknown table")
 // CREATE_VARIABLE, and variable identifiers stay unique across every view
 // of the database.
 type catalog struct {
-	mu      sync.Mutex
-	nextVar uint64
-	tables  map[string]*ctable.Table
+	mu          sync.Mutex
+	nextVar     uint64
+	nextSession uint64
+	tables      map[string]*ctable.Table
 	// stats is the engine-wide telemetry root: every session's sampler
 	// counters roll up into it, and it holds the most recent query trace.
 	// It has its own synchronization and is never touched under mu.
 	stats obs.EngineStats
+	// commitMu serializes catalog-mutating statements whenever mlog is
+	// attached, so the log's record order equals the statements' effect
+	// order (including random-variable allocation) and replay is exact.
+	// Lock order: commitMu before mu; it is never taken under mu.
+	commitMu sync.Mutex
+	mlog     MutationLog
 }
 
 // DB is a PIP probabilistic database instance. Handles created by Session
@@ -50,6 +57,9 @@ type catalog struct {
 // independent sampling configurations.
 type DB struct {
 	cat *catalog
+	// sid identifies this handle in the write-ahead statement log
+	// (RootSessionID for the NewDB handle); see durability.go.
+	sid uint64
 	mu  sync.Mutex // guards smp and cfg
 	smp *sampler.Sampler
 	cfg sampler.Config
@@ -60,15 +70,26 @@ type DB struct {
 // own telemetry root is installed, so every sampler the database hands out
 // feeds the engine-wide counters surfaced by SHOW STATS.
 func NewDB(cfg sampler.Config) *DB {
-	cat := &catalog{nextVar: 1, tables: map[string]*ctable.Table{}}
+	cat := &catalog{nextVar: 1, nextSession: RootSessionID + 1, tables: map[string]*ctable.Table{}}
 	if cfg.Stats == nil {
 		cfg.Stats = &cat.stats.Sampler
 	}
 	return &DB{
 		cat: cat,
+		sid: RootSessionID,
 		smp: sampler.New(cfg),
 		cfg: cfg,
 	}
+}
+
+// allocSessionID hands out the next session identifier for a new handle
+// over this catalog.
+func (cat *catalog) allocSessionID() uint64 {
+	cat.mu.Lock()
+	defer cat.mu.Unlock()
+	id := cat.nextSession
+	cat.nextSession++
+	return id
 }
 
 // Session returns a handle sharing this database's catalog and random-
@@ -80,7 +101,7 @@ func NewDB(cfg sampler.Config) *DB {
 // settings.
 func (db *DB) Session() *DB {
 	cfg := db.Config()
-	return &DB{cat: db.cat, smp: sampler.New(cfg), cfg: cfg}
+	return &DB{cat: db.cat, sid: db.cat.allocSessionID(), smp: sampler.New(cfg), cfg: cfg}
 }
 
 // Sampler returns the database's sampler. The returned sampler is immutable
@@ -132,7 +153,7 @@ func (db *DB) WithConfig(cfg sampler.Config) *DB {
 	if cfg.Stats == nil {
 		cfg.Stats = &db.cat.stats.Sampler
 	}
-	return &DB{cat: db.cat, smp: sampler.New(cfg), cfg: cfg}
+	return &DB{cat: db.cat, sid: db.cat.allocSessionID(), smp: sampler.New(cfg), cfg: cfg}
 }
 
 // Stats returns the engine-wide telemetry root shared by every handle of

@@ -1,0 +1,573 @@
+// Versioned binary codec for catalog snapshots: the full durable state of a
+// database — table namespace, every tuple with its symbolic cells and
+// c-table conditions, and the random-variable allocator — encoded into a
+// deterministic byte stream. The write-ahead log (internal/wal) persists
+// these streams as snapshot files; recovery decodes the latest one and
+// replays the log suffix on top.
+//
+// Determinism matters beyond round-tripping: two catalogs that are
+// semantically identical encode to identical bytes (tables iterate in
+// sorted key order, variables intern in first-appearance order), so tests
+// can assert recovered-vs-control bit-identity by comparing encodings.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"pip/internal/cond"
+	"pip/internal/ctable"
+	"pip/internal/dist"
+	"pip/internal/expr"
+)
+
+// snapshotVersion is the current catalog encoding version. Decoders reject
+// versions they do not know; bump it on any layout change.
+const snapshotVersion = 1
+
+// ErrBadSnapshot is the sentinel wrapped by every catalog-snapshot decoding
+// failure (unknown version, truncated stream, malformed structure); match
+// it with errors.Is. Decoding is all-or-nothing: a failed decode leaves the
+// database untouched.
+var ErrBadSnapshot = errors.New("core: malformed catalog snapshot")
+
+// expression node tags of the snapshot encoding.
+const (
+	tagConst byte = iota
+	tagVar
+	tagBin
+	tagNeg
+)
+
+// EncodeCatalog writes the catalog — tables, tuples (including symbolic
+// cells and conditions), and the random-variable and session allocators —
+// as one versioned binary stream. The encoding is deterministic: equal
+// catalog states produce equal bytes. Callers that need a state sitting
+// exactly on a statement boundary wrap the call in RunExclusive.
+func (db *DB) EncodeCatalog(w io.Writer) error {
+	db.cat.mu.Lock()
+	defer db.cat.mu.Unlock()
+
+	keys := make([]string, 0, len(db.cat.tables))
+	for k := range db.cat.tables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	enc := &snapEncoder{varIdx: map[expr.VarKey]int{}}
+	// Pass 1: intern every variable in deterministic traversal order, so
+	// leaf references can be small indices into one table of distribution
+	// instances instead of repeating parameters at every occurrence.
+	for _, k := range keys {
+		if err := enc.collectTable(db.cat.tables[k]); err != nil {
+			return err
+		}
+	}
+
+	var body []byte
+	body = binary.AppendUvarint(body, db.cat.nextVar)
+	body = binary.AppendUvarint(body, db.cat.nextSession)
+	body = binary.AppendUvarint(body, uint64(len(enc.vars)))
+	for _, v := range enc.vars {
+		body = binary.AppendUvarint(body, v.Key.ID)
+		body = binary.AppendUvarint(body, uint64(v.Key.Subscript))
+		body = appendString(body, v.Name)
+		body = appendString(body, v.Dist.Class.Name())
+		body = binary.AppendUvarint(body, uint64(len(v.Dist.Params)))
+		for _, p := range v.Dist.Params {
+			body = appendFloat(body, p)
+		}
+	}
+	body = binary.AppendUvarint(body, uint64(len(keys)))
+	for _, k := range keys {
+		t := db.cat.tables[k]
+		body = appendString(body, k)
+		body = appendString(body, t.Name)
+		body = binary.AppendUvarint(body, uint64(len(t.Schema)))
+		for _, c := range t.Schema {
+			body = appendString(body, c.Name)
+		}
+		body = binary.AppendUvarint(body, uint64(len(t.Tuples)))
+		for i := range t.Tuples {
+			var err error
+			body, err = enc.appendTuple(body, &t.Tuples[i])
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	var head []byte
+	head = binary.AppendUvarint(head, snapshotVersion)
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// DecodeCatalog replaces the catalog with the state encoded in r. The
+// decode is staged: the stream is fully parsed into fresh structures first
+// and installed only on success, so a corrupt snapshot leaves the database
+// exactly as it was (the error wraps ErrBadSnapshot). Callers must ensure
+// no statements are in flight (recovery runs before a database serves).
+func (db *DB) DecodeCatalog(r io.Reader) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	d := &snapDecoder{buf: raw}
+	ver := d.uvarint()
+	if d.err == nil && ver != snapshotVersion {
+		return fmt.Errorf("%w: unknown snapshot version %d (have %d)", ErrBadSnapshot, ver, snapshotVersion)
+	}
+	nextVar := d.uvarint()
+	nextSession := d.uvarint()
+
+	nvars := d.uvarint()
+	vars := make([]*expr.Variable, 0, minU(nvars, 4096))
+	for i := uint64(0); i < nvars && d.err == nil; i++ {
+		id := d.uvarint()
+		sub := d.uvarint()
+		name := d.string()
+		className := d.string()
+		nparams := d.uvarint()
+		params := make([]float64, 0, minU(nparams, 64))
+		for j := uint64(0); j < nparams && d.err == nil; j++ {
+			params = append(params, d.float())
+		}
+		if d.err != nil {
+			break
+		}
+		class, ok := dist.Lookup(className)
+		if !ok {
+			d.fail("unknown distribution class %q", className)
+			break
+		}
+		inst, err := dist.NewInstance(class, params...)
+		if err != nil {
+			d.fail("invalid %s parameters: %v", className, err)
+			break
+		}
+		vars = append(vars, &expr.Variable{
+			Key:  expr.VarKey{ID: id, Subscript: int(sub)},
+			Dist: inst,
+			Name: name,
+		})
+	}
+	d.vars = vars
+
+	ntables := d.uvarint()
+	type namedTable struct {
+		key string
+		t   *ctable.Table
+	}
+	tables := make([]namedTable, 0, minU(ntables, 1024))
+	for i := uint64(0); i < ntables && d.err == nil; i++ {
+		key := d.string()
+		display := d.string()
+		ncols := d.uvarint()
+		sch := make(ctable.Schema, 0, minU(ncols, 1024))
+		for j := uint64(0); j < ncols && d.err == nil; j++ {
+			sch = append(sch, ctable.Column{Name: d.string()})
+		}
+		t := &ctable.Table{Name: display, Schema: sch}
+		ntuples := d.uvarint()
+		t.Tuples = make([]ctable.Tuple, 0, minU(ntuples, 4096))
+		for j := uint64(0); j < ntuples && d.err == nil; j++ {
+			tp := d.tuple(len(sch))
+			t.Tuples = append(t.Tuples, tp)
+		}
+		tables = append(tables, namedTable{key: key, t: t})
+	}
+	if d.err == nil && d.off != len(d.buf) {
+		d.fail("%d trailing bytes", len(d.buf)-d.off)
+	}
+	if d.err != nil {
+		return d.err
+	}
+
+	db.cat.mu.Lock()
+	defer db.cat.mu.Unlock()
+	db.cat.nextVar = nextVar
+	db.cat.nextSession = nextSession
+	db.cat.tables = make(map[string]*ctable.Table, len(tables))
+	for _, nt := range tables {
+		db.cat.tables[nt.key] = nt.t
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+// snapEncoder interns variables and appends the recursive structures
+// (tuples, conditions, expression trees) of the snapshot encoding.
+type snapEncoder struct {
+	varIdx map[expr.VarKey]int
+	vars   []*expr.Variable
+}
+
+// collectTable interns every variable of a table in traversal order.
+func (e *snapEncoder) collectTable(t *ctable.Table) error {
+	for i := range t.Tuples {
+		tp := &t.Tuples[i]
+		for _, v := range tp.Values {
+			if v.Kind == ctable.KindExpr {
+				if err := e.collectExpr(v.E); err != nil {
+					return err
+				}
+			}
+		}
+		for _, cl := range tp.Cond.Clauses {
+			for _, a := range cl {
+				if err := e.collectExpr(a.Left); err != nil {
+					return err
+				}
+				if err := e.collectExpr(a.Right); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectExpr interns the variables of one expression tree, left to right.
+func (e *snapEncoder) collectExpr(x expr.Expr) error {
+	switch t := x.(type) {
+	case expr.Const:
+		return nil
+	case expr.Var:
+		if _, ok := e.varIdx[t.V.Key]; !ok {
+			e.varIdx[t.V.Key] = len(e.vars)
+			e.vars = append(e.vars, t.V)
+		}
+		return nil
+	case expr.Bin:
+		if err := e.collectExpr(t.Left); err != nil {
+			return err
+		}
+		return e.collectExpr(t.Right)
+	case expr.Neg:
+		return e.collectExpr(t.X)
+	default:
+		return fmt.Errorf("core: cannot snapshot expression node %T", x)
+	}
+}
+
+// appendTuple appends one tuple: its values then its condition.
+func (e *snapEncoder) appendTuple(buf []byte, tp *ctable.Tuple) ([]byte, error) {
+	var err error
+	buf = binary.AppendUvarint(buf, uint64(len(tp.Values)))
+	for _, v := range tp.Values {
+		buf, err = e.appendValue(buf, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(tp.Cond.Clauses)))
+	for _, cl := range tp.Cond.Clauses {
+		buf = binary.AppendUvarint(buf, uint64(len(cl)))
+		for _, a := range cl {
+			buf = append(buf, byte(a.Op))
+			buf, err = e.appendExpr(buf, a.Left)
+			if err != nil {
+				return nil, err
+			}
+			buf, err = e.appendExpr(buf, a.Right)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// appendValue appends one cell: a kind byte and a kind-specific payload.
+func (e *snapEncoder) appendValue(buf []byte, v ctable.Value) ([]byte, error) {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case ctable.KindNull:
+		return buf, nil
+	case ctable.KindFloat:
+		return appendFloat(buf, v.F), nil
+	case ctable.KindInt:
+		return binary.AppendVarint(buf, v.I), nil
+	case ctable.KindString:
+		return appendString(buf, v.S), nil
+	case ctable.KindBool:
+		if v.B {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
+	case ctable.KindExpr:
+		return e.appendExpr(buf, v.E)
+	default:
+		return nil, fmt.Errorf("core: cannot snapshot value kind %v", v.Kind)
+	}
+}
+
+// appendExpr appends one expression tree in prefix order.
+func (e *snapEncoder) appendExpr(buf []byte, x expr.Expr) ([]byte, error) {
+	switch t := x.(type) {
+	case expr.Const:
+		return appendFloat(append(buf, tagConst), float64(t)), nil
+	case expr.Var:
+		idx, ok := e.varIdx[t.V.Key]
+		if !ok {
+			return nil, fmt.Errorf("core: variable %s missing from intern table", t.V.Key)
+		}
+		return binary.AppendUvarint(append(buf, tagVar), uint64(idx)), nil
+	case expr.Bin:
+		buf = append(buf, tagBin, byte(t.Op))
+		buf, err := e.appendExpr(buf, t.Left)
+		if err != nil {
+			return nil, err
+		}
+		return e.appendExpr(buf, t.Right)
+	case expr.Neg:
+		return e.appendExpr(append(buf, tagNeg), t.X)
+	default:
+		return nil, fmt.Errorf("core: cannot snapshot expression node %T", x)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+
+// snapDecoder reads the snapshot encoding from a byte slice, latching the
+// first error; every accessor is a no-op once err is set.
+type snapDecoder struct {
+	buf  []byte
+	off  int
+	err  error
+	vars []*expr.Variable
+	// depth bounds expression recursion so corrupt input cannot overflow
+	// the stack.
+	depth int
+}
+
+// maxExprDepth bounds decoded expression-tree nesting.
+const maxExprDepth = 10_000
+
+// fail latches a decoding error wrapping ErrBadSnapshot.
+func (d *snapDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s (offset %d)", ErrBadSnapshot, fmt.Sprintf(format, args...), d.off)
+	}
+}
+
+// uvarint reads one unsigned varint.
+func (d *snapDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// varint reads one signed varint.
+func (d *snapDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// byte_ reads one byte.
+func (d *snapDecoder) byte_() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// float reads one float64 (8 bytes, little endian, exact bits).
+func (d *snapDecoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated float")
+		return 0
+	}
+	bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits)
+}
+
+// string reads one length-prefixed string.
+func (d *snapDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		d.fail("truncated string of length %d", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+uint64AsInt(n)])
+	d.off += uint64AsInt(n)
+	return s
+}
+
+// tuple reads one tuple (values + condition), validating cell arity.
+func (d *snapDecoder) tuple(arity int) ctable.Tuple {
+	nvals := d.uvarint()
+	if d.err == nil && nvals != uint64(arity) {
+		d.fail("tuple arity %d does not match schema arity %d", nvals, arity)
+	}
+	vals := make([]ctable.Value, 0, minU(nvals, 1024))
+	for i := uint64(0); i < nvals && d.err == nil; i++ {
+		vals = append(vals, d.value())
+	}
+	nclauses := d.uvarint()
+	c := cond.Condition{}
+	if n := minU(nclauses, 1024); d.err == nil && n > 0 {
+		c.Clauses = make([]cond.Clause, 0, n)
+	}
+	for i := uint64(0); i < nclauses && d.err == nil; i++ {
+		natoms := d.uvarint()
+		var cl cond.Clause
+		for j := uint64(0); j < natoms && d.err == nil; j++ {
+			op := cond.CmpOp(d.byte_())
+			if d.err == nil && (op < cond.EQ || op > cond.GE) {
+				d.fail("unknown comparison operator %d", op)
+			}
+			left := d.expr()
+			right := d.expr()
+			if d.err == nil {
+				cl = append(cl, cond.NewAtom(left, op, right))
+			}
+		}
+		if d.err == nil {
+			c.Clauses = append(c.Clauses, cl)
+		}
+	}
+	return ctable.Tuple{Values: vals, Cond: c}
+}
+
+// value reads one cell.
+func (d *snapDecoder) value() ctable.Value {
+	kind := ctable.Kind(d.byte_())
+	if d.err != nil {
+		return ctable.Value{}
+	}
+	switch kind {
+	case ctable.KindNull:
+		return ctable.Null()
+	case ctable.KindFloat:
+		return ctable.Float(d.float())
+	case ctable.KindInt:
+		return ctable.Int(d.varint())
+	case ctable.KindString:
+		return ctable.String_(d.string())
+	case ctable.KindBool:
+		return ctable.Bool(d.byte_() != 0)
+	case ctable.KindExpr:
+		e := d.expr()
+		if d.err != nil {
+			return ctable.Value{}
+		}
+		return ctable.Value{Kind: ctable.KindExpr, E: e}
+	default:
+		d.fail("unknown value kind %d", kind)
+		return ctable.Value{}
+	}
+}
+
+// expr reads one expression tree.
+func (d *snapDecoder) expr() expr.Expr {
+	if d.err != nil {
+		return expr.Const(0)
+	}
+	d.depth++
+	defer func() { d.depth-- }()
+	if d.depth > maxExprDepth {
+		d.fail("expression nesting exceeds %d", maxExprDepth)
+		return expr.Const(0)
+	}
+	switch tag := d.byte_(); tag {
+	case tagConst:
+		return expr.Const(d.float())
+	case tagVar:
+		idx := d.uvarint()
+		if d.err != nil {
+			return expr.Const(0)
+		}
+		if idx >= uint64(len(d.vars)) {
+			d.fail("variable index %d out of range (%d interned)", idx, len(d.vars))
+			return expr.Const(0)
+		}
+		return expr.NewVar(d.vars[idx])
+	case tagBin:
+		op := expr.Op(d.byte_())
+		if d.err == nil && (op < expr.OpAdd || op > expr.OpDiv) {
+			d.fail("unknown arithmetic operator %d", op)
+		}
+		left := d.expr()
+		right := d.expr()
+		if d.err != nil {
+			return expr.Const(0)
+		}
+		return expr.Bin{Op: op, Left: left, Right: right}
+	case tagNeg:
+		x := d.expr()
+		if d.err != nil {
+			return expr.Const(0)
+		}
+		return expr.Neg{X: x}
+	default:
+		if d.err == nil {
+			d.fail("unknown expression tag %d", tag)
+		}
+		return expr.Const(0)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+
+// appendString appends a length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendFloat appends the exact bits of a float64, little endian.
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// minU clamps an untrusted uint64 count to a sane preallocation bound.
+func minU(n uint64, cap int) int {
+	if n < uint64(cap) {
+		return int(n)
+	}
+	return cap
+}
+
+// uint64AsInt converts a length already validated against the buffer size.
+func uint64AsInt(n uint64) int { return int(n) }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pip/internal/obs"
+	"pip/internal/wal"
 )
 
 // queryEndpoints are the label values of the per-endpoint histogram
@@ -161,4 +162,41 @@ func writeHistogramFamily(w io.Writer, name, help string, series map[string]*obs
 // expect ("0.0001", "64", not Go's %g exponent forms for large values).
 func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// writeWALMetrics renders the write-ahead log's counter families from a
+// wal.Stats snapshot: append volume, fsync latency, snapshot cadence, and
+// what the boot-time recovery pass restored.
+func writeWALMetrics(w io.Writer, st wal.Stats) {
+	type metric struct {
+		name, help, typ string
+		value           float64
+	}
+	ms := []metric{
+		{"pip_wal_records_total", "Statements appended to the write-ahead log.", "counter", float64(st.Records)},
+		{"pip_wal_bytes_total", "Bytes appended to the write-ahead log.", "counter", float64(st.Bytes)},
+		{"pip_wal_fsyncs_total", "Write-ahead log fsync calls.", "counter", float64(st.Fsyncs)},
+		{"pip_wal_snapshots_total", "Catalog snapshots taken.", "counter", float64(st.Snapshots)},
+		{"pip_wal_last_seq", "Sequence number of the newest durable log record.", "gauge", float64(st.LastSeq)},
+		{"pip_wal_since_snapshot", "Log records accumulated past the newest snapshot.", "gauge", float64(st.SinceSnapshot)},
+		{"pip_wal_recovery_seconds", "Wall time of the boot-time recovery pass.", "gauge", st.Recovery.Duration.Seconds()},
+		{"pip_wal_recovery_replayed_records", "Log records replayed during the boot-time recovery pass.", "gauge", float64(st.Recovery.Replayed)},
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, mt := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", mt.name, mt.help, mt.name, mt.typ, mt.name, mt.value)
+	}
+	writeHistogramSnapshot(w, "pip_wal_fsync_seconds", "Write-ahead log fsync latency in seconds.", st.FsyncSeconds)
+}
+
+// writeHistogramSnapshot renders one label-free histogram in the standard
+// _bucket/_sum/_count shape from an already-taken snapshot.
+func writeHistogramSnapshot(w io.Writer, name, help string, snap obs.HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, b := range snap.Bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), snap.Counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, snap.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pip"
+	"pip/internal/wal"
 )
 
 // Config configures a Server.
@@ -29,6 +30,11 @@ type Config struct {
 	// in flight; the zero value takes DefaultSessionIdle, negative disables
 	// expiry.
 	SessionIdle time.Duration
+	// WAL, when set, surfaces the write-ahead log's counters (records,
+	// bytes, fsync latency, snapshots, recovery) on /metrics. Opening the
+	// store and attaching it to the database is the caller's job (cmd/pipd
+	// wires it from -data-dir); the server only reports on it.
+	WAL *wal.Store
 }
 
 // DefaultSessionIdle is the idle session expiry applied when
@@ -46,6 +52,7 @@ type Server struct {
 	slowQuery time.Duration
 	sessions  *sessionManager
 	met       *metrics
+	wal       *wal.Store
 	handler   http.Handler
 	stop      chan struct{}
 	stopOnce  sync.Once
@@ -66,6 +73,7 @@ func New(cfg Config) *Server {
 		slowQuery: cfg.SlowQuery,
 		sessions:  newSessionManager(cfg.DB, idle),
 		met:       newMetrics(),
+		wal:       cfg.WAL,
 		stop:      make(chan struct{}),
 	}
 	mux := http.NewServeMux()
@@ -505,4 +513,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.write(w, s.sessions.count())
+	if s.wal != nil {
+		writeWALMetrics(w, s.wal.Stats())
+	}
 }

@@ -71,7 +71,22 @@ func execStmtTraced(ctx context.Context, db *core.DB, st Stmt, src string, parse
 	if err := env.ctxErr(); err != nil {
 		return nil, err
 	}
-	out, err := execStmt(env, st)
+	var out *ctable.Table
+	run := func() error {
+		var rerr error
+		out, rerr = execStmt(env, st)
+		return rerr
+	}
+	// Catalog-mutating statements go through the commit hook so an attached
+	// write-ahead log sees them (serialized, with their source text) before
+	// they are acknowledged; everything else, and every statement when no
+	// log is attached, executes directly.
+	var err error
+	if isMutation(st) {
+		err = db.Commit(src, args, run)
+	} else {
+		err = run()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -82,6 +97,16 @@ func execStmtTraced(ctx context.Context, db *core.DB, st Stmt, src string, parse
 		return nil, err
 	}
 	return out, nil
+}
+
+// isMutation reports whether a statement mutates durable catalog state —
+// exactly the statement kinds the write-ahead log records.
+func isMutation(st Stmt) bool {
+	switch st.(type) {
+	case *CreateTableStmt, *DropStmt, *InsertStmt, *SetStmt:
+		return true
+	}
+	return false
 }
 
 // execStmt dispatches one statement under an execution environment.

@@ -101,7 +101,7 @@ func (p *Prepared) QueryContext(ctx context.Context, db *core.DB, args ...ctable
 		// "execute" phase as the consumer drains it.
 		return newSpanCursor(plan.root, env.qs), nil
 	}
-	tb, err := ExecStmtContext(ctx, db, p.st, args...)
+	tb, err := execStmtTraced(ctx, db, p.st, p.src, p.parseTime, args)
 	if err != nil {
 		return nil, err
 	}

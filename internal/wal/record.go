@@ -1,0 +1,286 @@
+// Log record codec. Each record is framed as
+//
+//	u32 length | u32 CRC-32C of payload | payload
+//
+// (both little endian) and the payload encodes one core.Mutation plus its
+// sequence number: version, seq, session, seed, a flags byte, the statement
+// text, and the bound scalar arguments. The CRC covers the payload only;
+// a frame whose length field itself is torn shows up as a short read and
+// is classified as a truncated tail.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"pip/internal/core"
+	"pip/internal/ctable"
+)
+
+// recordVersion is the current record payload encoding version.
+const recordVersion = 1
+
+// maxRecordLen bounds a record frame's declared payload length; anything
+// larger is treated as corruption rather than allocated.
+const maxRecordLen = 64 << 20
+
+// flagFailed marks a statement whose execution returned an error. Failed
+// statements are logged too: partial effects (rows appended, variables
+// allocated before the failure) are deterministic, so replaying the
+// statement reproduces them — and replay checks that it fails again.
+const flagFailed = 1
+
+// castagnoli is the CRC-32C table used for record and snapshot checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one entry of the statement log: a catalog-mutating statement
+// with its sequence number.
+type Record struct {
+	// Seq is the record's position in the log, starting at 1 and
+	// incrementing by exactly 1; gaps mean lost history and fail recovery.
+	Seq uint64
+	// M is the logged statement.
+	M core.Mutation
+}
+
+// AppendRecord appends r's framed encoding to buf. It fails if the
+// mutation cannot be represented — in particular if any bound argument is
+// symbolic (KindExpr): arguments bind literal scalars, and a symbolic value
+// here would mean the log cannot reproduce the statement from text alone.
+func AppendRecord(buf []byte, r Record) ([]byte, error) {
+	payload, err := appendPayload(nil, r)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...), nil
+}
+
+// appendPayload appends the unframed record payload.
+func appendPayload(buf []byte, r Record) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, recordVersion)
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, r.M.Session)
+	buf = binary.AppendUvarint(buf, r.M.Seed)
+	var flags byte
+	if r.M.Failed {
+		flags |= flagFailed
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(r.M.Text)))
+	buf = append(buf, r.M.Text...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.M.Args)))
+	for i, v := range r.M.Args {
+		var err error
+		buf, err = appendArg(buf, v)
+		if err != nil {
+			return nil, fmt.Errorf("wal: argument %d: %w", i+1, err)
+		}
+	}
+	return buf, nil
+}
+
+// appendArg appends one bound argument: a kind byte and a scalar payload.
+func appendArg(buf []byte, v ctable.Value) ([]byte, error) {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case ctable.KindNull:
+		return buf, nil
+	case ctable.KindFloat:
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F)), nil
+	case ctable.KindInt:
+		return binary.AppendVarint(buf, v.I), nil
+	case ctable.KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		return append(buf, v.S...), nil
+	case ctable.KindBool:
+		if v.B {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
+	default:
+		return nil, fmt.Errorf("cannot log value kind %v (arguments must be scalar)", v.Kind)
+	}
+}
+
+// DecodePayload decodes one unframed record payload (the bytes the frame's
+// CRC covers). Errors wrap ErrCorruptRecord. It is the inverse of the
+// payload half of AppendRecord and the surface FuzzWALDecode exercises.
+func DecodePayload(p []byte) (Record, error) {
+	d := payloadDecoder{buf: p}
+	ver := d.uvarint()
+	if d.err == nil && ver != recordVersion {
+		return Record{}, fmt.Errorf("%w: unknown record version %d", ErrCorruptRecord, ver)
+	}
+	var r Record
+	r.Seq = d.uvarint()
+	r.M.Session = d.uvarint()
+	r.M.Seed = d.uvarint()
+	flags := d.byte_()
+	r.M.Failed = flags&flagFailed != 0
+	r.M.Text = d.string()
+	nargs := d.uvarint()
+	if d.err == nil && nargs > uint64(len(p)) {
+		// Each argument costs at least one byte, so more args than
+		// remaining bytes is structurally impossible.
+		d.fail("argument count %d exceeds payload size", nargs)
+	}
+	if d.err == nil && nargs > 0 {
+		r.M.Args = make([]ctable.Value, 0, nargs)
+		for i := uint64(0); i < nargs && d.err == nil; i++ {
+			r.M.Args = append(r.M.Args, d.arg())
+		}
+	}
+	if d.err == nil && d.off != len(p) {
+		d.fail("%d trailing bytes", len(p)-d.off)
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	return r, nil
+}
+
+// payloadDecoder reads the record payload encoding, latching the first
+// error (wrapped around ErrCorruptRecord).
+type payloadDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// fail latches a decoding error.
+func (d *payloadDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s (offset %d)", ErrCorruptRecord, fmt.Sprintf(format, args...), d.off)
+	}
+}
+
+// uvarint reads one unsigned varint.
+func (d *payloadDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// varint reads one signed varint.
+func (d *payloadDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// byte_ reads one byte.
+func (d *payloadDecoder) byte_() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// string reads one length-prefixed string.
+func (d *payloadDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		d.fail("truncated string of length %d", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// arg reads one bound argument.
+func (d *payloadDecoder) arg() ctable.Value {
+	kind := ctable.Kind(d.byte_())
+	if d.err != nil {
+		return ctable.Value{}
+	}
+	switch kind {
+	case ctable.KindNull:
+		return ctable.Null()
+	case ctable.KindFloat:
+		if d.off+8 > len(d.buf) {
+			d.fail("truncated float argument")
+			return ctable.Value{}
+		}
+		bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+		d.off += 8
+		return ctable.Float(math.Float64frombits(bits))
+	case ctable.KindInt:
+		return ctable.Int(d.varint())
+	case ctable.KindString:
+		return ctable.String_(d.string())
+	case ctable.KindBool:
+		return ctable.Bool(d.byte_() != 0)
+	default:
+		d.fail("unknown argument kind %d", kind)
+		return ctable.Value{}
+	}
+}
+
+// scanSegment walks the framed records of one segment body (magic already
+// stripped), verifying sequence continuity starting at firstSeq. It returns
+// the valid records, the byte length of the valid prefix, and the typed
+// error that stopped the scan: nil for a clean end, ErrTruncatedTail for a
+// frame cut short, ErrCorruptRecord for a bad length/CRC/payload, ErrGap
+// for a sequence discontinuity. The caller decides whether the error is
+// tolerable (tail of the final segment) or fatal (anywhere else).
+func scanSegment(body []byte, firstSeq uint64) (recs []Record, goodLen int, tailErr error) {
+	off := 0
+	next := firstSeq
+	for off < len(body) {
+		rem := len(body) - off
+		if rem < 8 {
+			return recs, off, fmt.Errorf("%w: %d dangling header bytes at offset %d", ErrTruncatedTail, rem, off)
+		}
+		length := int(binary.LittleEndian.Uint32(body[off:]))
+		if length == 0 || length > maxRecordLen {
+			return recs, off, fmt.Errorf("%w: implausible frame length %d at offset %d", ErrCorruptRecord, length, off)
+		}
+		if rem < 8+length {
+			return recs, off, fmt.Errorf("%w: frame of %d bytes cut to %d at offset %d", ErrTruncatedTail, length, rem-8, off)
+		}
+		wantCRC := binary.LittleEndian.Uint32(body[off+4:])
+		payload := body[off+8 : off+8+length]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return recs, off, fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorruptRecord, off)
+		}
+		r, err := DecodePayload(payload)
+		if err != nil {
+			return recs, off, fmt.Errorf("record at offset %d: %w", off, err)
+		}
+		if r.Seq != next {
+			return recs, off, fmt.Errorf("%w: record %d where %d expected at offset %d", ErrGap, r.Seq, next, off)
+		}
+		next++
+		off += 8 + length
+		recs = append(recs, r)
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,249 @@
+// Recovery: load the newest readable snapshot, scan the segment chain for
+// the records it does not cover, and replay them through the SQL layer.
+// Replay works because the engine is deterministic — re-executing the
+// logged statement sequence reproduces the catalog exactly, including the
+// random-variable allocator — and recovery verifies that determinism as it
+// goes: a statement whose outcome contradicts the log aborts recovery with
+// ErrReplayDiverged instead of serving a silently wrong catalog.
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pip/internal/core"
+	"pip/internal/sql"
+)
+
+// RecoveryInfo describes what recovery found and did: which snapshot
+// seeded the catalog, how much log was replayed, and whether a torn tail
+// was dropped.
+type RecoveryInfo struct {
+	// SnapshotSeq is the sequence number the loaded snapshot covers
+	// through (0 when recovery started from an empty catalog).
+	SnapshotSeq uint64
+	// SnapshotPath is the loaded snapshot file ("" if none).
+	SnapshotPath string
+	// SkippedSnapshots lists newer snapshots that failed validation and
+	// were passed over for an older one, with the reason each was skipped.
+	SkippedSnapshots []string
+	// Replayed counts log records re-executed on top of the snapshot.
+	Replayed int
+	// LastSeq is the sequence number of the last durable record; appends
+	// resume at LastSeq+1.
+	LastSeq uint64
+	// MaxSession is the largest session id seen in replayed records (0 if
+	// none); the session allocator is advanced past it.
+	MaxSession uint64
+	// TailTruncated is the number of bytes dropped from the end of the
+	// final segment because they did not form a complete valid record.
+	TailTruncated int64
+	// TailErr is the typed error that ended the log scan — ErrTruncatedTail
+	// or ErrCorruptRecord at the tail of the final segment, where a crash
+	// mid-append legitimately leaves partial bytes. It is reported here
+	// rather than failing recovery; nil when the log ended cleanly.
+	TailErr error
+	// Duration is the wall time recovery took, snapshot load included.
+	Duration time.Duration
+}
+
+// layout is what recovery learned about the on-disk files, for the store
+// to resume appending.
+type layout struct {
+	lastSeq     uint64 // last durable record; appends resume after it
+	activeSeg   string // final segment's path, "" if a fresh one is needed
+	activeFirst uint64 // final segment's first sequence number
+}
+
+// Restore rebuilds db from the data directory without opening it for
+// writing: snapshots and segments are read, never modified (a torn tail is
+// reported in RecoveryInfo but not truncated). It is the read-only half of
+// Open — what a replica, an offline inspector, or a bit-identity test uses
+// to reconstruct the exact catalog a crashed server had acknowledged.
+func Restore(dir string, db *core.DB) (*RecoveryInfo, error) {
+	info, _, err := recoverState(dir, db, false)
+	return info, err
+}
+
+// recoverState performs recovery into db: newest readable snapshot, then
+// replay of every record past it, in sequence order. With repair set it
+// also truncates a torn final-segment tail so the store can append after
+// it. Hard failures (mid-log corruption, gaps, replay divergence, every
+// snapshot unreadable with no full log to fall back on) return a typed
+// error and leave the catalog in an unspecified partial state — callers
+// must not serve from db after an error.
+func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, error) {
+	start := time.Now()
+	info := &RecoveryInfo{}
+	var lay layout
+
+	segs, snaps, err := listDir(dir)
+	if err != nil {
+		return info, lay, err
+	}
+
+	// Newest readable snapshot wins; unreadable ones are recorded and
+	// skipped. With none readable the log itself must reach back to
+	// record 1, otherwise history is unrecoverable.
+	loaded := false
+	for i := len(snaps) - 1; i >= 0 && !loaded; i-- {
+		path := filepath.Join(dir, snapName(snaps[i]))
+		if rerr := readSnapshotFile(path, snaps[i], db); rerr != nil {
+			info.SkippedSnapshots = append(info.SkippedSnapshots, rerr.Error())
+			continue
+		}
+		info.SnapshotSeq, info.SnapshotPath = snaps[i], path
+		loaded = true
+	}
+	if !loaded && len(snaps) > 0 && (len(segs) == 0 || segs[0] != 1) {
+		return info, lay, fmt.Errorf("%w: no readable snapshot and the log does not start at record 1 (%s)",
+			ErrSnapshotCorrupt, strings.Join(info.SkippedSnapshots, "; "))
+	}
+	snapSeq := info.SnapshotSeq
+
+	// Pick the segments that can hold records past the snapshot: the last
+	// segment starting at or before snapSeq+1, plus everything after it.
+	startIdx := -1
+	for i, first := range segs {
+		if first > snapSeq+1 {
+			break
+		}
+		startIdx = i
+	}
+	if startIdx == -1 && len(segs) > 0 {
+		return info, lay, fmt.Errorf("%w: snapshot covers through record %d but the oldest segment starts at %d",
+			ErrGap, snapSeq, segs[0])
+	}
+
+	prev := snapSeq // last sequence number accounted for
+	if startIdx >= 0 {
+		prev = segs[startIdx] - 1
+	}
+	var replay []Record
+	for i := startIdx; i >= 0 && i < len(segs); i++ {
+		first := segs[i]
+		final := i == len(segs)-1
+		if first != prev+1 {
+			return info, lay, fmt.Errorf("%w: segment %s starts at record %d, expected %d",
+				ErrGap, segName(first), first, prev+1)
+		}
+		path := filepath.Join(dir, segName(first))
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return info, lay, rerr
+		}
+		if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+			if final && strings.HasPrefix(segMagic, string(data)) {
+				// The crash hit during segment creation: the file holds a
+				// prefix of the magic and nothing else. No records lost.
+				info.TailErr = fmt.Errorf("%w: segment %s cut off during creation", ErrTruncatedTail, segName(first))
+				info.TailTruncated = int64(len(data))
+				if repair {
+					if werr := rewriteSegmentHeader(dir, path); werr != nil {
+						return info, lay, werr
+					}
+				}
+				lay.activeSeg, lay.activeFirst = path, first
+				break
+			}
+			return info, lay, fmt.Errorf("%w: segment %s: bad magic", ErrCorruptRecord, segName(first))
+		}
+		recs, goodLen, tailErr := scanSegment(data[len(segMagic):], first)
+		if tailErr != nil && !final {
+			// Corruption with more segments after it: records beyond this
+			// point were acknowledged and still exist downstream, so
+			// dropping them silently is not an option.
+			return info, lay, fmt.Errorf("segment %s: %w", segName(first), tailErr)
+		}
+		if tailErr != nil {
+			info.TailErr = fmt.Errorf("segment %s: %w", segName(first), tailErr)
+			info.TailTruncated = int64(len(data) - len(segMagic) - goodLen)
+			if repair {
+				if werr := truncateSegment(dir, path, int64(len(segMagic)+goodLen)); werr != nil {
+					return info, lay, werr
+				}
+			}
+		}
+		for _, r := range recs {
+			if r.Seq > snapSeq {
+				replay = append(replay, r)
+			}
+			prev = r.Seq
+		}
+		if final {
+			lay.activeSeg, lay.activeFirst = path, first
+		}
+	}
+	lay.lastSeq = prev
+
+	// Replay. Each logged session gets its own handle so per-session SET
+	// statements do not clobber the root configuration, mirroring how the
+	// statements originally executed. Handle creation order (first
+	// appearance in the log) is itself deterministic, so two databases
+	// recovering from the same directory end up byte-identical.
+	handles := map[uint64]*core.DB{core.RootSessionID: db}
+	for _, r := range replay {
+		if r.M.Session > info.MaxSession {
+			info.MaxSession = r.M.Session
+		}
+		h := handles[r.M.Session]
+		if h == nil {
+			h = db.Session()
+			handles[r.M.Session] = h
+		}
+		_, execErr := sql.ExecContext(context.Background(), h, r.M.Text, r.M.Args...)
+		if (execErr != nil) != r.M.Failed {
+			if execErr == nil {
+				execErr = errors.New("replay succeeded")
+			}
+			return info, lay, fmt.Errorf("%w: record %d %.80q logged failed=%v but: %v",
+				ErrReplayDiverged, r.Seq, r.M.Text, r.M.Failed, execErr)
+		}
+		info.Replayed++
+	}
+	if info.MaxSession > 0 {
+		db.EnsureSessionFloor(info.MaxSession)
+	}
+	info.LastSeq = lay.lastSeq
+	info.Duration = time.Since(start)
+	return info, lay, nil
+}
+
+// rewriteSegmentHeader resets a creation-torn segment file to exactly the
+// magic header, durably.
+func rewriteSegmentHeader(dir, path string) error {
+	if err := os.WriteFile(path, []byte(segMagic), 0o644); err != nil {
+		return err
+	}
+	if err := syncFile(path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// truncateSegment durably cuts a segment file to size, dropping a torn
+// tail.
+func truncateSegment(dir, path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	if err := syncFile(path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncFile fsyncs the file at path.
+func syncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

@@ -39,6 +39,10 @@
 //	planner: logical plan IR + rewrite rules (constant folding, predicate
 //	pushdown, hash-join extraction, projection pruning) lowered onto
 //	streaming Cursor operators; EXPLAIN [ANALYZE] exposes the plan
+// internal/wal                  — durability: write-ahead statement log +
+//	catalog snapshots with crash recovery; pipd -data-dir wires it into the
+//	core statement-commit hook (acknowledged ⇒ durable; replaying the same
+//	seed and log rebuilds the catalog bit for bit)
 // internal/obs                  — telemetry primitives (counters, histograms,
 //	phase timers) behind SHOW STATS and /metrics; see docs/OBSERVABILITY.md
 // internal/samplefirst          — the MCDB-style baseline used in benchmarks
