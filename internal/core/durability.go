@@ -42,7 +42,11 @@ var ErrUnloggedMutation = errors.New("core: statement mutates the catalog but ca
 type Mutation struct {
 	// Session identifies the issuing handle (RootSessionID for the root).
 	Session uint64
-	// Seed is the issuing session's world seed at commit time.
+	// Seed is the issuing session's world seed at commit time. Replay uses
+	// it to materialize the session's handle with its original seed: a
+	// handle created mid-replay would otherwise inherit root configuration
+	// that may already include SET statements the original session, created
+	// earlier, never saw.
 	Seed uint64
 	// Text is the statement source.
 	Text string
@@ -116,6 +120,14 @@ func (db *DB) Commit(text string, args []ctable.Value, apply func() error) error
 	defer cat.commitMu.Unlock()
 	if text == "" {
 		return fmt.Errorf("%w: no statement text (use the text-based Exec surface, not raw-AST ExecStmt)", ErrUnloggedMutation)
+	}
+	// Unloggable statements must be rejected before apply runs: once the
+	// catalog has mutated, a failure to log it leaves state the log cannot
+	// reproduce, and the store fail-stops to protect replay.
+	for i, v := range args {
+		if v.IsSymbolic() {
+			return fmt.Errorf("%w: argument %d is symbolic (arguments must bind literal scalars)", ErrUnloggedMutation, i+1)
+		}
 	}
 	applyErr := apply()
 	m := Mutation{

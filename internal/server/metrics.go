@@ -172,7 +172,12 @@ func writeWALMetrics(w io.Writer, st wal.Stats) {
 		name, help, typ string
 		value           float64
 	}
+	poisoned := 0.0
+	if st.Poisoned != "" {
+		poisoned = 1
+	}
 	ms := []metric{
+		{"pip_wal_poisoned", "1 after an append/sync failure fail-stopped the log; mutations are refused until restart.", "gauge", poisoned},
 		{"pip_wal_records_total", "Statements appended to the write-ahead log.", "counter", float64(st.Records)},
 		{"pip_wal_bytes_total", "Bytes appended to the write-ahead log.", "counter", float64(st.Bytes)},
 		{"pip_wal_fsyncs_total", "Write-ahead log fsync calls.", "counter", float64(st.Fsyncs)},

@@ -9,14 +9,17 @@ package wal
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"pip/internal/core"
+	"pip/internal/sampler"
 	"pip/internal/sql"
 )
 
@@ -46,7 +49,10 @@ type RecoveryInfo struct {
 	// TailErr is the typed error that ended the log scan — ErrTruncatedTail
 	// or ErrCorruptRecord at the tail of the final segment, where a crash
 	// mid-append legitimately leaves partial bytes. It is reported here
-	// rather than failing recovery; nil when the log ended cleanly.
+	// rather than failing recovery; nil when the log ended cleanly. Damage
+	// is only tolerated as a tail when no intact record follows it —
+	// otherwise recovery fails with ErrCorruptRecord instead of silently
+	// dropping the acknowledged records beyond the corruption.
 	TailErr error
 	// Duration is the wall time recovery took, snapshot load included.
 	Duration time.Duration
@@ -161,6 +167,16 @@ func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, 
 			return info, lay, fmt.Errorf("segment %s: %w", segName(first), tailErr)
 		}
 		if tailErr != nil {
+			// A genuine torn tail is a crash artifact: partial bytes from
+			// one interrupted append, extending to end of file. An intact
+			// record past the bad frame means the log kept going — the
+			// damage is mid-segment corruption (a bit flip, not a crash)
+			// and the records beyond it were acknowledged, so truncating
+			// them away silently is not an option either.
+			if off := tailHoldsRecord(data[len(segMagic)+goodLen:], first+uint64(len(recs))); off >= 0 {
+				return info, lay, fmt.Errorf("%w: segment %s: intact record %d bytes past the damage at offset %d — mid-segment corruption, not a torn tail (%v)",
+					ErrCorruptRecord, segName(first), off, goodLen, tailErr)
+			}
 			info.TailErr = fmt.Errorf("segment %s: %w", segName(first), tailErr)
 			info.TailTruncated = int64(len(data) - len(segMagic) - goodLen)
 			if repair {
@@ -179,6 +195,16 @@ func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, 
 			lay.activeSeg, lay.activeFirst = path, first
 		}
 	}
+	if prev < snapSeq {
+		// The log ends before the loaded snapshot's coverage — e.g. the
+		// final record was torn away while the snapshot that already
+		// includes it survived. The snapshot is authoritative (no record
+		// past its coverage exists to replay), so resume after it in a
+		// fresh segment: appending at sequence numbers the snapshot already
+		// covers would leave records the next recovery silently skips.
+		prev = snapSeq
+		lay.activeSeg, lay.activeFirst = "", 0
+	}
 	lay.lastSeq = prev
 
 	// Replay. Each logged session gets its own handle so per-session SET
@@ -193,7 +219,17 @@ func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, 
 		}
 		h := handles[r.M.Session]
 		if h == nil {
+			// Session() inherits the root configuration as of this moment
+			// in replay, but the original session inherited it at creation
+			// time — possibly before root SET statements replay has already
+			// applied. The record carries the session's world seed so its
+			// creation context does not depend on replay timing: restore it
+			// here; the session's own SETs, logged in order, keep it
+			// current from then on. (The root handle never takes this path:
+			// its seed is boot configuration, the "seed" half of the
+			// (seed, statement log) pair recovery reproduces.)
 			h = db.Session()
+			h.UpdateConfig(func(c *sampler.Config) { c.WorldSeed = r.M.Seed })
 			handles[r.M.Session] = h
 		}
 		_, execErr := sql.ExecContext(context.Background(), h, r.M.Text, r.M.Args...)
@@ -212,6 +248,33 @@ func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, 
 	info.LastSeq = lay.lastSeq
 	info.Duration = time.Since(start)
 	return info, lay, nil
+}
+
+// tailHoldsRecord scans the dropped tail bytes of a final segment for a
+// complete, CRC-valid record whose sequence number is at or past next —
+// evidence the bytes are not one interrupted append but mid-segment damage
+// with acknowledged records beyond it. It returns the offset of the first
+// such record within tail, or -1. The damage may sit in a length field, so
+// frame boundaries are lost and every byte offset is tried; the CRC plus a
+// full payload decode plus the sequence check make a false positive on
+// genuine torn-append garbage practically impossible. Records with
+// sequence numbers below next are ignored: a duplicate of an
+// already-recovered frame loses nothing when dropped.
+func tailHoldsRecord(tail []byte, next uint64) int {
+	for off := 0; off+8 < len(tail); off++ {
+		length := int(binary.LittleEndian.Uint32(tail[off:]))
+		if length == 0 || length > maxRecordLen || off+8+length > len(tail) {
+			continue
+		}
+		payload := tail[off+8 : off+8+length]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(tail[off+4:]) {
+			continue
+		}
+		if r, err := DecodePayload(payload); err == nil && r.Seq >= next {
+			return off
+		}
+	}
+	return -1
 }
 
 // rewriteSegmentHeader resets a creation-torn segment file to exactly the

@@ -33,6 +33,7 @@ type Store struct {
 	lastSnapSeq uint64   // sequence the newest snapshot covers through
 	sinceSnap   int      // records appended since that snapshot
 	lastSnapErr string   // most recent automatic-snapshot failure
+	poisoned    error    // first append/sync failure; fail-stop, see AppendMutation
 	closed      bool
 	buf         []byte // scratch frame buffer, reused across appends
 
@@ -69,6 +70,10 @@ type Stats struct {
 	// LastSnapshotError is the most recent automatic-snapshot failure
 	// ("" if none); automatic snapshots retry on the next trigger.
 	LastSnapshotError string
+	// Poisoned is the append/sync failure that fail-stopped the store (""
+	// while healthy). Once set, every mutation is refused with ErrPoisoned
+	// until the process restarts and recovers.
+	Poisoned string
 	// Recovery reports what Open's recovery pass found and did.
 	Recovery RecoveryInfo
 }
@@ -89,13 +94,20 @@ func Open(dir string, db *core.DB, opts Options) (*Store, *RecoveryInfo, error) 
 	if err != nil {
 		return nil, info, err
 	}
+	// recoverState guarantees lastSeq >= SnapshotSeq; the guard keeps a
+	// violation from wrapping the subtraction into a huge negative count
+	// that would defer automatic snapshots indefinitely.
+	sinceSnap := 0
+	if lay.lastSeq > info.SnapshotSeq {
+		sinceSnap = int(lay.lastSeq - info.SnapshotSeq)
+	}
 	s := &Store{
 		dir:         dir,
 		opts:        opts,
 		db:          db,
 		seq:         lay.lastSeq,
 		lastSnapSeq: info.SnapshotSeq,
-		sinceSnap:   int(lay.lastSeq - info.SnapshotSeq),
+		sinceSnap:   sinceSnap,
 		fsyncHist:   obs.NewHistogram(obs.ExpBuckets(1e-5, 4, 10)), // 10µs .. ~2.6s
 		recovery:    *info,
 	}
@@ -131,20 +143,33 @@ func (s *Store) AppendMutation(m core.Mutation) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, s.poisoned)
+	}
 	frame, err := AppendRecord(s.buf[:0], Record{Seq: s.seq + 1, M: m})
 	if err != nil {
-		return err
+		// Nothing reached the disk, but the statement already applied in
+		// memory with no record of it, so the running catalog is no longer
+		// the one the log replays to. Fail-stop (see below).
+		return s.poison(fmt.Errorf("encode record %d: %w", s.seq+1, err))
 	}
 	s.buf = frame[:0]
 	if _, err := s.f.Write(frame); err != nil {
-		// A short write leaves a torn tail; recovery truncates it, and we
-		// refuse to acknowledge, so no acknowledged statement is lost.
-		return fmt.Errorf("wal: append record %d: %w", s.seq+1, err)
+		// A short write leaves torn bytes mid-file: were appends to
+		// continue at seq+1, every later frame would sit behind the tear
+		// and recovery would truncate them all as a torn tail. Fail-stop:
+		// the statement is never acknowledged (recovery rightly drops any
+		// partial bytes), and no further mutation is accepted, so nothing
+		// acknowledged can land beyond the damage.
+		return s.poison(fmt.Errorf("append record %d: %w", s.seq+1, err))
 	}
 	if s.opts.Fsync {
 		t := time.Now()
 		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync record %d: %w", s.seq+1, err)
+			// The frame may or may not have reached the disk. Retrying at
+			// the same sequence number would duplicate it if it did — a gap
+			// recovery refuses to boot on — so fail-stop here too.
+			return s.poison(fmt.Errorf("sync record %d: %w", s.seq+1, err))
 		}
 		s.fsyncHist.Observe(time.Since(t).Seconds())
 		s.fsyncs.Add(1)
@@ -162,6 +187,15 @@ func (s *Store) AppendMutation(m core.Mutation) error {
 	return nil
 }
 
+// poison latches the first append failure, fail-stopping the store: every
+// later AppendMutation or Snapshot is refused with ErrPoisoned until the
+// process restarts and recovers. Returns the wrapped cause for the caller
+// to report. Caller holds s.mu.
+func (s *Store) poison(cause error) error {
+	s.poisoned = cause
+	return fmt.Errorf("wal: %w", cause)
+}
+
 // Snapshot captures the catalog as of the last appended record into a new
 // snapshot file, rotates the log to a fresh segment, and prunes files made
 // redundant by snapshot retention (the two newest snapshots are kept). It
@@ -174,6 +208,11 @@ func (s *Store) Snapshot() error {
 		defer s.mu.Unlock()
 		if s.closed {
 			return ErrClosed
+		}
+		if s.poisoned != nil {
+			// After a failed append the catalog holds a statement the log
+			// does not; a snapshot would persist that divergence.
+			return fmt.Errorf("%w: %v", ErrPoisoned, s.poisoned)
 		}
 		if s.seq == s.lastSnapSeq {
 			return nil
@@ -227,6 +266,10 @@ func (s *Store) Close() error {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	seq, snapSeq, since, snapErr := s.seq, s.lastSnapSeq, s.sinceSnap, s.lastSnapErr
+	poisoned := ""
+	if s.poisoned != nil {
+		poisoned = s.poisoned.Error()
+	}
 	s.mu.Unlock()
 	return Stats{
 		Records:           s.records.Load(),
@@ -238,6 +281,7 @@ func (s *Store) Stats() Stats {
 		SnapshotSeq:       snapSeq,
 		SinceSnapshot:     since,
 		LastSnapshotError: snapErr,
+		Poisoned:          poisoned,
 		Recovery:          s.recovery,
 	}
 }
@@ -304,16 +348,29 @@ func (s *Store) prune() {
 // log is slower to recover, not unsafe.
 func (s *Store) snapshotLoop() {
 	defer s.wg.Done()
+	service := func() {
+		if err := s.Snapshot(); err != nil && !errors.Is(err, ErrClosed) {
+			s.mu.Lock()
+			s.lastSnapErr = err.Error()
+			s.mu.Unlock()
+		}
+	}
 	for {
 		select {
 		case <-s.done:
+			// Close is underway but the store is not yet closed (closed is
+			// set only after this loop exits). With done and a pending
+			// trigger both ready, select picks arbitrarily — so drain the
+			// trigger here, or a burst of appends right before shutdown
+			// loses its snapshot.
+			select {
+			case <-s.snapCh:
+				service()
+			default:
+			}
 			return
 		case <-s.snapCh:
-			if err := s.Snapshot(); err != nil && !errors.Is(err, ErrClosed) {
-				s.mu.Lock()
-				s.lastSnapErr = err.Error()
-				s.mu.Unlock()
-			}
+			service()
 		}
 	}
 }

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"os"
@@ -571,6 +572,177 @@ func TestConcurrentCommitsReplayBitIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(catalogBytes(t, replica), want) {
 		t.Fatal("concurrent workload replay not bit-identical")
+	}
+}
+
+func TestAppendFailurePoisonsStore(t *testing.T) {
+	dir := t.TempDir()
+	db := newDB(67)
+	store, _, err := Open(dir, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+
+	// Yank the segment file out from under the store: the next append's
+	// write fails, which must fail-stop the store, not leave it retrying
+	// at the same sequence number.
+	store.mu.Lock()
+	store.f.Close()
+	store.mu.Unlock()
+	if _, err := sql.Exec(db, "INSERT INTO t VALUES (2)"); err == nil {
+		t.Fatal("append with a broken log acknowledged")
+	}
+	if _, err := sql.Exec(db, "INSERT INTO t VALUES (3)"); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("mutation after append failure not refused as poisoned: %v", err)
+	}
+	if err := store.Snapshot(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("snapshot of a poisoned store not refused: %v", err)
+	}
+	if store.Stats().Poisoned == "" {
+		t.Fatal("poisoned state not reported in Stats")
+	}
+	_ = store.Close() // sync of the yanked file fails; nothing left to lose
+
+	// Recovery sees exactly the acknowledged prefix: the two durable
+	// records, none of the refused statements.
+	replica := newDB(67)
+	info, err := Restore(dir, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed != 2 || info.LastSeq != 2 {
+		t.Fatalf("expected the 2 acknowledged records, got %+v", info)
+	}
+}
+
+func TestSymbolicArgumentRejectedBeforeApply(t *testing.T) {
+	dir := t.TempDir()
+	db := newDB(71)
+	store, _, err := Open(dir, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	mustExec(t, db, "CREATE TABLE t (a)")
+	v, err := db.CreateVariable("Normal", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unloggable (symbolic) argument must be refused before the catalog
+	// mutates — otherwise the applied-but-unlogged row would poison the
+	// store and diverge the running catalog from its log.
+	_, err = sql.ExecContext(context.Background(), db, "INSERT INTO t VALUES (?)",
+		ctable.Symbolic(expr.NewVar(v)))
+	if !errors.Is(err, core.ErrUnloggedMutation) {
+		t.Fatalf("symbolic argument not refused as unloggable: %v", err)
+	}
+	if st := store.Stats(); st.Poisoned != "" {
+		t.Fatalf("pre-apply rejection poisoned the store: %s", st.Poisoned)
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (4)") // store still healthy
+	out, err := sql.Exec(db, "SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tuples) != 1 {
+		t.Fatalf("rejected statement left partial state: %d rows", len(out.Tuples))
+	}
+}
+
+func TestMidSegmentCorruptionInFinalSegmentIsFatal(t *testing.T) {
+	dir := buildDir(t, 73)
+	// Flip a byte in the FIRST record of the only (hence final) segment:
+	// intact, acknowledged records follow the damage, so this is
+	// mid-segment corruption — not a torn tail — and recovery must refuse
+	// to silently truncate those records away.
+	corrupt(t, soleSegment(t, dir), len(segMagic)+12)
+
+	_, err := Restore(dir, newDB(73))
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("mid-segment damage in final segment not fatal: %v", err)
+	}
+	// Opening for writing must refuse identically, without repair
+	// truncating the surviving records.
+	before, err := os.ReadFile(soleSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, newDB(73), Options{}); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("open did not refuse mid-segment damage: %v", err)
+	}
+	after, err := os.ReadFile(soleSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed open modified the damaged segment")
+	}
+}
+
+func TestSnapshotBeyondLogEndResumesAfterIt(t *testing.T) {
+	dir := t.TempDir()
+	db := newDB(79)
+	store, _, err := Open(dir, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStatements(t, db)
+	want := catalogBytes(t, db)
+	if err := store.Snapshot(); err != nil { // snap@5, rotates to a fresh segment
+		t.Fatal(err)
+	}
+	store.Close()
+
+	// Lose the post-snapshot segment and tear the last record of the old
+	// one: the log now ends at record 4 while the surviving snapshot
+	// covers through 5. The snapshot is authoritative; recovery must not
+	// wrap the "records since snapshot" count negative, and appends must
+	// resume after the snapshot's coverage, never inside it.
+	segs, _, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("expected 2 segments after rotation, got %d", len(segs))
+	}
+	os.Remove(filepath.Join(dir, segName(segs[1])))
+	truncateFile(t, filepath.Join(dir, segName(segs[0])), 3)
+
+	replica := newDB(79)
+	info, err := Restore(dir, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastSeq != 5 || info.Replayed != 0 {
+		t.Fatalf("expected snapshot-authoritative recovery to seq 5: %+v", info)
+	}
+	if !bytes.Equal(catalogBytes(t, replica), want) {
+		t.Fatal("snapshot-only recovery not bit-identical")
+	}
+
+	db2 := newDB(79)
+	store2, _, err := Open(dir, db2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if since := store2.Stats().SinceSnapshot; since != 0 {
+		t.Fatalf("since-snapshot count wrapped: %d", since)
+	}
+	mustExec(t, db2, "INSERT INTO orders VALUES ('Zoe', 9.0)")
+	if got := store2.Stats().LastSeq; got != 6 {
+		t.Fatalf("append did not resume past snapshot coverage: seq %d", got)
+	}
+	want2 := catalogBytes(t, db2)
+	store2.Close()
+
+	replica2 := newDB(79)
+	if _, err := Restore(dir, replica2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(catalogBytes(t, replica2), want2) {
+		t.Fatal("post-resume recovery not bit-identical")
 	}
 }
 

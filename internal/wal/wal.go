@@ -25,7 +25,17 @@
 // normal artifact of a crash mid-append — by truncating to the last valid
 // record and reporting a typed error in RecoveryInfo; corruption anywhere
 // else fails recovery loudly rather than silently dropping acknowledged
-// statements.
+// statements. A tail only counts as torn when nothing decodable follows
+// the damage: an intact record past the bad frame means acknowledged
+// statements sit beyond mid-segment corruption, and recovery refuses to
+// drop them.
+//
+// The store itself fail-stops: the first append or sync failure poisons
+// it, and every later mutation is refused with ErrPoisoned until the
+// process restarts and recovers. Appending past a failure could tear the
+// log mid-file or duplicate a sequence number — and, because the failed
+// statement already applied in memory, later records would replay on a
+// base the log cannot reconstruct.
 package wal
 
 import (
@@ -62,6 +72,14 @@ var (
 	ErrReplayDiverged = errors.New("wal: replay diverged from logged outcome")
 	// ErrClosed reports an operation on a closed store.
 	ErrClosed = errors.New("wal: store closed")
+	// ErrPoisoned reports a mutation refused because an earlier append or
+	// sync failed. The store fail-stops on the first such failure: the disk
+	// may hold torn bytes or an unacknowledged frame at the next sequence
+	// number, and the failed statement applied in memory without a log
+	// record, so any further append would produce a log that replays to a
+	// different catalog than the one running. Restart and recover to
+	// resume.
+	ErrPoisoned = errors.New("wal: store poisoned by earlier append failure")
 )
 
 // Options configures a Store.
