@@ -317,7 +317,7 @@ func newRemoteBackend(addr string, seed uint64, seedSet bool) (*remoteBackend, e
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := client.Healthz(ctx); err != nil {
-		return nil, fmt.Errorf("cannot reach pipd at %s: %v", addr, err)
+		return nil, fmt.Errorf("cannot reach pipd at %s: %w", addr, err)
 	}
 	var settings map[string]json.Number
 	if seedSet {

@@ -137,7 +137,7 @@ func parseDSN(dsn string) (name string, opts pip.Options, err error) {
 			return "", opts, fmt.Errorf("pip driver: malformed DSN entry %q (want key=value)", kv)
 		}
 		bad := func(e error) error {
-			return fmt.Errorf("pip driver: invalid DSN value %q for %s (%v)", v, k, e)
+			return fmt.Errorf("pip driver: invalid DSN value %q for %s (%w)", v, k, e)
 		}
 		switch strings.ToLower(strings.TrimSpace(k)) {
 		case "name":

@@ -30,7 +30,7 @@ func isRemoteDSN(dsn string) bool { return strings.HasPrefix(dsn, remoteScheme) 
 func parseRemoteDSN(dsn string) (addr string, settings map[string]json.Number, err error) {
 	u, err := url.Parse(dsn)
 	if err != nil {
-		return "", nil, fmt.Errorf("pip driver: malformed remote DSN %q: %v", dsn, err)
+		return "", nil, fmt.Errorf("pip driver: malformed remote DSN %q: %w", dsn, err)
 	}
 	if u.Host == "" {
 		return "", nil, fmt.Errorf("pip driver: remote DSN %q has no host:port", dsn)
@@ -40,7 +40,7 @@ func parseRemoteDSN(dsn string) (addr string, settings map[string]json.Number, e
 	}
 	q, err := url.ParseQuery(u.RawQuery)
 	if err != nil {
-		return "", nil, fmt.Errorf("pip driver: malformed remote DSN query %q: %v", u.RawQuery, err)
+		return "", nil, fmt.Errorf("pip driver: malformed remote DSN query %q: %w", u.RawQuery, err)
 	}
 	settings = map[string]json.Number{}
 	for k, vs := range q {

@@ -62,11 +62,15 @@ func Partition(c Clause, extra []*expr.Variable) []Group {
 		set := map[expr.VarKey]*expr.Variable{}
 		a.CollectVars(set)
 		keys := make([]expr.VarKey, 0, len(set))
-		for k, v := range set {
-			addVar(k, v)
+		for k := range set {
 			keys = append(keys, k)
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		// Registration order feeds the union-find, so keep it sorted rather
+		// than map-ordered.
+		for _, k := range keys {
+			addVar(k, set[k])
+		}
 		for i := 1; i < len(keys); i++ {
 			uf.union(keys[0], keys[i])
 		}
@@ -77,9 +81,15 @@ func Partition(c Clause, extra []*expr.Variable) []Group {
 		addVar(v.Key, v)
 	}
 
-	// Bucket variables and atoms by root.
-	groups := map[expr.VarKey]*Group{}
+	// Bucket variables and atoms by root, visiting keys in sorted order so
+	// every group's Keys slice is built deterministically.
+	allKeys := make([]expr.VarKey, 0, len(varsByKey))
 	for k := range varsByKey {
+		allKeys = append(allKeys, k)
+	}
+	sort.Slice(allKeys, func(i, j int) bool { return allKeys[i].Less(allKeys[j]) })
+	groups := map[expr.VarKey]*Group{}
+	for _, k := range allKeys {
 		root := uf.find(k)
 		g := groups[root]
 		if g == nil {
@@ -94,10 +104,16 @@ func Partition(c Clause, extra []*expr.Variable) []Group {
 		groups[root].Atoms = append(groups[root].Atoms, ai.atom)
 	}
 
+	// Keys are already sorted per group (appended in global sorted order);
+	// order the groups themselves by smallest member key.
+	roots := make([]expr.VarKey, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Less(roots[j]) })
 	out := make([]Group, 0, len(groups))
-	for _, g := range groups {
-		sort.Slice(g.Keys, func(i, j int) bool { return g.Keys[i].Less(g.Keys[j]) })
-		out = append(out, *g)
+	for _, root := range roots {
+		out = append(out, *groups[root])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Keys[0].Less(out[j].Keys[0]) })
 	return out

@@ -118,7 +118,7 @@ func (db *DB) EncodeCatalog(w io.Writer) error {
 func (db *DB) DecodeCatalog(r io.Reader) error {
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
 	d := &snapDecoder{buf: raw}
 	ver := d.uvarint()

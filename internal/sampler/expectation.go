@@ -351,8 +351,11 @@ func linearClosedFormMean(e expr.Expr, vars map[expr.VarKey]*expr.Variable) (flo
 	if !ok {
 		return 0, false
 	}
+	// Accumulate in sorted key order: float addition is not associative, so
+	// map-order summation would break same-seed bit-identity.
 	mean := lf.Constant
-	for k, c := range lf.Coeffs {
+	for _, k := range lf.SortedKeys() {
+		c := lf.Coeffs[k]
 		v := vars[k]
 		if v == nil {
 			v = lf.Vars[k]

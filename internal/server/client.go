@@ -303,7 +303,7 @@ func (r *ClientRows) readChunk() (Chunk, error) {
 			// mid-chunk), not a protocol bug: surface it as truncation.
 			return Chunk{}, io.EOF
 		}
-		return Chunk{}, fmt.Errorf("server: malformed chunk: %v", uerr)
+		return Chunk{}, fmt.Errorf("server: malformed chunk: %w", uerr)
 	}
 	return ch, nil
 }

@@ -77,6 +77,7 @@ func New(cfg Config) *Server {
 		stop:      make(chan struct{}),
 	}
 	mux := http.NewServeMux()
+	//pipvet:allow walcommit session-create settings mutate session-local config only, never durable catalog state
 	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
@@ -243,7 +244,7 @@ func writeError(w http.ResponseWriter, err error) {
 func decodeBody(r *http.Request, dst any) error {
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("%w: malformed request body: %v", ErrBadRequest, err)
+		return fmt.Errorf("%w: malformed request body: %w", ErrBadRequest, err)
 	}
 	return nil
 }
@@ -251,7 +252,12 @@ func decodeBody(r *http.Request, dst any) error {
 // ---------------------------------------------------------------------------
 // Session endpoints
 
-// handleSessionCreate implements POST /v1/session.
+// handleSessionCreate implements POST /v1/session. Its UpdateConfig calls
+// (via applySettings) touch only the session handle's private sampler
+// config — sessions are ephemeral and never replayed, so the WAL rightly
+// never sees them.
+//
+//pipvet:allow walcommit session settings are session-local config, not durable catalog state
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req SessionRequest
 	if r.ContentLength != 0 {

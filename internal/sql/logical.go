@@ -146,12 +146,22 @@ func (f *lFilter) children() []lnode { return []lnode{f.input} }
 // per-row probability functions conf(), expectation() and
 // variance()/stddev() at the marked output positions.
 type lProject struct {
-	input    lnode
-	names    []string
-	targets  []ctable.Scalar
-	confCols map[int]bool
-	expCols  map[int]bool
-	varCols  map[int]string
+	input   lnode
+	names   []string
+	targets []ctable.Scalar
+	// The marked positions are slices, not sets: bindProject appends them in
+	// ascending column order, and the project operator evaluates them in that
+	// order — per-row sampler work and error selection must not depend on map
+	// iteration order.
+	confCols []int
+	expCols  []int
+	varCols  []varCol
+}
+
+// varCol marks one output position computed by variance() or stddev().
+type varCol struct {
+	pos  int
+	kind string
 }
 
 func (p *lProject) op() string { return "Project" }

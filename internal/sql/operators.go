@@ -54,6 +54,7 @@ func (b *opBase) Columns() []string { return b.cols }
 // begin starts a timing window when ANALYZE instrumentation is on.
 func (b *opBase) begin() time.Time {
 	if b.timed {
+		//pipvet:allow detsource ANALYZE timing window, never feeds sampled state
 		return time.Now()
 	}
 	return time.Time{}
@@ -63,6 +64,7 @@ func (b *opBase) begin() time.Time {
 // EOF/error), passing the pair through for a tail-call from Next.
 func (b *opBase) emit(t0 time.Time, t *ctable.Tuple, err error) (*ctable.Tuple, error) {
 	if b.timed {
+		//pipvet:allow detsource ANALYZE timing window, never feeds sampled state
 		b.stats.elapsed += time.Since(t0)
 	}
 	if t != nil {
@@ -584,7 +586,7 @@ func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
 	}
 	out := ctable.Tuple{Values: vals, Cond: t.Cond}
 
-	for pos := range q.expCols {
+	for _, pos := range q.expCols {
 		if !out.Values[pos].IsSymbolic() {
 			continue
 		}
@@ -594,7 +596,8 @@ func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
 		}
 		out.Values[pos] = ctable.Float(res.Mean)
 	}
-	for pos, kind := range q.varCols {
+	for _, vc := range q.varCols {
+		pos, kind := vc.pos, vc.kind
 		e, ok := out.Values[pos].AsExpr()
 		if !ok {
 			return nil, fmt.Errorf("sql: non-numeric %s() target %s", kind, out.Values[pos])
@@ -624,7 +627,7 @@ func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
 		if res.Err != nil {
 			return nil, res.Err
 		}
-		for pos := range q.confCols {
+		for _, pos := range q.confCols {
 			out.Values[pos] = ctable.Float(res.Prob)
 		}
 		out.Cond = cond.TrueCondition()

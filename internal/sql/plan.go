@@ -85,6 +85,7 @@ func execStmtTraced(ctx context.Context, db *core.DB, st Stmt, src string, parse
 	if isMutation(st) {
 		err = db.Commit(src, args, run)
 	} else {
+		//pipvet:allow walcommit isMutation gates this path to non-mutating statements
 		err = run()
 	}
 	if err != nil {

@@ -254,11 +254,7 @@ func buildLogical(env execEnv, st *SelectStmt) (lnode, string, error) {
 // including the per-row functions conf(), expectation() and
 // variance()/stddev().
 func bindProject(st *SelectStmt, r *resolver, env execEnv, joinedNames []string) (*lProject, error) {
-	p := &lProject{
-		confCols: map[int]bool{},
-		expCols:  map[int]bool{},
-		varCols:  map[int]string{},
-	}
+	p := &lProject{}
 	for _, tgt := range st.Targets {
 		if tgt.Star {
 			for i, n := range joinedNames {
@@ -274,7 +270,7 @@ func bindProject(st *SelectStmt, r *resolver, env execEnv, joinedNames []string)
 				if name == "" {
 					name = "conf"
 				}
-				p.confCols[len(p.targets)] = true
+				p.confCols = append(p.confCols, len(p.targets))
 				p.names = append(p.names, name)
 				p.targets = append(p.targets, ctable.LitFloat(0)) // placeholder
 				continue
@@ -289,7 +285,7 @@ func bindProject(st *SelectStmt, r *resolver, env execEnv, joinedNames []string)
 				if name == "" {
 					name = "expectation"
 				}
-				p.expCols[len(p.targets)] = true
+				p.expCols = append(p.expCols, len(p.targets))
 				p.names = append(p.names, name)
 				p.targets = append(p.targets, sc)
 				continue
@@ -304,7 +300,7 @@ func bindProject(st *SelectStmt, r *resolver, env execEnv, joinedNames []string)
 				if name == "" {
 					name = strings.ToLower(fc.Name)
 				}
-				p.varCols[len(p.targets)] = strings.ToLower(fc.Name)
+				p.varCols = append(p.varCols, varCol{pos: len(p.targets), kind: strings.ToLower(fc.Name)})
 				p.names = append(p.names, name)
 				p.targets = append(p.targets, sc)
 				continue

@@ -31,8 +31,14 @@ func execShow(env execEnv) (*ctable.Table, error) {
 		extra := map[string]float64{
 			"trajectory_points": float64(len(q.Sampler.Trajectory())),
 		}
-		for name, d := range phaseSeconds(q.Phases()) {
-			extra["phase_"+name+"_seconds"] = d
+		phases := phaseSeconds(q.Phases())
+		names := make([]string, 0, len(phases))
+		for name := range phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			extra["phase_"+name+"_seconds"] = phases[name]
 		}
 		appendRows(out, "query", samplerRows(q.Sampler.Snapshot(), extra))
 	}

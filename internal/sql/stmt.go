@@ -27,12 +27,13 @@ type Prepared struct {
 // Prepare parses one statement for later execution. Syntax errors are
 // *ParseError values wrapping ErrParse.
 func Prepare(src string) (*Prepared, error) {
+	//pipvet:allow detsource parse-time telemetry, never feeds sampled state
 	start := time.Now()
 	st, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{src: src, st: st, numInput: NumParams(st), parseTime: time.Since(start)}, nil
+	return &Prepared{src: src, st: st, numInput: NumParams(st), parseTime: time.Since(start)}, nil //pipvet:allow detsource parse-time telemetry, never feeds sampled state
 }
 
 // NumInput returns the number of ? placeholders the statement binds.

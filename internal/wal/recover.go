@@ -84,6 +84,7 @@ func Restore(dir string, db *core.DB) (*RecoveryInfo, error) {
 // error and leave the catalog in an unspecified partial state — callers
 // must not serve from db after an error.
 func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, error) {
+	//pipvet:allow detsource recovery-duration telemetry, never feeds sampled state
 	start := time.Now()
 	info := &RecoveryInfo{}
 	var lay layout
@@ -174,7 +175,7 @@ func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, 
 			// and the records beyond it were acknowledged, so truncating
 			// them away silently is not an option either.
 			if off := tailHoldsRecord(data[len(segMagic)+goodLen:], first+uint64(len(recs))); off >= 0 {
-				return info, lay, fmt.Errorf("%w: segment %s: intact record %d bytes past the damage at offset %d — mid-segment corruption, not a torn tail (%v)",
+				return info, lay, fmt.Errorf("%w: segment %s: intact record %d bytes past the damage at offset %d — mid-segment corruption, not a torn tail (%w)",
 					ErrCorruptRecord, segName(first), off, goodLen, tailErr)
 			}
 			info.TailErr = fmt.Errorf("segment %s: %w", segName(first), tailErr)
@@ -237,7 +238,7 @@ func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, 
 			if execErr == nil {
 				execErr = errors.New("replay succeeded")
 			}
-			return info, lay, fmt.Errorf("%w: record %d %.80q logged failed=%v but: %v",
+			return info, lay, fmt.Errorf("%w: record %d %.80q logged failed=%v but: %w",
 				ErrReplayDiverged, r.Seq, r.M.Text, r.M.Failed, execErr)
 		}
 		info.Replayed++
@@ -246,6 +247,7 @@ func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, 
 		db.EnsureSessionFloor(info.MaxSession)
 	}
 	info.LastSeq = lay.lastSeq
+	//pipvet:allow detsource recovery-duration telemetry, never feeds sampled state
 	info.Duration = time.Since(start)
 	return info, lay, nil
 }

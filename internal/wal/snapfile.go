@@ -74,7 +74,7 @@ func writeSnapshotFile(dir string, seq uint64, db *core.DB) (string, error) {
 func readSnapshotFile(path string, wantSeq uint64, db *core.DB) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		return fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
 	if len(raw) < snapHeaderLen || string(raw[:len(snapMagic)]) != snapMagic {
 		return fmt.Errorf("%w: %s: bad header", ErrSnapshotCorrupt, filepath.Base(path))
@@ -89,7 +89,7 @@ func readSnapshotFile(path string, wantSeq uint64, db *core.DB) error {
 		return fmt.Errorf("%w: %s: CRC mismatch", ErrSnapshotCorrupt, filepath.Base(path))
 	}
 	if err := db.DecodeCatalog(bytes.NewReader(body)); err != nil {
-		return fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, filepath.Base(path), err)
+		return fmt.Errorf("%w: %s: %w", ErrSnapshotCorrupt, filepath.Base(path), err)
 	}
 	return nil
 }

@@ -144,7 +144,7 @@ func (s *Store) AppendMutation(m core.Mutation) error {
 		return ErrClosed
 	}
 	if s.poisoned != nil {
-		return fmt.Errorf("%w: %v", ErrPoisoned, s.poisoned)
+		return fmt.Errorf("%w: %w", ErrPoisoned, s.poisoned)
 	}
 	frame, err := AppendRecord(s.buf[:0], Record{Seq: s.seq + 1, M: m})
 	if err != nil {
@@ -164,6 +164,7 @@ func (s *Store) AppendMutation(m core.Mutation) error {
 		return s.poison(fmt.Errorf("append record %d: %w", s.seq+1, err))
 	}
 	if s.opts.Fsync {
+		//pipvet:allow detsource fsync-latency telemetry, never feeds sampled state
 		t := time.Now()
 		if err := s.f.Sync(); err != nil {
 			// The frame may or may not have reached the disk. Retrying at
@@ -171,6 +172,7 @@ func (s *Store) AppendMutation(m core.Mutation) error {
 			// recovery refuses to boot on — so fail-stop here too.
 			return s.poison(fmt.Errorf("sync record %d: %w", s.seq+1, err))
 		}
+		//pipvet:allow detsource fsync-latency telemetry, never feeds sampled state
 		s.fsyncHist.Observe(time.Since(t).Seconds())
 		s.fsyncs.Add(1)
 	}
@@ -212,7 +214,7 @@ func (s *Store) Snapshot() error {
 		if s.poisoned != nil {
 			// After a failed append the catalog holds a statement the log
 			// does not; a snapshot would persist that divergence.
-			return fmt.Errorf("%w: %v", ErrPoisoned, s.poisoned)
+			return fmt.Errorf("%w: %w", ErrPoisoned, s.poisoned)
 		}
 		if s.seq == s.lastSnapSeq {
 			return nil

@@ -150,7 +150,7 @@ func bindArgs(args []any) ([]ctable.Value, error) {
 	for i, a := range args {
 		v, err := BindValue(a)
 		if err != nil {
-			return nil, fmt.Errorf("%w: argument %d: %v", ErrBind, i+1, err)
+			return nil, fmt.Errorf("%w: argument %d: %w", ErrBind, i+1, err)
 		}
 		out[i] = v
 	}

@@ -99,7 +99,7 @@ func load(path string) (*report, error) {
 	}
 	var r report
 	if err := json.Unmarshal(buf, &r); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &r, nil
 }

@@ -1,0 +1,119 @@
+// Package analysis is the minimal, dependency-free analyzer framework
+// behind pipvet. It mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer holds a Run function that inspects one type-checked package
+// through a Pass and reports Diagnostics — but carries only the subset the
+// pipvet suite needs (no facts, no result passing, no flag plumbing), so
+// the whole toolchain builds hermetically from the standard library.
+//
+// The two drivers are cmd-level: tools/pipvet's unitchecker speaks the
+// `go vet -vettool` protocol and constructs one Pass per vet unit, and
+// tools/pipvet/vettest loads testdata fixture trees and checks reported
+// diagnostics against `// want "regexp"` comments.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (as reported in diagnostics
+// and named by `//pipvet:allow <name> <reason>` suppressions), a short Doc
+// string, and the Run function applied to every package under analysis.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions. It must
+	// be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by pipvet's usage text.
+	Doc string
+	// Run inspects the package presented by pass and reports findings via
+	// pass.Report/Reportf. A non-nil error aborts the whole run (driver
+	// failure, not a finding).
+	Run func(pass *Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	// Analyzer is the analyzer this pass belongs to.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's expression types, object uses
+	// and definitions for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position in the package's file set and a
+// human-readable message.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message describes it.
+	Message string
+}
+
+// Run applies each analyzer to the package described by (fset, files, pkg,
+// info) and returns the collected diagnostics sorted by position. It is the
+// shared core of both drivers.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]AnalyzerDiagnostic, error) {
+	var out []AnalyzerDiagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				out = append(out, AnalyzerDiagnostic{Analyzer: a, Diagnostic: d})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// AnalyzerDiagnostic pairs a diagnostic with the analyzer that produced it.
+type AnalyzerDiagnostic struct {
+	// Analyzer produced the diagnostic.
+	Analyzer *Analyzer
+	// Diagnostic is the finding itself.
+	Diagnostic
+}
+
+// NewInfo returns a types.Info with every map the pipvet analyzers consult
+// allocated, ready to hand to types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// IsTestFile reports whether the file's name ends in _test.go. The contract
+// analyzers bind the engine, not its tests, so their passes skip test files;
+// see the suite documentation in ARCHITECTURE.md.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,135 @@
+// The detsource pass: no nondeterministic sources in deterministic packages.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pip/tools/pipvet/analysis"
+)
+
+// DetSource forbids nondeterministic value sources inside the deterministic
+// packages: all randomness must flow from seeded internal/prng generators
+// (counter-based streams keyed on world seed, sample index and variable id),
+// and no sampled result may depend on wall-clock time or the process
+// environment. Flagged:
+//
+//   - every package-level function of math/rand and math/rand/v2 (both the
+//     globally-seeded ones like rand.Float64 and the constructors rand.New/
+//     rand.NewSource — policy is that deterministic code never touches
+//     math/rand at all);
+//   - time.Now and time.Since (telemetry-only wall-clock reads carry a
+//     //pipvet:allow detsource <reason> justification);
+//   - os.Getenv, os.LookupEnv, os.Environ;
+//   - select statements whose case channel is fetched from a map
+//     (map-keyed fan-in: ready-order plus map order double nondeterminism).
+var DetSource = &analysis.Analyzer{
+	Name: "detsource",
+	Doc:  "forbids nondeterministic sources (math/rand, time.Now, os.Getenv, map-keyed select) in deterministic packages",
+	Run:  runDetSource,
+}
+
+// bannedFuncs maps source package paths to the banned function names; an
+// empty list bans every package-level function of that package.
+var bannedFuncs = map[string][]string{
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+	"time":         {"Now", "Since"},
+	"os":           {"Getenv", "LookupEnv", "Environ"},
+}
+
+func runDetSource(pass *analysis.Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		sup := fileSuppressions(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBannedCall(pass, sup, n)
+			case *ast.SelectStmt:
+				checkMapKeyedSelect(pass, sup, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBannedCall reports calls to the banned package-level functions.
+func checkBannedCall(pass *analysis.Pass, sup suppressions, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are value-derived
+	}
+	names, banned := bannedFuncs[fn.Pkg().Path()]
+	if !banned {
+		return
+	}
+	hit := names == nil
+	for _, n := range names {
+		if fn.Name() == n {
+			hit = true
+		}
+	}
+	if !hit || sup.suppressed(pass.Fset, call.Pos(), pass.Analyzer.Name) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to nondeterministic source %s.%s in deterministic package %s: draw randomness from seeded internal/prng streams, or justify with //pipvet:allow detsource <reason>",
+		fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+}
+
+// checkMapKeyedSelect reports select statements whose case channels are
+// indexed out of a map.
+func checkMapKeyedSelect(pass *analysis.Pass, sup suppressions, sel *ast.SelectStmt) {
+	for _, cl := range sel.Body.List {
+		comm, ok := cl.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		var ch ast.Expr
+		switch c := comm.Comm.(type) {
+		case *ast.SendStmt:
+			ch = c.Chan
+		case *ast.ExprStmt:
+			if rv, ok := c.X.(*ast.UnaryExpr); ok {
+				ch = rv.X
+			}
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				if rv, ok := c.Rhs[0].(*ast.UnaryExpr); ok {
+					ch = rv.X
+				}
+			}
+		}
+		if ch == nil {
+			continue
+		}
+		ix, ok := ast.Unparen(ch).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		t := pass.TypesInfo.Types[ix.X].Type
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if sup.suppressed(pass.Fset, comm.Pos(), pass.Analyzer.Name) {
+			continue
+		}
+		pass.Reportf(comm.Pos(),
+			"select case channel %s is fetched from a map (map-keyed fan-in) in deterministic package %s: ready-order plus map order is doubly nondeterministic",
+			types.ExprString(ch), pass.Pkg.Path())
+	}
+}

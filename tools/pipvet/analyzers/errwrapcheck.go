@@ -1,0 +1,161 @@
+// The errwrapcheck pass: fmt.Errorf must wrap errors with %w.
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+
+	"pip/tools/pipvet/analysis"
+)
+
+// ErrWrapCheck flags fmt.Errorf calls that format an error value with %v or
+// %s instead of %w. Formatting with %v flattens the error to its message:
+// errors.Is/As stop seeing the sentinel, so callers that match on
+// wal.ErrPoisoned, core.ErrUnloggedMutation, sql.ErrNoRows and friends
+// silently break one wrapping layer up. The pass parses the format string
+// (flags, width, precision, `*`, explicit %[n] argument indexes, %%) and
+// reports every argument whose static type implements error that lands on a
+// %v or %s verb. Deliberate message-only formatting carries
+// //pipvet:allow errwrapcheck <reason>.
+var ErrWrapCheck = &analysis.Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "flags fmt.Errorf formatting an error value with %v/%s instead of wrapping with %w",
+	Run:  runErrWrapCheck,
+}
+
+func runErrWrapCheck(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		sup := fileSuppressions(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			checkErrorf(pass, sup, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf matches the format verbs of one fmt.Errorf call against the
+// static types of its arguments.
+func checkErrorf(pass *analysis.Pass, sup suppressions, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringConstant(pass.TypesInfo, call.Args[0])
+	if !ok {
+		return
+	}
+	args := call.Args[1:]
+	for _, vb := range parseVerbs(format) {
+		if vb.verb != 'v' && vb.verb != 's' {
+			continue
+		}
+		if vb.argIndex < 0 || vb.argIndex >= len(args) {
+			continue
+		}
+		arg := args[vb.argIndex]
+		t := pass.TypesInfo.Types[arg].Type
+		if !isErrorType(t) {
+			continue
+		}
+		if sup.suppressed(pass.Fset, arg.Pos(), pass.Analyzer.Name) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"fmt.Errorf formats error value %s with %%%c: use %%w so errors.Is/As keep matching through the wrap, or justify with //pipvet:allow errwrapcheck <reason>",
+			types.ExprString(arg), vb.verb)
+	}
+}
+
+// fmtVerb is one conversion in a format string, resolved to the argument
+// index it consumes.
+type fmtVerb struct {
+	verb     rune
+	argIndex int // -1 when the verb consumes no argument or indexing overflowed
+}
+
+// parseVerbs walks a fmt format string, tracking the implicit argument
+// cursor through flags, width/precision (including *) and explicit %[n]
+// indexes, and returns each conversion with its resolved argument index.
+func parseVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(rs) && (rs[i] == '+' || rs[i] == '-' || rs[i] == '#' || rs[i] == ' ' || rs[i] == '0') {
+			i++
+		}
+		// Width (a * consumes an argument).
+		if i < len(rs) && rs[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			if i < len(rs) && rs[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// Explicit argument index %[n].
+		if i < len(rs) && rs[i] == '[' {
+			j := i + 1
+			for j < len(rs) && rs[j] != ']' {
+				j++
+			}
+			if j < len(rs) {
+				if n, err := strconv.Atoi(string(rs[i+1 : j])); err == nil && n >= 1 {
+					arg = n - 1
+				}
+				i = j + 1
+			}
+		}
+		if i >= len(rs) {
+			break
+		}
+		out = append(out, fmtVerb{verb: rs[i], argIndex: arg})
+		arg++
+	}
+	return out
+}
+
+// stringConstant extracts the compile-time string value of e, if any.
+func stringConstant(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

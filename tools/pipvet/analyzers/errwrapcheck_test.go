@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"pip/tools/pipvet/analyzers"
+	"pip/tools/pipvet/vettest"
+)
+
+func TestErrWrapCheck(t *testing.T) {
+	vettest.Run(t, "testdata", analyzers.ErrWrapCheck, "wrapfix")
+}

@@ -1,0 +1,309 @@
+// The maporder pass: no unordered map iteration in deterministic packages.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pip/tools/pipvet/analysis"
+)
+
+// MapOrder flags `for … range` over a map inside the deterministic packages
+// (internal/sampler, cond, expr, core, sql, wal). Go randomizes map
+// iteration order per run, so any result, accumulator, log record or error
+// choice that depends on it breaks the same-seed ⇒ bit-identical contract —
+// exactly the class of bug PR 2 fixed in the Metropolis start-point repair.
+//
+// A range is accepted without a justification when its body only feeds
+// recognized order-insensitive sinks:
+//
+//   - appending the loop variables to a slice that a sort call (sort.*,
+//     slices.Sort*, or any function whose name contains "sort") receives
+//     later in the same function — the canonical collect-then-sort idiom;
+//   - storing into a map or slice indexed by the range key (keys are
+//     unique, so iteration order cannot change the final state);
+//   - delete(m, k) keyed by the range key;
+//   - integer counter increments (n++, n--, n += <int literal>);
+//   - idempotent constant stores (flag = true);
+//   - early `return` of constants only (a commutative membership test).
+//
+// Anything else — floating-point accumulation, appends that are never
+// sorted, calls with unknown effects — is reported. A deliberate unordered
+// iteration carries `//pipvet:ordered <reason>` on the loop (the suppress
+// pass rejects reason-less justifications).
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration in deterministic packages unless it feeds an order-insensitive sink",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		sup := fileSuppressions(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sup.suppressed(pass.Fset, rng.Pos(), pass.Analyzer.Name) {
+				return true
+			}
+			ck := &sinkChecker{pass: pass, file: f, rng: rng}
+			ck.keyIdent, _ = rng.Key.(*ast.Ident)
+			ck.valIdent, _ = rng.Value.(*ast.Ident)
+			if why := ck.check(rng.Body.List); why != "" {
+				pass.Reportf(rng.Pos(),
+					"range over map %s in deterministic package %s: iteration order is randomized per run (%s); iterate a sorted key slice or justify with //pipvet:ordered <reason>",
+					types.ExprString(rng.X), pass.Pkg.Path(), why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkChecker decides whether a map-range body only feeds order-insensitive
+// sinks. check returns "" when every statement is recognized, else a short
+// reason naming the first statement that is not.
+type sinkChecker struct {
+	pass     *analysis.Pass
+	file     *ast.File
+	rng      *ast.RangeStmt
+	keyIdent *ast.Ident
+	valIdent *ast.Ident
+	locals   map[string]bool // variables declared inside the loop body
+}
+
+func (ck *sinkChecker) check(stmts []ast.Stmt) string {
+	ck.locals = map[string]bool{}
+	return ck.checkStmts(stmts)
+}
+
+func (ck *sinkChecker) checkStmts(stmts []ast.Stmt) string {
+	for _, st := range stmts {
+		if why := ck.checkStmt(st); why != "" {
+			return why
+		}
+	}
+	return ""
+}
+
+func (ck *sinkChecker) checkStmt(st ast.Stmt) string {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		return ck.checkAssign(s)
+	case *ast.IncDecStmt:
+		if isIntegerExpr(ck.pass.TypesInfo, s.X) {
+			return ""
+		}
+		return "non-integer increment"
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && ck.isDeleteByKey(call) {
+			return ""
+		}
+		return "call with unknown effects"
+	case *ast.IfStmt:
+		// Condition and init are reads; order-sensitivity can only enter
+		// through the branches, which recurse under the same rules.
+		if s.Init != nil {
+			if why := ck.checkStmt(s.Init); why != "" {
+				return why
+			}
+		}
+		if why := ck.checkStmts(s.Body.List); why != "" {
+			return why
+		}
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				return ck.checkStmts(e.List)
+			default:
+				return ck.checkStmt(e)
+			}
+		}
+		return ""
+	case *ast.BlockStmt:
+		return ck.checkStmts(s.List)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE || s.Tok == token.BREAK {
+			return ""
+		}
+		return "goto/fallthrough"
+	case *ast.ReturnStmt:
+		// Returning constants commutes: whichever iteration fires first,
+		// the function's result is the same (membership-test shape).
+		for _, r := range s.Results {
+			if !isConstResult(ck.pass.TypesInfo, r) {
+				return "early return of a loop-dependent value"
+			}
+		}
+		return ""
+	case *ast.DeclStmt:
+		return "" // local declarations only introduce loop-scoped names
+	default:
+		return "statement with unrecognized ordering effects"
+	}
+}
+
+// checkAssign classifies one assignment inside the loop body.
+func (ck *sinkChecker) checkAssign(s *ast.AssignStmt) string {
+	// Short declarations and assignments to loop-local variables stay
+	// inside the iteration, so order cannot leak through them.
+	if s.Tok == token.DEFINE {
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				ck.locals[id.Name] = true
+			}
+		}
+		return ""
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return "multi-assignment to outer state"
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	if id, ok := lhs.(*ast.Ident); ok && (ck.locals[id.Name] || id.Name == "_") {
+		return ""
+	}
+	switch s.Tok {
+	case token.ASSIGN:
+		// m[k] = v / s[k] = v: unique keys make the final state
+		// independent of visit order.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && ck.isRangeKey(ix.Index) {
+			return ""
+		}
+		// append-then-sort: s = append(s, k); a later sort call erases
+		// the collection order.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(ck.pass.TypesInfo, call.Fun, "append") {
+			if sameExpr(lhs, call.Args[0]) && ck.sortedLater(lhs) {
+				return ""
+			}
+			return "append to a slice that is never sorted afterwards"
+		}
+		// flag = true / x = <constant>: idempotent across iterations.
+		if isConstResult(ck.pass.TypesInfo, rhs) {
+			return ""
+		}
+		return "assignment of a loop-dependent value to outer state"
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		// Integer += is associative and commutative even under wraparound;
+		// float accumulation is not (rounding depends on order).
+		if isIntegerExpr(ck.pass.TypesInfo, lhs) {
+			return ""
+		}
+		return "floating-point (or non-integer) accumulation"
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if isIntegerExpr(ck.pass.TypesInfo, lhs) {
+			return ""
+		}
+		return "non-integer bitwise accumulation"
+	default:
+		return "compound assignment with unrecognized ordering effects"
+	}
+}
+
+// isRangeKey reports whether e is exactly the loop's key variable.
+func (ck *sinkChecker) isRangeKey(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && ck.keyIdent != nil && id.Name == ck.keyIdent.Name && id.Name != "_"
+}
+
+// isDeleteByKey recognizes delete(m, k) with the range key.
+func (ck *sinkChecker) isDeleteByKey(call *ast.CallExpr) bool {
+	return isBuiltin(ck.pass.TypesInfo, call.Fun, "delete") &&
+		len(call.Args) == 2 && ck.isRangeKey(call.Args[1])
+}
+
+// sortedLater reports whether, after the range statement and inside the
+// same enclosing function, some call whose name contains "sort" receives
+// the given slice expression as an argument (sort.Strings(keys),
+// sort.Slice(keys, …), slices.Sort(keys), sortVarKeys(keys), …).
+func (ck *sinkChecker) sortedLater(slice ast.Expr) bool {
+	body := enclosingFuncBody(ck.file, ck.rng.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < ck.rng.End() || found {
+			return !found
+		}
+		name := ""
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			// Qualify with the receiver/package ident so sort.Strings and
+			// slices.SortFunc match, not just names like sortVarKeys.
+			name = fun.Sel.Name
+			if x, ok := fun.X.(*ast.Ident); ok {
+				name = x.Name + "." + name
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if sameExpr(arg, slice) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sameExpr compares two expressions structurally by their printed form —
+// adequate for the ident/selector shapes the sinks deal in.
+func sameExpr(a, b ast.Expr) bool {
+	return types.ExprString(ast.Unparen(a)) == types.ExprString(ast.Unparen(b))
+}
+
+// isBuiltin reports whether fun denotes the named builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// isIntegerExpr reports whether e's type is an integer kind.
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isConstResult reports whether e is a compile-time constant, nil, or a
+// zero composite literal — values whose store/return commutes across
+// iterations.
+func isConstResult(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && (tv.Value != nil || tv.IsNil()) {
+		return true
+	}
+	if cl, ok := e.(*ast.CompositeLit); ok {
+		return len(cl.Elts) == 0
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+// The suppress pass: every //pipvet: directive is well-formed and justified.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"pip/tools/pipvet/analysis"
+)
+
+// Suppress lints the suppression comments themselves, so a justification
+// can never be silently dropped or mistyped into a no-op:
+//
+//   - the verb must be one of ordered, allow, commitpath;
+//   - allow must name a real analyzer;
+//   - every directive must carry a non-empty reason — suppressions are
+//     audited decisions, not switches;
+//   - ordered must sit on (or directly above) a range statement;
+//   - commitpath must sit in a function's doc comment.
+//
+// It runs over every package, including ones the other passes skip, so a
+// stray directive in an unscoped package is caught rather than rotting.
+var Suppress = &analysis.Analyzer{
+	Name: "suppress",
+	Doc:  "checks that //pipvet: suppression directives are well-formed, correctly placed and justified",
+	Run:  runSuppress,
+}
+
+// knownAnalyzers are the names //pipvet:allow may cite. A literal rather
+// than a derivation from All() — that would be an initialization cycle.
+var knownAnalyzers = map[string]bool{
+	"maporder": true, "detsource": true, "catalock": true,
+	"walcommit": true, "errwrapcheck": true, "suppress": true,
+}
+
+func runSuppress(pass *analysis.Pass) error {
+	known := knownAnalyzers
+	for _, f := range pass.Files {
+		rangeLines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				rangeLines[pass.Fset.Position(rng.Pos()).Line] = true
+			}
+			return true
+		})
+		for _, d := range parseDirectives(pass.Fset, f) {
+			switch d.verb {
+			case dirOrdered:
+				if d.reason == "" {
+					pass.Reportf(d.pos, "//pipvet:ordered without a reason: write //pipvet:ordered <why this unordered iteration is safe>")
+				}
+				if !rangeLines[d.line] && !rangeLines[d.line+1] {
+					pass.Reportf(d.pos, "//pipvet:ordered is not adjacent to a range statement: place it on the loop line or the line above")
+				}
+			case dirAllow:
+				if !known[d.analyzer] {
+					pass.Reportf(d.pos, "//pipvet:allow names unknown analyzer %q: known analyzers are maporder, detsource, catalock, walcommit, errwrapcheck, suppress", d.analyzer)
+				}
+				if d.reason == "" {
+					pass.Reportf(d.pos, "//pipvet:allow %s without a reason: write //pipvet:allow %s <why this finding is acceptable>", d.analyzer, d.analyzer)
+				}
+			case dirCommitpath:
+				if d.reason == "" {
+					pass.Reportf(d.pos, "//pipvet:commitpath without a reason: write //pipvet:commitpath <why every caller is under core.DB.Commit>")
+				}
+				if !inFuncDoc(f, d.pos) {
+					pass.Reportf(d.pos, "//pipvet:commitpath is not in a function doc comment: attach it to the declaration it vouches for")
+				}
+			default:
+				pass.Reportf(d.pos, "unknown //pipvet: directive %q: known verbs are ordered, allow, commitpath", d.verb)
+			}
+		}
+	}
+	return nil
+}
+
+// inFuncDoc reports whether pos falls inside the doc comment of some
+// function declaration of f.
+func inFuncDoc(f *ast.File, pos token.Pos) bool {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		if fd.Doc.Pos() <= pos && pos < fd.Doc.End() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+// Package cond is a detsource fixture shaped like the deterministic
+// condition package: the import-path suffix internal/cond puts it in scope.
+package cond
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// draw taps the globally seeded generator: flagged.
+func draw() float64 {
+	return rand.Float64() // want `nondeterministic source math/rand\.Float64`
+}
+
+// newRand even constructing a generator is banned in scope: two findings.
+func newRand() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `math/rand\.New` `math/rand\.NewSource`
+}
+
+// drawSeeded draws from a caller-seeded generator: methods are value-
+// derived, accepted.
+func drawSeeded(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// stamp reads the wall clock: flagged.
+func stamp() time.Time {
+	return time.Now() // want `nondeterministic source time\.Now`
+}
+
+// stampAllowed carries a justification: suppressed.
+func stampAllowed() time.Time {
+	//pipvet:allow detsource telemetry timestamp, never feeds sampled state
+	return time.Now()
+}
+
+// elapsed uses time.Since: flagged.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `nondeterministic source time\.Since`
+}
+
+// seedFromEnv reads the process environment: flagged.
+func seedFromEnv() string {
+	return os.Getenv("PIP_SEED") // want `nondeterministic source os\.Getenv`
+}
+
+// fanIn selects on a channel fetched from a map: flagged.
+func fanIn(chans map[string]chan int) int {
+	select {
+	case v := <-chans["a"]: // want `map-keyed fan-in`
+		return v
+	}
+}
+
+// fanInFixed selects on plain channel variables: accepted.
+func fanInFixed(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

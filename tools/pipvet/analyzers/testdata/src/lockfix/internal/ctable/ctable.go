@@ -1,0 +1,23 @@
+// Package ctable fakes the real tuple-table package for the catalock
+// fixture: same type name, same import-path suffix, same guarded members.
+package ctable
+
+// Value is one cell.
+type Value float64
+
+// Table is the fixture table: Tuples and the unlocked methods below are
+// the members catalock guards on catalog-live instances.
+type Table struct {
+	Name   string
+	Schema []string
+	Tuples [][]Value
+}
+
+// Append grows the tuple slice without locking.
+func (t *Table) Append(row []Value) { t.Tuples = append(t.Tuples, row) }
+
+// Len reads the tuple count without locking.
+func (t *Table) Len() int { return len(t.Tuples) }
+
+// Clone copies the table without locking.
+func (t *Table) Clone() *Table { return &Table{Name: t.Name, Schema: t.Schema} }

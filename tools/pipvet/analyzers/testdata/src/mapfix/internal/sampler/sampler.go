@@ -1,0 +1,133 @@
+// Package sampler is a maporder fixture shaped like the deterministic
+// sampler package: the import-path suffix internal/sampler puts it in
+// scope for the pass.
+package sampler
+
+import "sort"
+
+// sumCoeffs is the PR 2 bug shape: float accumulation in map order.
+func sumCoeffs(m map[string]float64) float64 {
+	var total float64
+	for _, c := range m { // want `range over map m .*floating-point`
+		total += c
+	}
+	return total
+}
+
+// sortedKeys is the canonical collect-then-sort idiom: accepted.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectUnsorted appends in map order and never sorts: flagged.
+func collectUnsorted(m map[string]float64) []string {
+	var keys []string
+	for k := range m { // want `range over map m .*never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// countEntries increments an integer counter: commutative, accepted.
+func countEntries(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sumInts uses integer +=, commutative even under wraparound: accepted.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// storeByKey writes into another map keyed by the range key: accepted.
+func storeByKey(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// invert indexes the target by the range value, not the key: flagged
+// (the pass only proves key-indexed stores order-insensitive).
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m { // want `range over map m `
+		out[v] = k
+	}
+	return out
+}
+
+// pruneNegative deletes by the range key: accepted.
+func pruneNegative(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// contains early-returns a constant — a membership test, accepted.
+func contains(m map[string]bool, needle string) bool {
+	for k := range m {
+		if k == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// firstKey early-returns a loop-dependent value: flagged.
+func firstKey(m map[string]int) string {
+	for k := range m { // want `range over map m .*early return`
+		return k
+	}
+	return ""
+}
+
+// flagAny stores a constant into outer state — idempotent, accepted.
+func flagAny(m map[string]int) bool {
+	seen := false
+	for range m {
+		seen = true
+	}
+	return seen
+}
+
+// localsOnly keeps loop-dependent values in loop-local variables: accepted.
+func localsOnly(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		double := v * 2
+		_ = double
+		n++
+	}
+	return n
+}
+
+// justified carries an ordered directive with a reason: suppressed.
+func justified(m map[string]func()) {
+	//pipvet:ordered side effects are order-independent by construction
+	for _, fn := range m {
+		fn()
+	}
+}
+
+// callUnknown invokes a function with unknown effects per entry: flagged.
+func callUnknown(m map[string]func()) {
+	for _, fn := range m { // want `range over map m .*unknown effects`
+		fn()
+	}
+}

@@ -1,0 +1,72 @@
+// Package supfix is the suppress fixture: every directive shape, well- and
+// mal-formed. The pass runs in every package.
+package supfix
+
+// rangeJustified is a correctly placed, justified ordered directive.
+func rangeJustified(m map[string]int) int {
+	n := 0
+	//pipvet:ordered integer count is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+// rangeSameLine puts the directive on the loop line itself: also valid.
+func rangeSameLine(m map[string]int) {
+	for range m { //pipvet:ordered draining side effects commute
+	}
+}
+
+// badVerb uses an unknown directive verb.
+func badVerb() {
+	//pipvet:frobnicate whatever // want `unknown //pipvet: directive "frobnicate"`
+	_ = 0
+}
+
+// orderedNoReason omits the justification.
+func orderedNoReason(m map[string]int) {
+	//pipvet:ordered // want `//pipvet:ordered without a reason`
+	for range m {
+	}
+}
+
+// orderedMisplaced is nowhere near a range statement.
+func orderedMisplaced() {
+	//pipvet:ordered stray justification // want `not adjacent to a range statement`
+	_ = 1
+}
+
+// allowUnknown names a pass that does not exist.
+func allowUnknown() {
+	//pipvet:allow nosuchpass because reasons // want `unknown analyzer "nosuchpass"`
+	_ = 2
+}
+
+// allowNoReason names a real pass but gives no justification.
+func allowNoReason() {
+	//pipvet:allow maporder // want `//pipvet:allow maporder without a reason`
+	_ = 3
+}
+
+// allowJustified is fully well-formed.
+func allowJustified() {
+	//pipvet:allow errwrapcheck fixture example with a reason
+	_ = 4
+}
+
+// replayOK carries a correctly placed commitpath mark.
+//
+//pipvet:commitpath recovery replays statements under Commit
+func replayOK() {}
+
+// commitpathMisplaced sits in a function body, not a doc comment.
+func commitpathMisplaced() {
+	//pipvet:commitpath stray claim // want `not in a function doc comment`
+	_ = 5
+}
+
+// commitpathNoReason is placed correctly but unjustified.
+//
+//pipvet:commitpath // want `//pipvet:commitpath without a reason`
+func commitpathNoReason() {}

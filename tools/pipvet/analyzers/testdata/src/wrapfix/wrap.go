@@ -1,0 +1,63 @@
+// Package wrapfix is the errwrapcheck fixture; the pass runs in every
+// package, so no special import path is needed.
+package wrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errBase is a sentinel callers match with errors.Is.
+var errBase = errors.New("base")
+
+// wrapBad flattens the error with %v: flagged.
+func wrapBad(err error) error {
+	return fmt.Errorf("open store: %v", err) // want `formats error value err with %v`
+}
+
+// wrapBadString flattens with %s: flagged.
+func wrapBadString(err error) error {
+	return fmt.Errorf("open store: %s", err) // want `formats error value err with %s`
+}
+
+// wrapGood wraps with %w: accepted.
+func wrapGood(err error) error {
+	return fmt.Errorf("open store: %w", err)
+}
+
+// wrapNonError formats plain values: accepted.
+func wrapNonError(name string, n int) error {
+	return fmt.Errorf("open %s: attempt %d failed", name, n)
+}
+
+// wrapMixed walks the verb list past other conversions to find the error
+// at the right index: flagged.
+func wrapMixed(name string, err error) error {
+	return fmt.Errorf("segment %s at %d: %v", name, 3, err) // want `formats error value err with %v`
+}
+
+// wrapDouble wraps the sentinel but flattens the detail: one finding.
+func wrapDouble(err error) error {
+	return fmt.Errorf("%w: %v", errBase, err) // want `formats error value err with %v`
+}
+
+// wrapIndexed reuses one argument through explicit indexes: two findings.
+func wrapIndexed(err error) error {
+	return fmt.Errorf("twice: %[1]v and %[1]s", err) // want `with %v` `with %s`
+}
+
+// wrapWidth consumes a * width argument before the error: flagged.
+func wrapWidth(err error) error {
+	return fmt.Errorf("pad %*d then %v", 8, 2, err) // want `formats error value err with %v`
+}
+
+// wrapPercent steps over literal %% without consuming arguments: flagged.
+func wrapPercent(err error) error {
+	return fmt.Errorf("100%% broken: %v", err) // want `formats error value err with %v`
+}
+
+// wrapAllowed carries the documented justification: suppressed.
+func wrapAllowed(err error) error {
+	//pipvet:allow errwrapcheck user-facing summary, wrapping handled by caller
+	return fmt.Errorf("summary: %v", err)
+}

@@ -1,0 +1,234 @@
+// Command pipvet is PIP's project-specific static-analysis suite: six
+// analyzers that turn the engine's determinism, lock-discipline,
+// WAL-commit and error-wrapping conventions into machine-checked
+// contracts (see tools/pipvet/analyzers and ARCHITECTURE.md, "Statically
+// enforced invariants").
+//
+// It speaks the `go vet -vettool` unit-checker protocol, so the supported
+// invocations are:
+//
+//	go vet -vettool=$(command -v pipvet) ./...   # as a vet tool
+//	pipvet ./...                                 # standalone: re-execs go vet
+//
+// The driver is hermetic: it is built from the standard library only
+// (go/ast, go/types, go/importer), with no dependency on
+// golang.org/x/tools. Findings print to stderr as
+// `file:line:col: [analyzer] message` and the process exits 2 when any
+// finding is unsuppressed, matching vet convention.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"pip/tools/pipvet/analysis"
+	"pip/tools/pipvet/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// The go command asks for the tool's flag definitions as JSON;
+		// pipvet takes none beyond the protocol flags.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0]))
+	default:
+		os.Exit(runStandalone(args))
+	}
+}
+
+// printVersion implements the -V=full handshake: the go command hashes the
+// line (in particular the buildID field, a content hash of the executable)
+// into its action cache key, so vet results are invalidated when the tool
+// changes.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", name, string(h.Sum(nil)))
+}
+
+// runStandalone re-execs the tool through `go vet -vettool=self`, which
+// handles package loading, export data and caching; defaulting to ./... .
+func runStandalone(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipvet: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "pipvet: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON unit description the go command hands the tool;
+// field set mirrors the x/tools unitchecker contract.
+type vetConfig struct {
+	// ID is the package ID of the unit.
+	ID string
+	// Compiler is gc or gccgo; selects the export-data reader.
+	Compiler string
+	// Dir is the package directory.
+	Dir string
+	// ImportPath is the package's import path.
+	ImportPath string
+	// GoVersion is the language version to type-check with.
+	GoVersion string
+	// GoFiles lists the package's Go sources, absolute.
+	GoFiles []string
+	// ImportMap resolves source import paths to canonical package paths.
+	ImportMap map[string]string
+	// PackageFile maps canonical package paths to export-data files.
+	PackageFile map[string]string
+	// Standard marks standard-library packages.
+	Standard map[string]bool
+	// VetxOnly is true when the go command only wants the facts file.
+	VetxOnly bool
+	// VetxOutput is where the tool must write its facts file.
+	VetxOutput string
+	// SucceedOnTypecheckFailure asks the tool to exit 0 on type errors
+	// (the compiler will report them better).
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet unit described by the .cfg file and returns the
+// process exit code (0 clean, 1 driver error, 2 findings).
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipvet: reading config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pipvet: parsing config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// pipvet carries no facts, but the protocol requires the output file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pipvet: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "pipvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "pipvet: %v\n", err)
+		return 1
+	}
+
+	diags, err := analysis.Run(analyzers.All(), fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+// Import implements types.Importer.
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typecheck type-checks the unit's files against the export data the go
+// command supplied, falling back through ImportMap for vendored or
+// versioned paths.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	compiled := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compiled.Import(path)
+	})
+	tconf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, arch()),
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	return pkg, info, nil
+}
+
+// arch returns the target architecture for sizes, preferring the go
+// command's environment.
+func arch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return "amd64"
+}

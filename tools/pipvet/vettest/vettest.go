@@ -1,0 +1,243 @@
+// Package vettest is pipvet's analysistest equivalent: it loads fixture
+// package trees from a testdata directory, type-checks them with the
+// standard library's source importer (hermetic — no export data, no network,
+// no extra modules), runs one analyzer, and compares the reported
+// diagnostics against `// want "regexp"` expectation comments in the
+// fixtures.
+//
+// Fixture layout mirrors golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<import/path>/*.go
+//
+// Imports between fixture packages resolve inside testdata/src, so a
+// fixture tree can fake the shapes the analyzers match on (for example a
+// pipfix/internal/core package with a DB type — the analyzers scope by
+// import-path suffix, so the fakes are indistinguishable from the real
+// module). Standard-library imports resolve from GOROOT source.
+//
+// Expectations: a comment `// want "re1" "re2"` on a source line demands
+// exactly those diagnostics on that line, each matched by its regexp; a
+// line without a want comment demands none. Both double-quoted and
+// backquoted Go string literals are accepted.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pip/tools/pipvet/analysis"
+)
+
+// Run loads each fixture package below dir/src, applies the analyzer, and
+// reports every mismatch between diagnostics and want comments as a test
+// error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		srcRoot: filepath.Join(dir, "src"),
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*loaded{},
+	}
+	for _, path := range pkgPaths {
+		lp, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture package %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, lp.files, lp.pkg, lp.info)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, fset, lp.files, diags)
+	}
+}
+
+// loaded is one parsed and type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture imports inside srcRoot and everything else via
+// the GOROOT source importer.
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	pkgs    map[string]*loaded
+}
+
+// Import implements types.Importer over the fixture tree.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.srcRoot, path)); err == nil && fi.IsDir() {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at the import path,
+// caching the result (fixture packages may import each other).
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+// wantRe is one expectation: a compiled regexp and whether a diagnostic
+// matched it.
+type wantRe struct {
+	pos token.Pos
+	re  *regexp.Regexp
+	hit bool
+}
+
+// checkWants verifies set-equality between diagnostics and want comments,
+// line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.AnalyzerDiagnostic) {
+	t.Helper()
+	wants := map[string][]*wantRe{} // "file:line" → expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, err := parseWant(c.Text)
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", fset.Position(c.Pos()), err)
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, re := range res {
+					wants[key] = append(wants[key], &wantRe{pos: c.Pos(), re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", p, d.Analyzer.Name, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q, got none", fset.Position(w.pos), w.re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of a `// want "re" ...` comment, or
+// nil if the comment carries no want marker. The marker may appear mid-
+// comment (after a //pipvet: directive, whose diagnostics land on the
+// directive's own line).
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		return nil, nil
+	}
+	body := text[idx+len("// want "):]
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return nil, fmt.Errorf("unterminated string in %q", text)
+			}
+			lit = rest[:end+1]
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", text)
+			}
+			lit = rest[:end+2]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", rest)
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %w", lit, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %q: %w", s, err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}
