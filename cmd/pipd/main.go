@@ -7,6 +7,7 @@
 //	pipd [-addr :7432] [-seed N] [-workers N] [-epsilon F] [-delta F]
 //	     [-samples N] [-max-samples N] [-session-timeout D]
 //	     [-data-dir DIR] [-fsync] [-snapshot-every N]
+//	     [-replicate-addr addr] [-follow pip://host:port] [-replica-id ID]
 //	     [-slow-query D] [-debug-addr addr] [-demo] [-quiet]
 //
 // Remote clients connect with the database/sql driver and a
@@ -25,6 +26,21 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
 // (bounded by the shutdown timeout), a final snapshot is taken when a data
 // directory is configured, then the process exits.
+//
+// # Replication
+//
+// With -replicate-addr (requires -data-dir) the server is a replication
+// primary: a second listener serves committed write-ahead-log records (and
+// whole catalog snapshots, for replicas whose resume point was pruned) as
+// an NDJSON stream to any number of replicas. With -follow pip://host:port
+// the server is a read-only replica: it bootstraps from the primary's
+// stream (snapshot, then log replay through the ordinary SQL path), applies
+// live records as they commit, and serves queries whose answers are
+// bit-identical to the primary's at equal log positions. Writes on a
+// replica are rejected with a read_only error naming the primary; SET still
+// works because session settings are local. A replica needs the same -seed
+// as its primary (the handshake enforces it) and must not set -data-dir:
+// its state is exactly the primary's log, reproduced, never its own.
 package main
 
 import (
@@ -41,6 +57,7 @@ import (
 	"time"
 
 	"pip"
+	"pip/internal/repl"
 	"pip/internal/server"
 	"pip/internal/wal"
 )
@@ -58,6 +75,9 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable data directory: recover on boot, log statements (empty = in-memory)")
 		fsync       = flag.Bool("fsync", true, "fsync the write-ahead log on every commit (requires -data-dir)")
 		snapEvery   = flag.Int("snapshot-every", 4096, "snapshot the catalog every N logged statements (0 = only on shutdown)")
+		replAddr    = flag.String("replicate-addr", "", "serve the replication stream on this address (requires -data-dir)")
+		follow      = flag.String("follow", "", "follow a primary (pip://host:port) as a read-only replica")
+		replicaID   = flag.String("replica-id", "", "stable replica name reported to the primary (empty = random)")
 		shutdown    = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM")
 		slowQuery   = flag.Duration("slow-query", 0, "warn on statements slower than this (0 = off)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -81,6 +101,28 @@ func main() {
 	if *snapEvery < 0 {
 		fmt.Fprintln(os.Stderr, "pipd: -snapshot-every must be non-negative")
 		os.Exit(2)
+	}
+	if *replAddr != "" && *dataDir == "" {
+		// The replication stream ships the write-ahead log; without a data
+		// directory there is no log to ship.
+		fmt.Fprintln(os.Stderr, "pipd: -replicate-addr requires -data-dir")
+		os.Exit(2)
+	}
+	if *follow != "" {
+		// A replica's state is the primary's log, reproduced. A local data
+		// directory, a second primary role, or a demo preload would all give
+		// it writes of its own — exactly what a replica must never have.
+		switch {
+		case *dataDir != "":
+			fmt.Fprintln(os.Stderr, "pipd: -follow and -data-dir are mutually exclusive (a replica's state is the primary's log)")
+			os.Exit(2)
+		case *replAddr != "":
+			fmt.Fprintln(os.Stderr, "pipd: -follow and -replicate-addr are mutually exclusive")
+			os.Exit(2)
+		case *demo:
+			fmt.Fprintln(os.Stderr, "pipd: -follow and -demo are mutually exclusive (replicas reject writes)")
+			os.Exit(2)
+		}
 	}
 
 	var logger *slog.Logger
@@ -135,16 +177,61 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Replication roles. The primary serves its log on a dedicated listener
+	// kept off the query port; the follower marks the database read-only
+	// (inside NewFollower) before the query listener opens, so no client
+	// write can ever slip in ahead of the first applied record.
+	var primary *repl.Primary
+	var replHS *http.Server
+	if *replAddr != "" {
+		primary = repl.NewPrimary(store, *seed)
+		db.Core().RegisterStatsScope("repl", primary.StatsMap)
+		replHS = &http.Server{Addr: *replAddr, Handler: primary.Handler()}
+		go func() {
+			if err := replHS.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "pipd: replication listener: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		if logger != nil {
+			logger.Info("replication enabled", "addr", *replAddr)
+		}
+	}
+	var follower *repl.Follower
+	if *follow != "" {
+		follower = repl.NewFollower(db.Core(), repl.FollowerOptions{
+			Primary:   *follow,
+			ReplicaID: *replicaID,
+			Seed:      *seed,
+			Logger:    logger,
+		})
+		db.Core().RegisterStatsScope("repl", follower.StatsMap)
+		go func() {
+			// Run reconnects through transient failures and returns only on
+			// ctx cancellation (nil) or an integrity failure: fail-stop
+			// rather than keep serving reads that may no longer match the
+			// primary's log.
+			if err := follower.Run(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "pipd: replication failed: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		if logger != nil {
+			logger.Info("following", "primary", *follow, "replica_id", follower.ReplicaID(), "seed", *seed)
+		}
+	}
+
 	idle := *sessionIdle
 	if idle == 0 {
 		idle = -1 // Config.SessionIdle: negative disables, zero means default.
 	}
-	srv := server.New(server.Config{DB: db, Logger: logger, SlowQuery: *slowQuery, SessionIdle: idle, WAL: store})
+	srv := server.New(server.Config{DB: db, Logger: logger, SlowQuery: *slowQuery, SessionIdle: idle, WAL: store, Repl: primary, Follower: follower})
 	defer srv.Close()
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	if *debugAddr != "" {
 		// pprof stays on its own listener so profiling endpoints are never
@@ -179,6 +266,12 @@ func main() {
 	}
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdown)
 	defer cancel()
+	if replHS != nil {
+		// Close, not Shutdown: open replication streams are held by live
+		// followers and would block a graceful drain forever; they resume
+		// from their own acked position on reconnect.
+		replHS.Close()
+	}
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "pipd: shutdown: %v\n", err)
 		os.Exit(1)

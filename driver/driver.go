@@ -45,6 +45,21 @@
 // all. The determinism contract crosses the wire intact: equal seeds give
 // bit-identical results whether the DSN is in-process or remote.
 //
+// A remote DSN may name a **replicated topology** by listing hosts:
+//
+//	pip://primary:7432,replica1:7432,replica2:7432
+//
+// The first host is the primary; the rest are read replicas (pipd -follow).
+// Each pooled connection then holds a session on the primary and a session
+// on one replica, chosen round-robin, and routes statements by kind: Query
+// runs on the replica, Exec on the primary, SET on both (settings are
+// session-local). A mutation issued through Query bounces off the replica's
+// read-only guard and is transparently retried on the primary. Because
+// replicas are bit-identical to the primary at equal log positions, routing
+// changes where a query runs, never what it answers — though a read may
+// observe a write slightly late if the replica has not applied it yet
+// (replication is asynchronous).
+//
 // # Value mapping
 //
 // Deterministic cells scan as float64, int64, string and bool. Symbolic
@@ -100,11 +115,15 @@ func (d *Driver) Open(dsn string) (driver.Conn, error) {
 // the pool shares one pip.DB.
 func (d *Driver) OpenConnector(dsn string) (driver.Connector, error) {
 	if isRemoteDSN(dsn) {
-		addr, settings, err := parseRemoteDSN(dsn)
+		hosts, settings, err := parseRemoteDSN(dsn)
 		if err != nil {
 			return nil, err
 		}
-		return &remoteConnector{d: d, client: server.NewClient(addr), settings: settings}, nil
+		rc := &remoteConnector{d: d, primary: server.NewClient(hosts[0]), settings: settings}
+		for _, h := range hosts[1:] {
+			rc.replicas = append(rc.replicas, server.NewClient(h))
+		}
+		return rc, nil
 	}
 	name, opts, err := parseDSN(dsn)
 	if err != nil {

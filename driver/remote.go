@@ -10,8 +10,10 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"pip"
 	"pip/internal/server"
 )
 
@@ -22,25 +24,33 @@ const remoteScheme = "pip://"
 // isRemoteDSN reports whether the DSN names a network server.
 func isRemoteDSN(dsn string) bool { return strings.HasPrefix(dsn, remoteScheme) }
 
-// parseRemoteDSN splits pip://host:port?key=value&... into the server
-// address and the session settings forwarded at connection time. Keys are
-// the SQL SET names (seed, workers, epsilon, delta, samples, max_samples,
-// min_samples); values are validated by the server with the same bounds as
-// SET.
-func parseRemoteDSN(dsn string) (addr string, settings map[string]json.Number, err error) {
-	u, err := url.Parse(dsn)
+// parseRemoteDSN splits pip://host:port[,host:port...]?key=value&... into
+// the server addresses — the first is the primary, any further hosts are
+// read replicas — and the session settings forwarded at connection time.
+// Keys are the SQL SET names (seed, workers, epsilon, delta, samples,
+// max_samples, min_samples); values are validated by the server with the
+// same bounds as SET.
+//
+// The host list is split by hand rather than url.Parse because net/url
+// rejects comma-separated authorities whose last element lacks a port.
+func parseRemoteDSN(dsn string) (hosts []string, settings map[string]json.Number, err error) {
+	rest := strings.TrimPrefix(dsn, remoteScheme)
+	hostPart, rawQuery, _ := strings.Cut(rest, "?")
+	hostPart = strings.TrimSuffix(hostPart, "/")
+	if strings.ContainsAny(hostPart, "/#") {
+		return nil, nil, fmt.Errorf("pip driver: remote DSN %q must not carry a path", dsn)
+	}
+	for _, h := range strings.Split(hostPart, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, nil, fmt.Errorf("pip driver: remote DSN %q has no host:port", dsn)
+	}
+	q, err := url.ParseQuery(rawQuery)
 	if err != nil {
-		return "", nil, fmt.Errorf("pip driver: malformed remote DSN %q: %w", dsn, err)
-	}
-	if u.Host == "" {
-		return "", nil, fmt.Errorf("pip driver: remote DSN %q has no host:port", dsn)
-	}
-	if u.Path != "" && u.Path != "/" {
-		return "", nil, fmt.Errorf("pip driver: remote DSN %q must not carry a path", dsn)
-	}
-	q, err := url.ParseQuery(u.RawQuery)
-	if err != nil {
-		return "", nil, fmt.Errorf("pip driver: malformed remote DSN query %q: %w", u.RawQuery, err)
+		return nil, nil, fmt.Errorf("pip driver: malformed remote DSN query %q: %w", rawQuery, err)
 	}
 	settings = map[string]json.Number{}
 	for k, vs := range q {
@@ -51,44 +61,86 @@ func parseRemoteDSN(dsn string) (addr string, settings map[string]json.Number, e
 			// at sql.Open time; range validation stays server-side with
 			// the same bounds as SET.
 			if _, err := strconv.ParseFloat(v, 64); err != nil {
-				return "", nil, fmt.Errorf("pip driver: invalid remote DSN value %q for %s (want a number)", v, k)
+				return nil, nil, fmt.Errorf("pip driver: invalid remote DSN value %q for %s (want a number)", v, k)
 			}
 			settings[k] = json.Number(v)
 		case "name":
-			return "", nil, fmt.Errorf("pip driver: DSN key %q is for in-process databases (a server is already shared by name: its address)", k)
+			return nil, nil, fmt.Errorf("pip driver: DSN key %q is for in-process databases (a server is already shared by name: its address)", k)
 		default:
-			return "", nil, fmt.Errorf("pip driver: unknown remote DSN key %q", k)
+			return nil, nil, fmt.Errorf("pip driver: unknown remote DSN key %q", k)
 		}
 	}
-	return u.Host, settings, nil
+	return hosts, settings, nil
 }
 
-// remoteConnector implements driver.Connector against a pipd server: every
-// pooled connection opens its own server-side session, so per-session
-// state (SET settings, prepared statements) is per-connection, while the
-// catalog behind all sessions is shared — DDL on one pooled connection is
-// visible to every other, exactly like the in-process backend.
+// remoteConnector implements driver.Connector against a pipd topology:
+// every pooled connection opens its own server-side session on the primary
+// (and, in a multi-host DSN, a second one on a replica chosen round-robin),
+// so per-session state (SET settings, prepared statements) is
+// per-connection, while the catalog behind all sessions is shared — DDL on
+// one pooled connection is visible to every other, exactly like the
+// in-process backend.
 type remoteConnector struct {
 	d        *Driver
-	client   *server.Client
+	primary  *server.Client
+	replicas []*server.Client
+	next     atomic.Uint64
 	settings map[string]json.Number
 }
 
-// Connect implements driver.Connector by creating a server session.
+// Connect implements driver.Connector by creating a server session on the
+// primary and, when the DSN names replicas, a read session on the next
+// replica in round-robin order. A replica that cannot be reached degrades
+// the connection to primary-only reads rather than failing it: replicas
+// scale reads out, they are not required for correctness (every replica
+// answer is bit-identical to the primary's at equal log positions anyway).
 func (c *remoteConnector) Connect(ctx context.Context) (driver.Conn, error) {
-	sess, err := c.client.Session(ctx, c.settings)
+	sess, err := c.primary.Session(ctx, c.settings)
 	if err != nil {
 		return nil, fmt.Errorf("pip driver: connect: %w", err)
 	}
-	return &remoteConn{sess: sess}, nil
+	conn := &remoteConn{sess: sess}
+	if len(c.replicas) > 0 {
+		rc := c.replicas[int(c.next.Add(1)-1)%len(c.replicas)]
+		if rsess, rerr := rc.Session(ctx, c.settings); rerr == nil {
+			conn.read = rsess
+		}
+	}
+	return conn, nil
 }
 
 // Driver implements driver.Connector.
 func (c *remoteConnector) Driver() driver.Driver { return c.d }
 
-// remoteConn is one pooled connection: a live server-side session.
+// remoteConn is one pooled connection: a live session on the primary and,
+// in a replicated topology, a second session on one replica that serves
+// this connection's reads.
 type remoteConn struct {
-	sess *server.ClientSession
+	sess *server.ClientSession // primary: writes, and reads when read == nil
+	read *server.ClientSession // replica read session (nil = single host)
+}
+
+// readSession returns the session that serves this connection's queries.
+func (c *remoteConn) readSession() *server.ClientSession {
+	if c.read != nil {
+		return c.read
+	}
+	return c.sess
+}
+
+// isSetStmt reports whether query is a SET statement. SET is session-local
+// state, so a replicated connection must run it on both of its sessions for
+// later reads (replica) and writes (primary) to see the same settings.
+func isSetStmt(query string) bool {
+	q := strings.TrimSpace(query)
+	if len(q) < 4 || !strings.EqualFold(q[:3], "SET") {
+		return false
+	}
+	switch q[3] {
+	case ' ', '\t', '\n', '\r':
+		return true
+	}
+	return false
 }
 
 // mapSessionErr converts a lost-session failure (expired by the server's
@@ -103,12 +155,19 @@ func mapSessionErr(err error) error {
 	return err
 }
 
-// Close implements driver.Conn by releasing the server-side session (the
+// Close implements driver.Conn by releasing the server-side sessions (the
 // pool calls this without a context, so the release is time-bounded).
 func (c *remoteConn) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return c.sess.Close(ctx)
+	var rerr error
+	if c.read != nil {
+		rerr = c.read.Close(ctx)
+	}
+	if err := c.sess.Close(ctx); err != nil {
+		return err
+	}
+	return rerr
 }
 
 // Begin implements driver.Conn. Transactions are not supported.
@@ -122,23 +181,42 @@ func (c *remoteConn) Prepare(query string) (driver.Stmt, error) {
 }
 
 // PrepareContext implements driver.ConnPrepareContext: the statement is
-// parsed and cached server-side.
+// parsed and cached server-side — on both sessions of a replicated
+// connection, so later Query calls run it on the replica and Exec calls on
+// the primary without re-preparing.
 func (c *remoteConn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
 	st, err := c.sess.Prepare(ctx, query)
 	if err != nil {
 		return nil, mapSessionErr(err)
 	}
-	return &remoteStmt{st: st}, nil
+	rs := &remoteStmt{st: st, query: query}
+	if c.read != nil {
+		rst, rerr := c.read.Prepare(ctx, query)
+		if rerr != nil {
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			st.Close(cctx)
+			cancel()
+			return nil, mapSessionErr(rerr)
+		}
+		rs.rst = rst
+	}
+	return rs, nil
 }
 
 // QueryContext implements driver.QueryerContext (direct, unprepared
-// queries) over one wire round trip.
+// queries) over one wire round trip, routed to this connection's read
+// session. A mutation issued through Query on a replica comes back
+// ErrReadOnly and is retried on the primary, so misrouted writes still
+// land correctly.
 func (c *remoteConn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
 	bound, err := bindNamed(args)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := c.sess.Query(ctx, query, bound...)
+	rows, err := c.readSession().Query(ctx, query, bound...)
+	if err != nil && c.read != nil && errors.Is(err, pip.ErrReadOnly) {
+		rows, err = c.sess.Query(ctx, query, bound...)
+	}
 	if err != nil {
 		return nil, mapSessionErr(err)
 	}
@@ -146,7 +224,9 @@ func (c *remoteConn) QueryContext(ctx context.Context, query string, args []driv
 }
 
 // ExecContext implements driver.ExecerContext (direct, unprepared
-// statements).
+// statements), routed to the primary. SET additionally runs on the read
+// session: session settings are local to each session, and this
+// connection's reads must sample under the same settings as its writes.
 func (c *remoteConn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
 	bound, err := bindNamed(args)
 	if err != nil {
@@ -155,19 +235,35 @@ func (c *remoteConn) ExecContext(ctx context.Context, query string, args []drive
 	if _, err := c.sess.Exec(ctx, query, bound...); err != nil {
 		return nil, mapSessionErr(err)
 	}
+	if c.read != nil && isSetStmt(query) {
+		if _, err := c.read.Exec(ctx, query, bound...); err != nil {
+			return nil, mapSessionErr(err)
+		}
+	}
 	return driver.ResultNoRows, nil
 }
 
-// remoteStmt implements driver.Stmt over a server-side prepared statement.
+// remoteStmt implements driver.Stmt over a server-side prepared statement —
+// two of them on a replicated connection (primary for Exec, replica for
+// Query), prepared together and routed like unprepared statements.
 type remoteStmt struct {
-	st *server.ClientStmt
+	st    *server.ClientStmt // on the primary session
+	rst   *server.ClientStmt // on the replica read session (nil = single host)
+	query string
 }
 
 // Close implements driver.Stmt.
 func (s *remoteStmt) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return s.st.Close(ctx)
+	var rerr error
+	if s.rst != nil {
+		rerr = s.rst.Close(ctx)
+	}
+	if err := s.st.Close(ctx); err != nil {
+		return err
+	}
+	return rerr
 }
 
 // NumInput implements driver.Stmt.
@@ -178,7 +274,8 @@ func (s *remoteStmt) Exec(args []driver.Value) (driver.Result, error) {
 	return s.ExecContext(context.Background(), namedValues(args))
 }
 
-// ExecContext implements driver.StmtExecContext.
+// ExecContext implements driver.StmtExecContext on the primary-session
+// statement; a prepared SET runs on both sessions like an unprepared one.
 func (s *remoteStmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
 	bound, err := bindNamed(args)
 	if err != nil {
@@ -186,6 +283,11 @@ func (s *remoteStmt) ExecContext(ctx context.Context, args []driver.NamedValue) 
 	}
 	if _, err := s.st.Exec(ctx, bound...); err != nil {
 		return nil, mapSessionErr(err)
+	}
+	if s.rst != nil && isSetStmt(s.query) {
+		if _, err := s.rst.Exec(ctx, bound...); err != nil {
+			return nil, mapSessionErr(err)
+		}
 	}
 	return driver.ResultNoRows, nil
 }
@@ -195,13 +297,22 @@ func (s *remoteStmt) Query(args []driver.Value) (driver.Rows, error) {
 	return s.QueryContext(context.Background(), namedValues(args))
 }
 
-// QueryContext implements driver.StmtQueryContext.
+// QueryContext implements driver.StmtQueryContext on the replica-session
+// statement when one exists, falling back to the primary if the replica
+// rejects a mutation issued through Query.
 func (s *remoteStmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
 	bound, err := bindNamed(args)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := s.st.Query(ctx, bound...)
+	qst := s.st
+	if s.rst != nil {
+		qst = s.rst
+	}
+	rows, err := qst.Query(ctx, bound...)
+	if err != nil && s.rst != nil && errors.Is(err, pip.ErrReadOnly) {
+		rows, err = s.st.Query(ctx, bound...)
+	}
 	if err != nil {
 		return nil, mapSessionErr(err)
 	}

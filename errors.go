@@ -21,6 +21,10 @@ var (
 	// unsupported argument type, or executing a statement containing ?
 	// placeholders without binding arguments.
 	ErrBind = sql.ErrBind
+	// ErrReadOnly matches mutations attempted on a read-only replica. The
+	// wrapped message names the primary (pip://host:port) that accepts
+	// writes; SET remains allowed because session settings are local.
+	ErrReadOnly = core.ErrReadOnly
 )
 
 // ParseError is the concrete parse failure: position (1-based line and

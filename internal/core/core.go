@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pip/internal/cond"
 	"pip/internal/ctable"
@@ -50,6 +51,21 @@ type catalog struct {
 	// Lock order: commitMu before mu; it is never taken under mu.
 	commitMu sync.Mutex
 	mlog     MutationLog
+	// readOnly marks the catalog as a replica of primaryAddr: mutating SQL
+	// statements from non-applier handles are rejected with ErrReadOnly
+	// (see replication.go). Guarded by mu.
+	readOnly    bool
+	primaryAddr string
+	// version counts catalog mutations applied in this process: one per
+	// mutating statement (committed, recovered, or replicated) plus one per
+	// snapshot loaded. Lag accounting and telemetry read it; it is never
+	// part of durable state.
+	version atomic.Uint64
+	// scopeMu guards scopes, the SHOW STATS contributions registered by
+	// subsystems outside the engine (e.g. replication). It has no ordering
+	// relationship with mu or commitMu: scope functions run outside it.
+	scopeMu sync.Mutex
+	scopes  map[string]func() map[string]float64
 }
 
 // DB is a PIP probabilistic database instance. Handles created by Session
@@ -60,9 +76,13 @@ type DB struct {
 	// sid identifies this handle in the write-ahead statement log
 	// (RootSessionID for the NewDB handle); see durability.go.
 	sid uint64
-	mu  sync.Mutex // guards smp and cfg
-	smp *sampler.Sampler
-	cfg sampler.Config
+	// applier exempts this handle from the catalog's read-only gate so the
+	// replication subsystem can replay the primary's log (replication.go).
+	// Set once before the handle is shared; not inherited by Session.
+	applier bool
+	mu      sync.Mutex // guards smp and cfg
+	smp     *sampler.Sampler
+	cfg     sampler.Config
 }
 
 // NewDB creates a database with the given sampling configuration. Unless

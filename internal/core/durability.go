@@ -115,7 +115,9 @@ func (db *DB) Commit(text string, args []ctable.Value, apply func() error) error
 		// No log: keep today's concurrency (statements interleave freely,
 		// bounded only by the catalog lock's per-operation serialization).
 		cat.commitMu.Unlock()
-		return apply()
+		err := apply()
+		cat.version.Add(1)
+		return err
 	}
 	defer cat.commitMu.Unlock()
 	if text == "" {
@@ -130,6 +132,7 @@ func (db *DB) Commit(text string, args []ctable.Value, apply func() error) error
 		}
 	}
 	applyErr := apply()
+	cat.version.Add(1)
 	m := Mutation{
 		Session: db.sid,
 		Seed:    db.Config().WorldSeed,

@@ -199,6 +199,7 @@ func (db *DB) DecodeCatalog(r io.Reader) error {
 	for _, nt := range tables {
 		db.cat.tables[nt.key] = nt.t
 	}
+	db.cat.version.Add(1)
 	return nil
 }
 

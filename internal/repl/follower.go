@@ -1,0 +1,443 @@
+// Follower: the replica side of replication. It owns the full lifecycle —
+// connect, hello handshake, snapshot bootstrap when the resume point was
+// pruned, suffix replay, live apply, progress acks — plus reconnection
+// with resume-from-seq after transient failures and fail-stop latching on
+// integrity failures.
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pip/internal/core"
+	"pip/internal/wal"
+)
+
+// ackEveryRecords is how many applied records may accumulate before the
+// follower reports progress mid-stream. Idle-time pings always trigger an
+// ack, so lag converges to zero within one ping interval regardless.
+const ackEveryRecords = 32
+
+// maxStreamLine bounds one NDJSON stream line. Snapshot chunks are the
+// largest frames: snapChunkSize bytes of image inflate by 4/3 as base64
+// plus JSON overhead, comfortably under 1MiB.
+const maxStreamLine = 1 << 20
+
+// FollowerOptions configures a Follower.
+type FollowerOptions struct {
+	// Primary is the primary's replication address: "host:port",
+	// "pip://host:port", or "http://host:port".
+	Primary string
+	// ReplicaID labels this replica in the primary's metrics and ack
+	// accounting. Defaults to a random id, fresh per process.
+	ReplicaID string
+	// Seed is the replica's boot world seed; it must equal the primary's
+	// or the handshake fails with ErrSeedMismatch.
+	Seed uint64
+	// Logger receives connection lifecycle events (nil for none).
+	Logger *slog.Logger
+	// Client is the HTTP client used for streaming and acks (nil for a
+	// default with no overall timeout — streams are long-lived).
+	Client *http.Client
+	// ReconnectBackoff is the initial delay before redialing after a
+	// transient failure, doubling to 16x (default 250ms).
+	ReconnectBackoff time.Duration
+}
+
+// Follower replicates a primary's log onto db. New marks db read-only
+// (naming the primary) and reserves mutation rights for its own applier
+// handles; Run drives the lifecycle until the context ends or an
+// integrity failure latches. All observation methods are safe for
+// concurrent use while Run is active.
+type Follower struct {
+	db      *core.DB
+	base    string // http://host:port
+	display string // pip://host:port, shown by ErrReadOnly
+	id      string
+	seed    uint64
+	log     *slog.Logger
+	client  *http.Client
+	backoff time.Duration
+
+	applied    atomic.Uint64 // newest applied record
+	primarySeq atomic.Uint64 // primary's newest record, as last heard
+	acked      atomic.Uint64 // newest acked record
+	records    atomic.Uint64 // records applied
+	bytesIn    atomic.Uint64 // payload bytes applied
+	snapshots  atomic.Uint64 // snapshot images loaded
+	reconnects atomic.Uint64 // redials after transient failures
+	connected  atomic.Bool
+
+	fatalMu sync.Mutex
+	fatal   error
+}
+
+// NewFollower prepares db to follow the primary: the database is marked
+// read-only (mutating statements fail with core.ErrReadOnly naming the
+// primary) and the root handle becomes the applier root. Call Run to
+// start streaming.
+func NewFollower(db *core.DB, o FollowerOptions) *Follower {
+	base, display := normalizePrimary(o.Primary)
+	id := o.ReplicaID
+	if id == "" {
+		var b [6]byte
+		_, _ = rand.Read(b[:])
+		id = "replica-" + hex.EncodeToString(b[:])
+	}
+	logger := o.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	backoff := o.ReconnectBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	db.SetReadOnly(display)
+	db.MarkApplier()
+	return &Follower{
+		db:      db,
+		base:    base,
+		display: display,
+		id:      id,
+		seed:    o.Seed,
+		log:     logger,
+		client:  client,
+		backoff: backoff,
+	}
+}
+
+// ReplicaID returns the id this follower presents to the primary.
+func (f *Follower) ReplicaID() string { return f.id }
+
+// AppliedSeq returns the newest applied record's sequence number.
+func (f *Follower) AppliedSeq() uint64 { return f.applied.Load() }
+
+// Err returns the latched integrity failure (nil while healthy). Once
+// non-nil the follower has stopped applying and will not reconnect.
+func (f *Follower) Err() error {
+	f.fatalMu.Lock()
+	defer f.fatalMu.Unlock()
+	return f.fatal
+}
+
+// Run streams from the primary until ctx ends (returns nil) or an
+// integrity failure latches (returns it; Err reports it from then on).
+// Transient failures — refused connections, dropped streams, primary
+// restarts — reconnect with exponential backoff, resuming from the
+// applied position.
+func (f *Follower) Run(ctx context.Context) error {
+	defer f.connected.Store(false)
+	backoff := f.backoff
+	for {
+		madeProgress, err := f.streamOnce(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err != nil && isFatal(err) {
+			f.fatalMu.Lock()
+			f.fatal = err
+			f.fatalMu.Unlock()
+			f.log.Error("replication fail-stop", "err", err, "applied", f.applied.Load())
+			return err
+		}
+		if madeProgress {
+			backoff = f.backoff
+		}
+		f.reconnects.Add(1)
+		f.log.Info("replication stream ended, reconnecting",
+			"err", err, "applied", f.applied.Load(), "backoff", backoff)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff < 16*f.backoff {
+			backoff *= 2
+		}
+	}
+}
+
+// isFatal classifies stream failures: integrity errors latch and stop the
+// follower; everything else is transient and reconnects.
+func isFatal(err error) bool {
+	return errors.Is(err, ErrStreamCorrupt) ||
+		errors.Is(err, ErrStreamGap) ||
+		errors.Is(err, ErrSeedMismatch) ||
+		errors.Is(err, ErrPrimaryBehind) ||
+		errors.Is(err, wal.ErrReplayDiverged) ||
+		errors.Is(err, wal.ErrSnapshotCorrupt)
+}
+
+// streamOnce runs one connection epoch: dial, handshake, optional
+// snapshot bootstrap, then apply records until the stream ends. It
+// reports whether any forward progress was made (for backoff reset).
+func (f *Follower) streamOnce(ctx context.Context) (progress bool, err error) {
+	from := f.applied.Load() + 1
+	url := fmt.Sprintf("%s%s?from=%d&replica=%s", f.base, StreamPath, from, f.id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("repl: primary returned %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	f.connected.Store(true)
+	defer f.connected.Store(false)
+
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	var (
+		ap           *wal.Applier
+		snapBuf      []byte
+		expectSnap   bool
+		helloSeen    bool
+		sinceLastAck uint64
+	)
+	for {
+		line, rerr := readLine(br)
+		if rerr != nil {
+			// Network cut or primary shutdown mid-line: transient.
+			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+				return progress, nil
+			}
+			return progress, rerr
+		}
+		var c streamChunk
+		if jerr := json.Unmarshal(line, &c); jerr != nil {
+			return progress, fmt.Errorf("%w: undecodable frame: %w", ErrStreamCorrupt, jerr)
+		}
+		switch c.K {
+		case "hello":
+			if helloSeen {
+				return progress, fmt.Errorf("%w: duplicate hello", ErrStreamCorrupt)
+			}
+			helloSeen = true
+			if c.Seed != f.seed {
+				return progress, fmt.Errorf("%w: primary seed %d, replica seed %d", ErrSeedMismatch, c.Seed, f.seed)
+			}
+			applied := f.applied.Load()
+			if c.LastSeq < applied {
+				return progress, fmt.Errorf("%w: primary ends at %d, replica applied %d", ErrPrimaryBehind, c.LastSeq, applied)
+			}
+			f.primarySeq.Store(c.LastSeq)
+			if c.SnapSeq > 0 {
+				if c.SnapSeq < applied {
+					return progress, fmt.Errorf("%w: primary streams snapshot covering %d, replica applied %d", ErrPrimaryBehind, c.SnapSeq, applied)
+				}
+				expectSnap = true
+			} else {
+				ap = wal.NewApplier(f.db, applied)
+			}
+		case "snap":
+			if !helloSeen || !expectSnap || ap != nil {
+				return progress, fmt.Errorf("%w: unexpected snapshot chunk", ErrStreamCorrupt)
+			}
+			snapBuf = append(snapBuf, c.Data...)
+		case "snapend":
+			if !helloSeen || !expectSnap || ap != nil {
+				return progress, fmt.Errorf("%w: unexpected snapshot end", ErrStreamCorrupt)
+			}
+			if int64(len(snapBuf)) != c.Size || wal.Checksum(snapBuf) != c.CRC {
+				return progress, fmt.Errorf("%w: snapshot image %d bytes CRC %08x, expected %d bytes CRC %08x",
+					ErrStreamCorrupt, len(snapBuf), wal.Checksum(snapBuf), c.Size, c.CRC)
+			}
+			seq, derr := wal.DecodeSnapshotImage(snapBuf, f.db)
+			if derr != nil {
+				return progress, derr
+			}
+			snapBuf = nil
+			f.applied.Store(seq)
+			f.snapshots.Add(1)
+			f.log.Info("replication snapshot loaded", "covers_seq", seq)
+			ap = wal.NewApplier(f.db, seq)
+			progress = true
+			f.ack(ctx, seq)
+		case "rec":
+			if ap == nil {
+				return progress, fmt.Errorf("%w: record before handshake completed", ErrStreamCorrupt)
+			}
+			if wal.Checksum(c.Payload) != c.PCRC {
+				return progress, fmt.Errorf("%w: record %d payload CRC mismatch", ErrStreamCorrupt, c.Seq)
+			}
+			rec, derr := wal.DecodePayload(c.Payload)
+			if derr != nil {
+				return progress, fmt.Errorf("%w: record %d: %w", ErrStreamCorrupt, c.Seq, derr)
+			}
+			if rec.Seq != c.Seq {
+				return progress, fmt.Errorf("%w: frame says record %d, payload says %d", ErrStreamCorrupt, c.Seq, rec.Seq)
+			}
+			if aerr := ap.Apply(ctx, rec); aerr != nil {
+				if errors.Is(aerr, wal.ErrGap) {
+					return progress, fmt.Errorf("%w: %w", ErrStreamGap, aerr)
+				}
+				// ErrReplayDiverged (or a context cancellation mid-apply).
+				return progress, aerr
+			}
+			f.applied.Store(rec.Seq)
+			f.records.Add(1)
+			f.bytesIn.Add(uint64(len(c.Payload)))
+			if rec.Seq > f.primarySeq.Load() {
+				f.primarySeq.Store(rec.Seq)
+			}
+			progress = true
+			if sinceLastAck++; sinceLastAck >= ackEveryRecords {
+				sinceLastAck = 0
+				f.ack(ctx, rec.Seq)
+			}
+		case "ping":
+			if c.LastSeq > f.primarySeq.Load() {
+				f.primarySeq.Store(c.LastSeq)
+			}
+			if a := f.applied.Load(); a > f.acked.Load() {
+				f.ack(ctx, a)
+			}
+		default:
+			return progress, fmt.Errorf("%w: unknown frame kind %q", ErrStreamCorrupt, c.K)
+		}
+	}
+}
+
+// ack reports applied progress to the primary, best-effort: a lost ack
+// only delays lag accounting, never correctness.
+func (f *Follower) ack(ctx context.Context, seq uint64) {
+	body, err := json.Marshal(ackRequest{Replica: f.id, Seq: seq})
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.base+AckPath, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	resp.Body.Close()
+	if seq > f.acked.Load() {
+		f.acked.Store(seq)
+	}
+}
+
+// WaitForSeq blocks until the follower has applied through seq, the
+// follower latches an integrity failure (returned), or ctx ends
+// (ctx.Err()). Tests and the CI smoke use it to await catch-up.
+func (f *Follower) WaitForSeq(ctx context.Context, seq uint64) error {
+	for {
+		if err := f.Err(); err != nil {
+			return err
+		}
+		if f.applied.Load() >= seq {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// FollowerStats is a point-in-time snapshot of the follower's counters,
+// rendered by /metrics and the SHOW STATS repl scope.
+type FollowerStats struct {
+	Primary         string
+	ReplicaID       string
+	AppliedSeq      uint64
+	PrimarySeq      uint64
+	LagRecords      uint64
+	RecordsApplied  uint64
+	BytesApplied    uint64
+	SnapshotsLoaded uint64
+	Reconnects      uint64
+	Connected       bool
+	FailStopped     bool
+}
+
+// Stats returns the follower's counters.
+func (f *Follower) Stats() FollowerStats {
+	st := FollowerStats{
+		Primary:         f.display,
+		ReplicaID:       f.id,
+		AppliedSeq:      f.applied.Load(),
+		PrimarySeq:      f.primarySeq.Load(),
+		RecordsApplied:  f.records.Load(),
+		BytesApplied:    f.bytesIn.Load(),
+		SnapshotsLoaded: f.snapshots.Load(),
+		Reconnects:      f.reconnects.Load(),
+		Connected:       f.connected.Load(),
+		FailStopped:     f.Err() != nil,
+	}
+	if st.PrimarySeq > st.AppliedSeq {
+		st.LagRecords = st.PrimarySeq - st.AppliedSeq
+	}
+	return st
+}
+
+// StatsMap flattens the follower's counters for the SHOW STATS repl scope.
+func (f *Follower) StatsMap() map[string]float64 {
+	st := f.Stats()
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return map[string]float64{
+		"role_replica":     1,
+		"applied_seq":      float64(st.AppliedSeq),
+		"primary_seq":      float64(st.PrimarySeq),
+		"lag_records":      float64(st.LagRecords),
+		"records_applied":  float64(st.RecordsApplied),
+		"bytes_applied":    float64(st.BytesApplied),
+		"snapshots_loaded": float64(st.SnapshotsLoaded),
+		"reconnects":       float64(st.Reconnects),
+		"connected":        b2f(st.Connected),
+		"fail_stopped":     b2f(st.FailStopped),
+	}
+}
+
+// readLine reads one NDJSON line, bounding its length so a garbage stream
+// cannot balloon memory.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		part, err := br.ReadSlice('\n')
+		line = append(line, part...)
+		switch {
+		case err == nil:
+			return bytes.TrimRight(line, "\r\n"), nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			if len(line) > maxStreamLine {
+				return nil, fmt.Errorf("%w: stream line exceeds %d bytes", ErrStreamCorrupt, maxStreamLine)
+			}
+		default:
+			return nil, err
+		}
+	}
+}

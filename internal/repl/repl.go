@@ -1,0 +1,119 @@
+// Package repl replicates a pip database: a primary ships its write-ahead
+// statement log (and, for catch-up, whole catalog snapshots) over the wire
+// to read-only replicas that replay it through the ordinary SQL path.
+//
+// The subsystem is thin by design because the engine's determinism does
+// the heavy lifting. A catalog is a pure function of (seed, ordered
+// statement log) — DDL/DML never consult the sampler and random-variable
+// identifiers are allocated from a counter in statement order — so a
+// replica that applies the same records a primary logged is byte-identical
+// to it, not merely convergent: at equal log sequence numbers, primary and
+// replica answer every query with the same bits. There is no page
+// shipping, no conflict resolution, and no quorum; the log IS the state.
+//
+// # Topology and protocol
+//
+// One Primary wraps the primary's wal.Store and serves two HTTP endpoints
+// (mounted on pipd's -replicate-addr listener):
+//
+//	GET  /v1/repl/stream?from=N&replica=ID   NDJSON record stream
+//	POST /v1/repl/ack                        replica progress reports
+//
+// A stream opens with a hello frame carrying the primary's boot seed and
+// log position. When the requested resume point is still on disk the
+// primary streams records directly; when pruning has compacted it into a
+// snapshot, the primary first streams the newest snapshot file in chunks
+// (snap frames, then a snapend with checksum), and the record stream
+// resumes past its coverage. Record frames carry the exact payload bytes
+// the WAL's CRC-32C protects, re-verified on the replica, so the wire
+// cannot silently corrupt a statement.
+//
+// A Follower owns the replica side: connect → hello → (snapshot load) →
+// replay → live apply, acking applied sequence numbers back for the
+// primary's lag accounting, and reconnecting with resume-from-seq after
+// network failures. Failures of integrity — corrupt or out-of-order
+// frames, a seed mismatch, a replay whose outcome contradicts the logged
+// one — are not retried: the follower latches a typed error and stops,
+// because a replica that cannot prove it matches the log must fail-stop
+// rather than serve silently wrong reads. The replica database is marked
+// read-only (core.ErrReadOnly names the primary); only the follower's
+// applier handles may mutate it.
+package repl
+
+import (
+	"errors"
+	"strings"
+)
+
+// Endpoint paths served by the primary and dialed by followers.
+const (
+	StreamPath = "/v1/repl/stream"
+	AckPath    = "/v1/repl/ack"
+)
+
+// Typed failures of the replication stream; match with errors.Is. All four
+// are terminal for a follower: it latches the error, stops applying, and
+// Run returns it (transient network failures, by contrast, reconnect).
+var (
+	// ErrStreamCorrupt reports a stream frame that failed its checksum,
+	// decode, or protocol-shape checks — the bytes on the wire are not the
+	// bytes the primary's log holds.
+	ErrStreamCorrupt = errors.New("repl: corrupt replication stream frame")
+	// ErrStreamGap reports records arriving out of sequence: a gap or
+	// reordering the replica cannot apply without breaking the
+	// same-log ⇒ same-catalog contract.
+	ErrStreamGap = errors.New("repl: replication stream sequence gap")
+	// ErrSeedMismatch reports a primary and replica booted with different
+	// world seeds. Replay would produce a catalog that answers queries
+	// differently, so the follower refuses to start.
+	ErrSeedMismatch = errors.New("repl: primary and replica seeds differ")
+	// ErrPrimaryBehind reports a primary whose log ends before this
+	// replica's applied position — the primary lost acknowledged history
+	// (restored from an old backup, or wiped), and following it would
+	// silently rewind the replica.
+	ErrPrimaryBehind = errors.New("repl: primary log is behind this replica")
+)
+
+// streamChunk is one NDJSON line of a replication stream. K selects the
+// variant:
+//
+//	"hello"   opens the stream: Seed is the primary's boot world seed,
+//	          LastSeq its newest record, SnapSeq the coverage of the
+//	          snapshot about to be streamed (0 when none is needed)
+//	"snap"    one chunk of the snapshot image in Data (base64 via JSON)
+//	"snapend" ends the snapshot: CRC and Size cover the whole image
+//	"rec"     one log record: Seq, the WAL payload bytes in Payload, and
+//	          PCRC, the payload's CRC-32C as the primary's log stores it
+//	"ping"    keep-alive carrying the primary's LastSeq for lag tracking
+type streamChunk struct {
+	K       string `json:"k"`
+	Seed    uint64 `json:"seed,omitempty"`
+	LastSeq uint64 `json:"last_seq,omitempty"`
+	SnapSeq uint64 `json:"snap_seq,omitempty"`
+	Data    []byte `json:"data,omitempty"`
+	CRC     uint32 `json:"crc,omitempty"`
+	Size    int64  `json:"size,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+	PCRC    uint32 `json:"pcrc,omitempty"`
+}
+
+// ackRequest is a replica's progress report: every record through Seq has
+// been applied. The primary uses it for per-replica lag accounting only;
+// acks carry no correctness weight (re-sending an applied record is
+// impossible because the replica names its own resume point).
+type ackRequest struct {
+	Replica string `json:"replica"`
+	Seq     uint64 `json:"seq"`
+}
+
+// normalizePrimary turns the user-facing primary address forms —
+// "host:port", "pip://host:port", "http://host:port" — into an http base
+// URL and a display form (the one ErrReadOnly messages show).
+func normalizePrimary(addr string) (base, display string) {
+	display = strings.TrimSuffix(strings.TrimPrefix(addr, "pip://"), "/")
+	if after, ok := strings.CutPrefix(addr, "http://"); ok {
+		display = strings.TrimSuffix(after, "/")
+	}
+	return "http://" + display, "pip://" + display
+}

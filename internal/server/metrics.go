@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pip/internal/obs"
+	"pip/internal/repl"
 	"pip/internal/wal"
 )
 
@@ -192,6 +193,74 @@ func writeWALMetrics(w io.Writer, st wal.Stats) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", mt.name, mt.help, mt.name, mt.typ, mt.name, mt.value)
 	}
 	writeHistogramSnapshot(w, "pip_wal_fsync_seconds", "Write-ahead log fsync latency in seconds.", st.FsyncSeconds)
+}
+
+// writeReplPrimaryMetrics renders the primary-side replication families
+// from a repl.PrimaryStats snapshot: shipped volume, stream churn, and
+// per-replica progress (acked sequence and lag in records, labelled by the
+// replica id, which outlives disconnects so lag stays visible while a
+// replica is down).
+func writeReplPrimaryMetrics(w io.Writer, st repl.PrimaryStats) {
+	type metric struct {
+		name, help, typ string
+		value           float64
+	}
+	ms := []metric{
+		{"pip_repl_role_primary", "1 on a replication primary.", "gauge", 1},
+		{"pip_repl_last_seq", "Newest durable log record available to replicas.", "gauge", float64(st.LastSeq)},
+		{"pip_repl_connected_replicas", "Replicas with a live stream open.", "gauge", float64(st.ConnectedReplicas)},
+		{"pip_repl_known_replicas", "Replicas the primary has ever heard from.", "gauge", float64(len(st.Replicas))},
+		{"pip_repl_records_shipped_total", "Log records shipped to replicas across all streams.", "counter", float64(st.RecordsShipped)},
+		{"pip_repl_bytes_shipped_total", "Record payload bytes shipped to replicas.", "counter", float64(st.BytesShipped)},
+		{"pip_repl_snapshots_shipped_total", "Snapshot images streamed to bootstrapping replicas.", "counter", float64(st.SnapshotsShipped)},
+		{"pip_repl_streams_total", "Replication streams ever opened.", "counter", float64(st.StreamsTotal)},
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, mt := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", mt.name, mt.help, mt.name, mt.typ, mt.name, mt.value)
+	}
+	if len(st.Replicas) > 0 {
+		fmt.Fprintf(w, "# HELP pip_repl_replica_acked_seq Newest sequence number each replica reports applied.\n# TYPE pip_repl_replica_acked_seq gauge\n")
+		for _, r := range st.Replicas {
+			fmt.Fprintf(w, "pip_repl_replica_acked_seq{replica=%q} %g\n", r.ID, float64(r.AckedSeq))
+		}
+		fmt.Fprintf(w, "# HELP pip_repl_replica_lag_records Records each replica trails the primary by.\n# TYPE pip_repl_replica_lag_records gauge\n")
+		for _, r := range st.Replicas {
+			fmt.Fprintf(w, "pip_repl_replica_lag_records{replica=%q} %g\n", r.ID, float64(r.LagRecords))
+		}
+	}
+}
+
+// writeReplFollowerMetrics renders the replica-side replication families
+// from a repl.FollowerStats snapshot: applied position against the
+// primary's, apply volume, reconnect churn, and the fail-stop latch.
+func writeReplFollowerMetrics(w io.Writer, st repl.FollowerStats) {
+	type metric struct {
+		name, help, typ string
+		value           float64
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	ms := []metric{
+		{"pip_repl_role_replica", "1 on a read-only replica.", "gauge", 1},
+		{"pip_repl_applied_seq", "Newest log record this replica has applied.", "gauge", float64(st.AppliedSeq)},
+		{"pip_repl_primary_seq", "Primary log position as last reported on the stream.", "gauge", float64(st.PrimarySeq)},
+		{"pip_repl_lag_records", "Records this replica trails the primary by.", "gauge", float64(st.LagRecords)},
+		{"pip_repl_records_applied_total", "Log records applied from the replication stream.", "counter", float64(st.RecordsApplied)},
+		{"pip_repl_bytes_applied_total", "Record payload bytes applied from the replication stream.", "counter", float64(st.BytesApplied)},
+		{"pip_repl_snapshot_loads_total", "Snapshot images loaded to bootstrap or catch up.", "counter", float64(st.SnapshotsLoaded)},
+		{"pip_repl_reconnects_total", "Stream reconnect attempts after transient failures.", "counter", float64(st.Reconnects)},
+		{"pip_repl_connected", "1 while a replication stream is open to the primary.", "gauge", b2f(st.Connected)},
+		{"pip_repl_fail_stopped", "1 after an integrity failure latched and stopped replication.", "gauge", b2f(st.FailStopped)},
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, mt := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", mt.name, mt.help, mt.name, mt.typ, mt.name, mt.value)
+	}
 }
 
 // writeHistogramSnapshot renders one label-free histogram in the standard

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pip"
+	"pip/internal/repl"
 	"pip/internal/wal"
 )
 
@@ -35,6 +36,17 @@ type Config struct {
 	// store and attaching it to the database is the caller's job (cmd/pipd
 	// wires it from -data-dir); the server only reports on it.
 	WAL *wal.Store
+	// Repl, when set, marks this server a replication primary: the
+	// replication endpoints (GET /v1/repl/stream, POST /v1/repl/ack) are
+	// mounted on this handler too — normally they live on pipd's dedicated
+	// -replicate-addr listener — and the primary-side pip_repl_* families
+	// render on /metrics.
+	Repl *repl.Primary
+	// Follower, when set, marks this server a read-only replica: the
+	// replica-side pip_repl_* families (applied position, lag, reconnects,
+	// fail-stop state) render on /metrics. Marking the database read-only
+	// and running the follower is the caller's job (cmd/pipd -follow).
+	Follower *repl.Follower
 }
 
 // DefaultSessionIdle is the idle session expiry applied when
@@ -53,6 +65,8 @@ type Server struct {
 	sessions  *sessionManager
 	met       *metrics
 	wal       *wal.Store
+	repl      *repl.Primary
+	follower  *repl.Follower
 	handler   http.Handler
 	stop      chan struct{}
 	stopOnce  sync.Once
@@ -74,6 +88,8 @@ func New(cfg Config) *Server {
 		sessions:  newSessionManager(cfg.DB, idle),
 		met:       newMetrics(),
 		wal:       cfg.WAL,
+		repl:      cfg.Repl,
+		follower:  cfg.Follower,
 		stop:      make(chan struct{}),
 	}
 	mux := http.NewServeMux()
@@ -87,6 +103,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/tables", s.handleTables)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.repl != nil {
+		mux.HandleFunc("GET "+repl.StreamPath, s.repl.ServeStream)
+		mux.HandleFunc("POST "+repl.AckPath, s.repl.ServeAck)
+	}
 	s.handler = s.logged(mux)
 	go s.sweeper()
 	return s
@@ -521,5 +541,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.met.write(w, s.sessions.count())
 	if s.wal != nil {
 		writeWALMetrics(w, s.wal.Stats())
+	}
+	if s.repl != nil {
+		writeReplPrimaryMetrics(w, s.repl.Stats())
+	}
+	if s.follower != nil {
+		writeReplFollowerMetrics(w, s.follower.Stats())
 	}
 }

@@ -249,6 +249,7 @@ const (
 	CodeCancelled     = "cancelled"
 	CodeSession       = "session"
 	CodeBadRequest    = "bad_request"
+	CodeReadOnly      = "read_only"
 	CodeInternal      = "internal"
 )
 
@@ -291,6 +292,8 @@ func EncodeError(err error) *Error {
 		we.Code = CodeUnknownColumn
 	case errors.Is(err, pip.ErrBind):
 		we.Code = CodeBind
+	case errors.Is(err, pip.ErrReadOnly):
+		we.Code = CodeReadOnly
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		we.Code = CodeCancelled
 	case errors.Is(err, ErrSessionUnknown):
@@ -326,6 +329,8 @@ func (e *Error) Err() error {
 		return remoteErr{sentinel: pip.ErrUnknownColumn, msg: e.Message}
 	case CodeBind:
 		return remoteErr{sentinel: pip.ErrBind, msg: e.Message}
+	case CodeReadOnly:
+		return remoteErr{sentinel: pip.ErrReadOnly, msg: e.Message}
 	case CodeCancelled:
 		return remoteErr{sentinel: context.Canceled, msg: e.Message}
 	case CodeSession:

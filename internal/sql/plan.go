@@ -83,6 +83,15 @@ func execStmtTraced(ctx context.Context, db *core.DB, st Stmt, src string, parse
 	// log is attached, executes directly.
 	var err error
 	if isMutation(st) {
+		// On a read-only replica, catalog-mutating statements are rejected
+		// before they reach the commit hook — except session-local SET
+		// (which mutates no shared catalog state) and statements replayed
+		// by the replication applier, which ARE the primary's log.
+		if _, isSet := st.(*SetStmt); !isSet && !db.IsApplier() {
+			if primary, ro := db.ReadOnlyPrimary(); ro {
+				return nil, fmt.Errorf("%w: writes go to the primary at %s", core.ErrReadOnly, primary)
+			}
+		}
 		err = db.Commit(src, args, run)
 	} else {
 		//pipvet:allow walcommit isMutation gates this path to non-mutating statements

@@ -1,0 +1,110 @@
+package sql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pip/internal/core"
+	"pip/internal/sampler"
+)
+
+// TestReadOnlyReplicaRejectsWrites pins the replica write guard: once a
+// database is marked read-only, every catalog mutation is refused with
+// core.ErrReadOnly naming the primary, while reads, SHOW and SET (session-
+// local state) keep working.
+func TestReadOnlyReplicaRejectsWrites(t *testing.T) {
+	db := plannerDB(t)
+	db.SetReadOnly("primary:7432")
+
+	for _, q := range []string{
+		"CREATE TABLE x (a)",
+		"INSERT INTO o VALUES ('Eve', 1)",
+		"DROP TABLE o",
+	} {
+		_, err := Exec(db, q)
+		if !errors.Is(err, core.ErrReadOnly) {
+			t.Fatalf("%s on a replica: got %v, want ErrReadOnly", q, err)
+		}
+		if !strings.Contains(err.Error(), "primary:7432") {
+			t.Fatalf("%s: error %q does not name the primary", q, err)
+		}
+	}
+
+	// Reads and session-local statements still work.
+	out := mustExec(t, db, "SELECT cust FROM o ORDER BY cust")
+	if len(out.Tuples) != 3 {
+		t.Fatalf("read on a replica returned %d rows, want 3", len(out.Tuples))
+	}
+	mustExec(t, db, "SET max_samples = 512")
+	if got := db.Config().MaxSamples; got != 512 {
+		t.Fatalf("SET on a replica did not apply: MaxSamples = %d", got)
+	}
+	mustExec(t, db, "SHOW STATS")
+}
+
+// TestApplierBypassesReadOnly pins the one legitimate mutation path on a
+// replica: handles marked as the replication applier write through the
+// guard, and the applier bit is handle-local — sessions derived from an
+// applier handle are ordinary read-only sessions.
+func TestApplierBypassesReadOnly(t *testing.T) {
+	cfg := sampler.DefaultConfig()
+	cfg.WorldSeed = 7
+	db := core.NewDB(cfg)
+	db.SetReadOnly("primary:7432")
+	db.MarkApplier()
+
+	mustExec(t, db, "CREATE TABLE t (a)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+
+	sess := db.Session()
+	if _, err := Exec(sess, "INSERT INTO t VALUES (2)"); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("session of an applier handle inherited the applier bit: %v", err)
+	}
+	out := mustExec(t, sess, "SELECT a FROM t")
+	if len(out.Tuples) != 1 {
+		t.Fatalf("replica session read %d rows, want 1", len(out.Tuples))
+	}
+}
+
+// TestCatalogVersionAdvancesOnCommit pins the version counter replication
+// telemetry reads: bumped by every committed mutation, stable across reads.
+func TestCatalogVersionAdvancesOnCommit(t *testing.T) {
+	cfg := sampler.DefaultConfig()
+	cfg.WorldSeed = 7
+	db := core.NewDB(cfg)
+	v0 := db.CatalogVersion()
+	mustExec(t, db, "CREATE TABLE t (a)")
+	v1 := db.CatalogVersion()
+	if v1 <= v0 {
+		t.Fatalf("CatalogVersion did not advance on DDL: %d -> %d", v0, v1)
+	}
+	mustExec(t, db, "SELECT a FROM t")
+	if got := db.CatalogVersion(); got != v1 {
+		t.Fatalf("CatalogVersion moved on a read: %d -> %d", v1, got)
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	if got := db.CatalogVersion(); got <= v1 {
+		t.Fatalf("CatalogVersion did not advance on DML: %d -> %d", v1, got)
+	}
+}
+
+// TestShowStatsRegisteredScope pins the extension point SHOW STATS grew for
+// replication: registered scopes render their rows after the built-ins.
+func TestShowStatsRegisteredScope(t *testing.T) {
+	db := plannerDB(t)
+	db.RegisterStatsScope("repl", func() map[string]float64 {
+		return map[string]float64{"applied_seq": 42, "lag_records": 3}
+	})
+	out := mustExec(t, db, "SHOW STATS")
+	rows := map[[2]string]float64{}
+	for _, tp := range out.Tuples {
+		rows[[2]string{tp.Values[0].S, tp.Values[1].S}] = tp.Values[2].F
+	}
+	if rows[[2]string{"repl", "applied_seq"}] != 42 {
+		t.Fatalf("repl scope missing from SHOW STATS: %v", rows)
+	}
+	if rows[[2]string{"repl", "lag_records"}] != 3 {
+		t.Fatalf("repl lag row missing from SHOW STATS: %v", rows)
+	}
+}

@@ -42,6 +42,11 @@ func execShow(env execEnv) (*ctable.Table, error) {
 		}
 		appendRows(out, "query", samplerRows(q.Sampler.Snapshot(), extra))
 	}
+	// Subsystems outside the engine (e.g. replication) contribute their own
+	// scopes; StatsScopes returns them sorted by scope name.
+	for _, sc := range env.db.StatsScopes() {
+		appendRows(out, sc.Scope, sc.Values)
+	}
 	return out, nil
 }
 

@@ -1,0 +1,249 @@
+// Replica crash-and-catch-up: the replication analogue of the WAL crash
+// test. A real primary ships its log to a real follower process; the
+// follower is SIGKILLed mid-stream while the primary keeps committing,
+// then restarted, and must catch back up to zero lag with bit-identical
+// answers — the follower keeps no local state, so recovery is a fresh
+// snapshot bootstrap plus live tail replay every time.
+package crashtest
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pip"
+	"pip/internal/server"
+)
+
+// newPipdCmd builds an exec.Cmd for pipd with output captured.
+func newPipdCmd(bin string, logs *lockedBuffer, args ...string) *exec.Cmd {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	return cmd
+}
+
+// startPrimary boots pipd with both a query listener and a replication
+// listener, returning the process and the replication address followers
+// dial.
+func startPrimary(t *testing.T, bin, dataDir string) (*pipd, string) {
+	t.Helper()
+	addr, replAddr := freeAddr(t), freeAddr(t)
+	logs := &lockedBuffer{}
+	cmd := newPipdCmd(bin, logs,
+		"-addr", addr, "-data-dir", dataDir, "-seed", "7",
+		"-snapshot-every", "25", "-session-timeout", "0",
+		"-replicate-addr", replAddr)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &pipd{cmd: cmd, addr: addr, logs: logs}
+	t.Cleanup(func() { p.kill() })
+	awaitHealthy(t, p)
+	return p, replAddr
+}
+
+// startReplica boots a follower pipd against the primary's replication
+// address. The seed must match the primary's: the catalog is a pure
+// function of (seed, statement log), so a differing seed is a
+// configuration error the follower fail-stops on.
+func startReplica(t *testing.T, bin, primaryRepl, id string) *pipd {
+	t.Helper()
+	addr := freeAddr(t)
+	logs := &lockedBuffer{}
+	cmd := newPipdCmd(bin, logs,
+		"-addr", addr, "-seed", "7", "-session-timeout", "0",
+		"-follow", primaryRepl, "-replica-id", id)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &pipd{cmd: cmd, addr: addr, logs: logs}
+	t.Cleanup(func() { p.kill() })
+	awaitHealthy(t, p)
+	return p
+}
+
+// awaitHealthy blocks until the process answers /healthz.
+func awaitHealthy(t *testing.T, p *pipd) {
+	t.Helper()
+	c := server.NewClient(p.addr)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		err := c.Healthz(ctx)
+		cancel()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			p.kill()
+			t.Fatalf("pipd did not come up: %v\nlogs:\n%s", err, p.logs.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// metricValue scrapes one unlabelled gauge/counter from /metrics.
+func metricValue(t *testing.T, addr, name string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s: unparsable value %q", name, rest)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// awaitCaughtUp polls the replica's /metrics until it reports zero lag at
+// the primary's current tail.
+func awaitCaughtUp(t *testing.T, replica *pipd, primarySeq float64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		applied, ok1 := metricValue(t, replica.addr, "pip_repl_applied_seq")
+		lag, ok2 := metricValue(t, replica.addr, "pip_repl_lag_records")
+		if ok1 && ok2 && lag == 0 && applied >= primarySeq {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: applied=%v lag=%v want seq>=%v\nlogs:\n%s",
+				applied, lag, primarySeq, replica.logs.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestReplicaKillCatchup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash injection boots real servers")
+	}
+	bin := buildPipd(t)
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("randomized kill schedule seed: %d", seed)
+
+	primary, replAddr := startPrimary(t, bin, t.TempDir())
+	replica := startReplica(t, bin, replAddr, "r-crash")
+
+	// A single-session write storm on the primary; every statement is
+	// acknowledged before the next, so the log contents are known exactly.
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	sess, err := server.NewClient(primary.addr).Session(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(ctx, "CREATE TABLE crash (w, i, v)"); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	inserted := 0
+	stop := make(chan struct{})
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := fmt.Sprintf("INSERT INTO crash VALUES (0, %d, CREATE_VARIABLE('Normal', %d, 1))", i, 10+i%7)
+			if _, err := sess.Exec(ctx, q); err != nil {
+				t.Errorf("primary insert %d failed: %v", i, err)
+				return
+			}
+			mu.Lock()
+			inserted++
+			mu.Unlock()
+		}
+	}()
+
+	// Let replication make real progress, then SIGKILL the follower at a
+	// randomized moment while the storm is still running — the stream dies
+	// mid-flight, and the primary keeps committing into the gap.
+	waitInserted := func(n int) {
+		for start := time.Now(); ; {
+			mu.Lock()
+			got := inserted
+			mu.Unlock()
+			if got >= n {
+				return
+			}
+			if time.Since(start) > 30*time.Second {
+				t.Fatalf("storm stalled at %d inserts\nlogs:\n%s", got, primary.logs.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitInserted(10)
+	time.Sleep(time.Duration(rng.Intn(200)) * time.Millisecond)
+	replica.kill()
+	t.Log("killed replica mid-stream")
+
+	// 30+ more commits land while the replica is down, spanning at least
+	// one snapshot rotation (snapshot-every=25) so catch-up may bootstrap
+	// from a snapshot the dead replica never saw.
+	mu.Lock()
+	killedAt := inserted
+	mu.Unlock()
+	waitInserted(killedAt + 30)
+	close(stop)
+	<-stormDone
+	mu.Lock()
+	total := inserted
+	mu.Unlock()
+	t.Logf("killed replica after ~%d inserts, primary finished at %d", killedAt, total)
+
+	// Restart the follower. It has no local state: it must re-bootstrap
+	// from the primary's newest snapshot and replay the tail to zero lag.
+	replica2 := startReplica(t, bin, replAddr, "r-crash-2")
+	primarySeq, ok := metricValue(t, primary.addr, "pip_repl_last_seq")
+	if !ok {
+		t.Fatalf("primary exposes no pip_repl_last_seq\nlogs:\n%s", primary.logs.String())
+	}
+	if want := float64(total + 1); primarySeq != want {
+		t.Fatalf("primary last_seq = %v, want %v (CREATE + %d INSERTs)", primarySeq, want, total)
+	}
+	awaitCaughtUp(t, replica2, primarySeq)
+
+	// Caught up means bit-identical: every probe answers with the same
+	// bytes on both sides, including sampled aggregates.
+	for _, q := range dumpQueries {
+		a := resultDump(t, primary.addr, q)
+		b := resultDump(t, replica2.addr, q)
+		if a != b {
+			t.Errorf("primary and caught-up replica diverge on %q:\n  %.200s\n  %.200s", q, a, b)
+		}
+	}
+
+	// The caught-up replica still refuses writes with the typed error.
+	rsess, err := server.NewClient(replica2.addr).Session(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsess.Close(ctx)
+	if _, err := rsess.Exec(ctx, "INSERT INTO crash VALUES (9, 9, 9)"); !errors.Is(err, pip.ErrReadOnly) {
+		t.Errorf("replica write: got %v, want ErrReadOnly", err)
+	}
+}

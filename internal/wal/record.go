@@ -59,6 +59,20 @@ func AppendRecord(buf []byte, r Record) ([]byte, error) {
 	return append(buf, payload...), nil
 }
 
+// EncodePayload returns r's unframed payload encoding — the bytes a frame's
+// CRC covers and DecodePayload inverts. The replication stream ships
+// records in this form (with its own framing), so primary and replica
+// agree on the exact bytes the checksum protects.
+func EncodePayload(r Record) ([]byte, error) {
+	return appendPayload(nil, r)
+}
+
+// Checksum returns the CRC-32C (Castagnoli) checksum the log and the
+// replication stream use for payload and snapshot integrity.
+func Checksum(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}
+
 // appendPayload appends the unframed record payload.
 func appendPayload(buf []byte, r Record) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, recordVersion)

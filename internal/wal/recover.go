@@ -10,7 +10,6 @@ package wal
 import (
 	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -19,8 +18,6 @@ import (
 	"time"
 
 	"pip/internal/core"
-	"pip/internal/sampler"
-	"pip/internal/sql"
 )
 
 // RecoveryInfo describes what recovery found and did: which snapshot
@@ -208,44 +205,17 @@ func recoverState(dir string, db *core.DB, repair bool) (*RecoveryInfo, layout, 
 	}
 	lay.lastSeq = prev
 
-	// Replay. Each logged session gets its own handle so per-session SET
-	// statements do not clobber the root configuration, mirroring how the
-	// statements originally executed. Handle creation order (first
-	// appearance in the log) is itself deterministic, so two databases
-	// recovering from the same directory end up byte-identical.
-	handles := map[uint64]*core.DB{core.RootSessionID: db}
+	// Replay through the shared applier (apply.go) — the same engine the
+	// replication follower uses, so recovery and replication reproduce the
+	// catalog by literally the same code path.
+	ap := NewApplier(db, snapSeq)
 	for _, r := range replay {
-		if r.M.Session > info.MaxSession {
-			info.MaxSession = r.M.Session
-		}
-		h := handles[r.M.Session]
-		if h == nil {
-			// Session() inherits the root configuration as of this moment
-			// in replay, but the original session inherited it at creation
-			// time — possibly before root SET statements replay has already
-			// applied. The record carries the session's world seed so its
-			// creation context does not depend on replay timing: restore it
-			// here; the session's own SETs, logged in order, keep it
-			// current from then on. (The root handle never takes this path:
-			// its seed is boot configuration, the "seed" half of the
-			// (seed, statement log) pair recovery reproduces.)
-			h = db.Session()
-			h.UpdateConfig(func(c *sampler.Config) { c.WorldSeed = r.M.Seed })
-			handles[r.M.Session] = h
-		}
-		_, execErr := sql.ExecContext(context.Background(), h, r.M.Text, r.M.Args...)
-		if (execErr != nil) != r.M.Failed {
-			if execErr == nil {
-				execErr = errors.New("replay succeeded")
-			}
-			return info, lay, fmt.Errorf("%w: record %d %.80q logged failed=%v but: %w",
-				ErrReplayDiverged, r.Seq, r.M.Text, r.M.Failed, execErr)
+		if aerr := ap.Apply(context.Background(), r); aerr != nil {
+			return info, lay, aerr
 		}
 		info.Replayed++
 	}
-	if info.MaxSession > 0 {
-		db.EnsureSessionFloor(info.MaxSession)
-	}
+	info.MaxSession = ap.MaxSession()
 	info.LastSeq = lay.lastSeq
 	//pipvet:allow detsource recovery-duration telemetry, never feeds sampled state
 	info.Duration = time.Since(start)

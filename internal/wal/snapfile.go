@@ -76,20 +76,34 @@ func readSnapshotFile(path string, wantSeq uint64, db *core.DB) error {
 	if err != nil {
 		return fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
-	if len(raw) < snapHeaderLen || string(raw[:len(snapMagic)]) != snapMagic {
-		return fmt.Errorf("%w: %s: bad header", ErrSnapshotCorrupt, filepath.Base(path))
+	seq, err := DecodeSnapshotImage(raw, db)
+	if err != nil {
+		return fmt.Errorf("%s: %w", filepath.Base(path), err)
 	}
-	seq := binary.LittleEndian.Uint64(raw[len(snapMagic):])
 	if seq != wantSeq {
 		return fmt.Errorf("%w: %s: header covers record %d, name says %d", ErrSnapshotCorrupt, filepath.Base(path), seq, wantSeq)
 	}
+	return nil
+}
+
+// DecodeSnapshotImage validates one complete snapshot image — the exact
+// bytes of a snapshot file, however delivered (read from disk, or streamed
+// over the replication wire) — and decodes it into db, returning the
+// sequence number the snapshot covers through. All failures wrap
+// ErrSnapshotCorrupt; the envelope checks run before the decode and the
+// catalog decode is staged, so on failure db is left untouched.
+func DecodeSnapshotImage(raw []byte, db *core.DB) (uint64, error) {
+	if len(raw) < snapHeaderLen || string(raw[:len(snapMagic)]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad header", ErrSnapshotCorrupt)
+	}
+	seq := binary.LittleEndian.Uint64(raw[len(snapMagic):])
 	wantCRC := binary.LittleEndian.Uint32(raw[len(snapMagic)+8:])
 	body := raw[snapHeaderLen:]
 	if crc32.Checksum(body, castagnoli) != wantCRC {
-		return fmt.Errorf("%w: %s: CRC mismatch", ErrSnapshotCorrupt, filepath.Base(path))
+		return 0, fmt.Errorf("%w: CRC mismatch", ErrSnapshotCorrupt)
 	}
 	if err := db.DecodeCatalog(bytes.NewReader(body)); err != nil {
-		return fmt.Errorf("%w: %s: %w", ErrSnapshotCorrupt, filepath.Base(path), err)
+		return 0, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
-	return nil
+	return seq, nil
 }

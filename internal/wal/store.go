@@ -35,7 +35,8 @@ type Store struct {
 	lastSnapErr string   // most recent automatic-snapshot failure
 	poisoned    error    // first append/sync failure; fail-stop, see AppendMutation
 	closed      bool
-	buf         []byte // scratch frame buffer, reused across appends
+	buf         []byte          // scratch frame buffer, reused across appends
+	subs        []*Subscription // live tail-follow subscriptions (subscribe.go)
 
 	records   atomic.Uint64
 	bytes     atomic.Uint64
@@ -180,6 +181,10 @@ func (s *Store) AppendMutation(m core.Mutation) error {
 	s.sinceSnap++
 	s.records.Add(1)
 	s.bytes.Add(uint64(len(frame)))
+	// The record is durable; hand it to tail-follow subscribers while still
+	// holding s.mu, so delivery order is commit order with no gaps even
+	// across a concurrent Subscribe, rotation, or prune.
+	s.notifySubscribersLocked(Record{Seq: s.seq, M: m})
 	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
 		select {
 		case s.snapCh <- struct{}{}:
@@ -254,6 +259,7 @@ func (s *Store) Close() error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.closed = true
+		s.closeSubscribersLocked(ErrClosed)
 		if s.f != nil {
 			err = s.f.Sync()
 			if cerr := s.f.Close(); err == nil {
@@ -286,6 +292,22 @@ func (s *Store) Stats() Stats {
 		Poisoned:          poisoned,
 		Recovery:          s.recovery,
 	}
+}
+
+// NewestSnapshot reports the newest on-disk snapshot: the sequence number
+// it covers through and its full path (ok is false when none exists yet).
+// The path stays valid until two newer snapshots have been taken — prune
+// always retains the two newest — so a reader that opens it promptly never
+// races the pruner.
+func (s *Store) NewestSnapshot() (seq uint64, path string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, snaps, err := listDir(s.dir)
+	if err != nil || len(snaps) == 0 {
+		return 0, "", false
+	}
+	seq = snaps[len(snaps)-1]
+	return seq, filepath.Join(s.dir, snapName(seq)), true
 }
 
 // startSegmentLocked creates and durably initializes the segment whose

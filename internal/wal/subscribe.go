@@ -1,0 +1,263 @@
+// Subscriptions: the tail-follow API the replication subsystem rides on.
+// A subscriber names the first sequence number it wants and then receives
+// every committed record from there on, in order, with no gaps — first the
+// historical records read back from the segment files, then live records
+// as AppendMutation commits them. Registration happens under the store
+// mutex, the same lock appends and pruning hold, so the switchover from
+// disk reads to live delivery cannot lose or duplicate a record.
+package wal
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// maxSubscriberPending bounds how many undelivered records a subscription
+// buffers before the store drops it with ErrSubscriberLagged. The bound
+// keeps one stalled replica from holding the primary's memory hostage;
+// 64Ki records is minutes of catch-up headroom at any realistic rate.
+const maxSubscriberPending = 64 << 10
+
+// Subscription is an ordered, gap-free feed of committed log records.
+// Next blocks for the next record; Close releases the feed. A single
+// consumer goroutine is assumed (the store side is concurrency-safe).
+type Subscription struct {
+	store *Store
+
+	// wake has capacity 1: the store tops it up whenever the queue goes
+	// non-empty or the subscription dies, so a blocked Next observes it.
+	wake chan struct{}
+
+	// The store appends under its own mutex via push; Next drains. queue is
+	// sub-ordinate to Store.mu in lock order: push locks it while holding
+	// Store.mu; Next never touches Store.mu while holding it.
+	queue struct {
+		mu     sync.Mutex
+		recs   []Record
+		head   int
+		err    error // latched terminal error (ErrClosed, ErrSubscriberLagged)
+		closed bool
+	}
+}
+
+// Subscribe returns a feed of every record with sequence number >= from,
+// historical records included. If from is older than the oldest record
+// still on disk (pruning compacted it into a snapshot), Subscribe fails
+// with ErrCompacted and the caller should bootstrap from the newest
+// snapshot instead. from = seq+1 of a fully caught-up consumer is valid
+// and delivers live records only; from may be at most LastSeq+1.
+func (s *Store) Subscribe(from uint64) (*Subscription, error) {
+	if from == 0 {
+		from = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if from > s.seq+1 {
+		return nil, fmt.Errorf("%w: subscribe from %d but the log ends at %d", ErrGap, from, s.seq)
+	}
+	hist, err := s.readRecordsLocked(from)
+	if err != nil {
+		return nil, err
+	}
+	sub := &Subscription{
+		store: s,
+		wake:  make(chan struct{}, 1),
+	}
+	sub.queue.recs = hist
+	if len(hist) > 0 {
+		sub.signal()
+	}
+	s.subs = append(s.subs, sub)
+	return sub, nil
+}
+
+// readRecordsLocked reads every record with sequence >= from back from the
+// segment files. The caller holds s.mu, so no append, rotation, or prune
+// is concurrent and the active segment ends exactly at the last committed
+// record; any scan damage is real corruption, not a racing write.
+func (s *Store) readRecordsLocked(from uint64) ([]Record, error) {
+	if from > s.seq {
+		return nil, nil
+	}
+	segs, _, err := listDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 || segs[0] > from {
+		return nil, fmt.Errorf("%w: record %d requested, oldest on disk is %d",
+			ErrCompacted, from, func() uint64 {
+				if len(segs) == 0 {
+					return s.seq + 1
+				}
+				return segs[0]
+			}())
+	}
+	// The last segment starting at or before from holds it; scan from there.
+	startIdx := 0
+	for i, first := range segs {
+		if first > from {
+			break
+		}
+		startIdx = i
+	}
+	var out []Record
+	for i := startIdx; i < len(segs); i++ {
+		path := filepath.Join(s.dir, segName(segs[i]))
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+			return nil, fmt.Errorf("%w: segment %s: bad magic", ErrCorruptRecord, segName(segs[i]))
+		}
+		recs, _, tailErr := scanSegment(data[len(segMagic):], segs[i])
+		if tailErr != nil {
+			return nil, fmt.Errorf("segment %s: %w", segName(segs[i]), tailErr)
+		}
+		for _, r := range recs {
+			if r.Seq >= from {
+				out = append(out, r)
+			}
+		}
+	}
+	// A hole here would mean the store resumed from a directory recovery
+	// itself validated, so treat any discontinuity as corruption.
+	want := from
+	for _, r := range out {
+		if r.Seq != want {
+			return nil, fmt.Errorf("%w: record %d where %d expected reading back the log", ErrGap, r.Seq, want)
+		}
+		want++
+	}
+	if want != s.seq+1 {
+		return nil, fmt.Errorf("%w: log read-back ends at %d, store is at %d", ErrGap, want-1, s.seq)
+	}
+	return out, nil
+}
+
+// notifySubscribersLocked hands a freshly committed record to every live
+// subscription. The caller holds s.mu, so delivery order equals commit
+// order. A subscription over its buffer bound is dropped with
+// ErrSubscriberLagged rather than stalling the commit path.
+func (s *Store) notifySubscribersLocked(r Record) {
+	live := s.subs[:0]
+	for _, sub := range s.subs {
+		if sub.push(r) {
+			live = append(live, sub)
+		}
+	}
+	for i := len(live); i < len(s.subs); i++ {
+		s.subs[i] = nil
+	}
+	s.subs = live
+}
+
+// closeSubscribersLocked terminates every subscription with err (store
+// shutdown). The caller holds s.mu.
+func (s *Store) closeSubscribersLocked(err error) {
+	for _, sub := range s.subs {
+		sub.fail(err)
+	}
+	s.subs = nil
+}
+
+// push appends one record to the subscription queue, returning false if
+// the subscription is dead (closed, or just now dropped for lagging).
+func (sub *Subscription) push(r Record) bool {
+	q := &sub.queue
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.err != nil {
+		return false
+	}
+	if len(q.recs)-q.head >= maxSubscriberPending {
+		q.err = ErrSubscriberLagged
+		sub.signal()
+		return false
+	}
+	q.recs = append(q.recs, r)
+	sub.signal()
+	return true
+}
+
+// fail latches a terminal error for the consumer to observe.
+func (sub *Subscription) fail(err error) {
+	q := &sub.queue
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err == nil && !q.closed {
+		q.err = err
+	}
+	sub.signal()
+}
+
+// signal tops up the wake channel (capacity 1) without blocking.
+func (sub *Subscription) signal() {
+	select {
+	case sub.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until a record is available and returns it, preserving
+// commit order with no gaps. It returns the subscription's terminal error
+// once one is latched and the queued records before it are drained —
+// ErrSubscriberLagged if the consumer fell behind, ErrClosed if the store
+// shut down — or ctx.Err() on cancellation.
+func (sub *Subscription) Next(ctx context.Context) (Record, error) {
+	for {
+		q := &sub.queue
+		q.mu.Lock()
+		if q.head < len(q.recs) {
+			r := q.recs[q.head]
+			q.recs[q.head] = Record{}
+			q.head++
+			if q.head == len(q.recs) {
+				q.recs = q.recs[:0]
+				q.head = 0
+			}
+			q.mu.Unlock()
+			return r, nil
+		}
+		if q.err != nil {
+			err := q.err
+			q.mu.Unlock()
+			return Record{}, err
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return Record{}, ErrClosed
+		}
+		q.mu.Unlock()
+		select {
+		case <-sub.wake:
+		case <-ctx.Done():
+			return Record{}, ctx.Err()
+		}
+	}
+}
+
+// Close releases the subscription; a blocked Next returns ErrClosed.
+// Safe to call concurrently with the consumer and more than once.
+func (sub *Subscription) Close() {
+	s := sub.store
+	s.mu.Lock()
+	for i, x := range s.subs {
+		if x == sub {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	q := &sub.queue
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	sub.signal()
+}

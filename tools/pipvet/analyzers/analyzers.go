@@ -54,6 +54,7 @@ var detSuffixes = []string{
 	"internal/core",
 	"internal/sql",
 	"internal/wal",
+	"internal/repl",
 }
 
 // pathHasSuffix reports whether the import path is, or ends with a
