@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"pip"
 	"pip/internal/bench"
 	"pip/internal/server"
+	"pip/internal/sql"
 	"pip/internal/tpch"
 )
 
@@ -46,12 +48,39 @@ type benchReport struct {
 	// Speedup is the parallel world-evaluation curve (bench.Speedup), one
 	// row per workload.
 	Speedup []speedupReport `json:"speedup"`
+	// Vectorized is the vectorized-vs-row A/B experiment
+	// (bench.VectorizeAB), one row per workload. Additive: benchgate
+	// ignores fields it does not know, so old baselines stay comparable.
+	Vectorized []vectorizeReport `json:"vectorized"`
+	// JoinBenches tracks the 3-table join pair — hash join and the
+	// hint-forced nested-loop cross product, the same query and hints as
+	// the repo's BenchmarkJoin3* benchmarks — through the public API, so
+	// join-engine wins and regressions land in the baseline trajectory.
+	// Additive like Vectorized.
+	JoinBenches []joinBenchReport `json:"join_benches"`
 }
 
 // joinReport measures one equi-join expectation query end to end.
 type joinReport struct {
 	Query string  `json:"query"`
 	Ms    float64 `json:"ms"`
+}
+
+// vectorizeReport is one bench.VectorizeRow, flattened for JSON.
+type vectorizeReport struct {
+	Workload  string  `json:"workload"`
+	Query     string  `json:"query"`
+	RowMs     float64 `json:"row_ms"`
+	VecMs     float64 `json:"vec_ms"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// joinBenchReport is one join micro-benchmark: average wall clock per
+// executed query, streaming all result rows.
+type joinBenchReport struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
 }
 
 // speedupReport is one bench.SpeedupRow, flattened for JSON.
@@ -129,6 +158,28 @@ func runJSON(path string, opt bench.Options, quick bool, workers int) error {
 		})
 	}
 
+	// Join pair: hash join vs hint-forced nested loop over the same rows.
+	rep.JoinBenches, err = measureJoinBenches()
+	if err != nil {
+		return fmt.Errorf("join benches: %w", err)
+	}
+
+	// Vectorized-vs-row A/B with the differential bit-identity verdicts.
+	vrows, err := bench.VectorizeAB(opt)
+	if err != nil {
+		return fmt.Errorf("vectorize: %w", err)
+	}
+	for _, r := range vrows {
+		rep.Vectorized = append(rep.Vectorized, vectorizeReport{
+			Workload:  r.Workload,
+			Query:     r.Query,
+			RowMs:     float64(r.RowTime.Microseconds()) / 1000,
+			VecMs:     float64(r.VecTime.Microseconds()) / 1000,
+			Speedup:   r.Speedup(),
+			Identical: r.Identical,
+		})
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -139,4 +190,66 @@ func runJSON(path string, opt bench.Options, quick bool, workers int) error {
 		return err
 	}
 	return os.WriteFile(path, buf, 0o644)
+}
+
+// measureJoinBenches runs the 3-table equi-join once per planner mode:
+// hash-joined as planned, then with rewrite rules and hash joins disabled
+// via hints so it executes as the filtered cross product. The catalog,
+// query, hints and expected row count replicate BenchmarkJoin3* exactly.
+func measureJoinBenches() ([]joinBenchReport, error) {
+	const joinRows = 48
+	db := pip.Open(pip.Options{Seed: 5})
+	db.MustExec("CREATE TABLE jr (a, ra)")
+	db.MustExec("CREATE TABLE js (a, b, sb)")
+	db.MustExec("CREATE TABLE jt (b, tc)")
+	for i := 0; i < joinRows; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO jr VALUES (%d, %d)", i, i*2))
+		db.MustExec(fmt.Sprintf("INSERT INTO js VALUES (%d, %d, %d)", i, i+1000, i*3))
+		db.MustExec(fmt.Sprintf("INSERT INTO jt VALUES (%d, %d)", i+1000, i*5))
+	}
+	const q = "SELECT jr.ra, js.sb, jt.tc FROM jr, js, jt WHERE jr.a = js.a AND js.b = jt.b"
+	run := func(ctx context.Context) error {
+		rows, err := db.QueryContext(ctx, q)
+		if err != nil {
+			return err
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			return err
+		}
+		if n != joinRows {
+			return fmt.Errorf("join produced %d rows, want %d", n, joinRows)
+		}
+		return nil
+	}
+	cases := []struct {
+		name  string
+		hints sql.Hints
+		iters int
+	}{
+		{"join3_hash", sql.Hints{}, 200},
+		{"join3_nested_loop", sql.Hints{NoFold: true, NoPushdown: true, NoHashJoin: true, NoPrune: true}, 20},
+	}
+	out := make([]joinBenchReport, 0, len(cases))
+	for _, c := range cases {
+		ctx := sql.WithHints(context.Background(), c.hints)
+		if err := run(ctx); err != nil { // warmup
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		t0 := time.Now()
+		for i := 0; i < c.iters; i++ {
+			if err := run(ctx); err != nil {
+				return nil, fmt.Errorf("%s: %w", c.name, err)
+			}
+		}
+		out = append(out, joinBenchReport{
+			Name:    c.name,
+			NsPerOp: float64(time.Since(t0).Nanoseconds()) / float64(c.iters),
+		})
+	}
+	return out, nil
 }

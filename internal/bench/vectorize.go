@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"pip/internal/core"
+	"pip/internal/sampler"
+	"pip/internal/sql"
+	"pip/internal/tpch"
+)
+
+// VectorizeRow is one workload's vectorized-vs-row comparison: the same SQL
+// statement on the same catalog, once per engine. Identical reports whether
+// the two rendered result tables were byte-identical — the differential
+// contract of internal/sql/vectest, re-checked on every benchmark run so a
+// perf number can never hide a correctness break.
+type VectorizeRow struct {
+	Workload  string
+	Query     string
+	RowTime   time.Duration // row-at-a-time engine, per execution
+	VecTime   time.Duration // vectorized engine, per execution
+	Identical bool
+}
+
+// Speedup returns RowTime / VecTime.
+func (r VectorizeRow) Speedup() float64 {
+	if r.VecTime == 0 {
+		return 0
+	}
+	return float64(r.RowTime) / float64(r.VecTime)
+}
+
+// vectorizeIters is the per-engine measurement loop: enough executions to
+// swamp parse/plan noise without slowing the quick CI run.
+const vectorizeIters = 5
+
+// VectorizeAB measures the columnar batch engine against the row-at-a-time
+// fallback (the two sides of SET vectorize) on SQL workloads chosen to
+// stress each vectorized layer: a deterministic scan/filter/project
+// pipeline (columnar batches), an equi-join feeding an aggregate (binary
+// join keys), and sampled aggregates over symbolic expressions (compiled
+// expression programs; the expressions are nonlinear so the closed-form
+// rewrite cannot skip sampling). Both engines execute on one shared
+// catalog, so the symbolic
+// variables — and therefore the sampled worlds — are identical, and the
+// result tables must match byte for byte.
+func VectorizeAB(opt Options) ([]VectorizeRow, error) {
+	db, err := vectorizeDB(opt)
+	if err != nil {
+		return nil, err
+	}
+	workloads := []struct{ name, q string }{
+		{"filter-project",
+			"SELECT okey, price * 1.08 AS gross FROM orders WHERE price > 250"},
+		{"hash-join-agg",
+			"SELECT expected_sum(o.price) AS rev FROM orders o, customers c WHERE o.cust = c.cust AND c.growth > 0.02"},
+		{"sampled-sum",
+			"SELECT expected_sum(morders * morders + morders * price) AS rev FROM customers"},
+		{"group-moments",
+			"SELECT nation, expected_stddev(manuf + ship) AS spread FROM suppliers GROUP BY nation ORDER BY nation"},
+	}
+
+	rows := make([]VectorizeRow, 0, len(workloads))
+	for _, wl := range workloads {
+		rowStr, rowTime, err := vectorizeMeasure(db, wl.q, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s (row engine): %w", wl.name, err)
+		}
+		vecStr, vecTime, err := vectorizeMeasure(db, wl.q, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s (vectorized): %w", wl.name, err)
+		}
+		rows = append(rows, VectorizeRow{
+			Workload: wl.name, Query: wl.q,
+			RowTime: rowTime, VecTime: vecTime,
+			Identical: rowStr == vecStr,
+		})
+	}
+	return rows, nil
+}
+
+// vectorizeMeasure runs one query on one engine: a warmup execution whose
+// rendered table is kept for the bit-identity check, then vectorizeIters
+// timed executions. Deferred sampling makes every execution draw the same
+// worlds, so repetition changes timing only.
+func vectorizeMeasure(db *core.DB, q string, disable bool) (string, time.Duration, error) {
+	db.UpdateConfig(func(cfg *sampler.Config) { cfg.DisableVectorize = disable })
+	ctx := context.Background()
+	out, err := sql.ExecContext(ctx, db, q)
+	if err != nil {
+		return "", 0, err
+	}
+	t0 := time.Now()
+	for i := 0; i < vectorizeIters; i++ {
+		if _, err := sql.ExecContext(ctx, db, q); err != nil {
+			return "", 0, err
+		}
+	}
+	return out.String(), time.Since(t0) / vectorizeIters, nil
+}
+
+// vectorizeDB seeds the A/B catalog from the TPC-H generator at the
+// option's scale: deterministic historical orders, customers carrying the
+// Q1 Poisson order model, and suppliers carrying the Q2 Normal duration
+// models. Everything allocates through SQL CREATE_VARIABLE so the catalog
+// is a pure function of (scale, seed).
+func vectorizeDB(opt Options) (*core.DB, error) {
+	cfg := sampler.DefaultConfig()
+	cfg.WorldSeed = opt.Seed
+	cfg.FixedSamples = opt.Samples
+	db := core.NewDB(cfg)
+	data := tpch.Generate(opt.Scale, opt.Seed)
+
+	exec := func(q string) error {
+		_, err := sql.ExecContext(context.Background(), db, q)
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	if err := exec("CREATE TABLE customers (cust, growth, price, morders)"); err != nil {
+		return nil, err
+	}
+	var vals []string
+	flush := func(table string) error {
+		if len(vals) == 0 {
+			return nil
+		}
+		err := exec("INSERT INTO " + table + " VALUES " + strings.Join(vals, ", "))
+		vals = vals[:0]
+		return err
+	}
+	for _, c := range data.Customers {
+		vals = append(vals, fmt.Sprintf("(%d, %s, %s, CREATE_VARIABLE('Poisson', %s))",
+			c.CustKey, g(c.GrowthRate()), g(c.AvgOrderPrice), g(c.GrowthRate()*10)))
+		if len(vals) == 64 {
+			if err := flush("customers"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush("customers"); err != nil {
+		return nil, err
+	}
+
+	if err := exec("CREATE TABLE suppliers (supp, nation, manuf, ship)"); err != nil {
+		return nil, err
+	}
+	for _, sup := range data.Suppliers {
+		vals = append(vals, fmt.Sprintf("(%d, '%s', CREATE_VARIABLE('Normal', %s, %s), CREATE_VARIABLE('Normal', %s, %s))",
+			sup.SuppKey, sup.Nation, g(sup.ManufMean), g(sup.ManufStd), g(sup.ShipMean), g(sup.ShipStd)))
+		if len(vals) == 64 {
+			if err := flush("suppliers"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush("suppliers"); err != nil {
+		return nil, err
+	}
+
+	if err := exec("CREATE TABLE orders (okey, cust, price)"); err != nil {
+		return nil, err
+	}
+	for _, o := range data.Orders {
+		vals = append(vals, fmt.Sprintf("(%d, %d, %s)", o.OrderKey, o.CustKey, g(o.Price)))
+		if len(vals) == 64 {
+			if err := flush("orders"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush("orders"); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// WriteVectorize renders the A/B comparison.
+func WriteVectorize(w io.Writer, rows []VectorizeRow) {
+	fmt.Fprintln(w, "Vectorize A/B — columnar batch engine vs row-at-a-time fallback")
+	fmt.Fprintln(w, "(bit-identical: both engines must render byte-equal result tables)")
+	fmt.Fprintf(w, "%16s %12s %12s %9s %15s\n",
+		"workload", "row engine", "vectorized", "speedup", "bit-identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%16s %12s %12s %8.2fx %15v\n",
+			r.Workload,
+			r.RowTime.Round(time.Microsecond), r.VecTime.Round(time.Microsecond),
+			r.Speedup(), r.Identical)
+	}
+}

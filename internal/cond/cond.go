@@ -262,6 +262,14 @@ func FromClause(c Clause) Condition { return Condition{Clauses: []Clause{c}} }
 // syntactically (no clauses at all).
 func (d Condition) IsFalse() bool { return len(d.Clauses) == 0 }
 
+// IsTrivialTrue reports whether the condition is exactly the single TRUE
+// clause — the shape for which And is the identity on the other operand.
+// Callers that batch work across And calls key on this, not IsTrue, because
+// a multi-clause condition with one TRUE clause still distributes.
+func (d Condition) IsTrivialTrue() bool {
+	return len(d.Clauses) == 1 && len(d.Clauses[0]) == 0
+}
+
 // IsTrue reports whether some clause is the trivial TRUE clause.
 func (d Condition) IsTrue() bool {
 	for _, c := range d.Clauses {
@@ -293,6 +301,17 @@ func (d Condition) Or(o Condition) Condition {
 // And returns the conjunction of two DNF conditions by distributing clauses
 // (cross product). Deterministically false products are dropped.
 func (d Condition) And(o Condition) Condition {
+	// Identity fast paths: a side whose sole clause is TRUE cannot change
+	// the other side, because Clause.And never stores deterministic atoms,
+	// so distributing TRUE over the other side reproduces it exactly.
+	// Conditions are immutable by convention, so returning the operand
+	// unchanged is safe sharing, not aliasing.
+	if len(d.Clauses) == 1 && len(d.Clauses[0]) == 0 {
+		return o
+	}
+	if len(o.Clauses) == 1 && len(o.Clauses[0]) == 0 {
+		return d
+	}
 	out := Condition{}
 	for _, a := range d.Clauses {
 		for _, b := range o.Clauses {

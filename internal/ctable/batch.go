@@ -1,0 +1,119 @@
+// Columnar batches: the unit of data exchange between vectorized query
+// operators. A Batch holds ~1k rows as column-major Value slices plus a
+// per-row local condition, with an optional selection vector so filters can
+// drop rows without copying the surviving cells. Batches carry the same
+// information as a []Tuple slice — operators produce identical rows in
+// identical order through either representation.
+
+package ctable
+
+import "pip/internal/cond"
+
+// Batch is a column-major block of c-table rows. Cols[c][i] is the cell of
+// physical row i in column c; Conds[i] is row i's local condition. When Sel
+// is non-nil it lists the physical indexes of the live rows, in order —
+// logical row k is physical row Sel[k]. A nil Sel means all physical rows
+// are live (dense).
+//
+// Ownership follows the Cursor convention: a batch returned by an operator
+// is valid until that operator's next NextBatch call, so consumers either
+// finish with it before pulling again or copy the rows out. Producers may
+// therefore reuse batch memory across calls, and filters may edit Sel and
+// Conds of an upstream batch in place.
+type Batch struct {
+	Cols  [][]Value
+	Conds []cond.Condition
+	Sel   []int
+}
+
+// NewBatch returns an empty dense batch of ncols columns with capacity for
+// rows physical rows.
+func NewBatch(ncols, rows int) *Batch {
+	b := &Batch{Cols: make([][]Value, ncols), Conds: make([]cond.Condition, 0, rows)}
+	for c := range b.Cols {
+		b.Cols[c] = make([]Value, 0, rows)
+	}
+	return b
+}
+
+// Reset truncates the batch to zero rows, keeping column capacity, and
+// clears the selection vector.
+func (b *Batch) Reset() {
+	for c := range b.Cols {
+		b.Cols[c] = b.Cols[c][:0]
+	}
+	b.Conds = b.Conds[:0]
+	b.Sel = nil
+}
+
+// Len returns the number of live (logical) rows.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Conds)
+}
+
+// RowIdx maps logical row k to its physical row index.
+func (b *Batch) RowIdx(k int) int {
+	if b.Sel != nil {
+		return b.Sel[k]
+	}
+	return k
+}
+
+// At returns the cell of logical row k in column c.
+func (b *Batch) At(c, k int) Value { return b.Cols[c][b.RowIdx(k)] }
+
+// CondAt returns the local condition of logical row k.
+func (b *Batch) CondAt(k int) cond.Condition { return b.Conds[b.RowIdx(k)] }
+
+// Row gathers logical row k into a freshly allocated Tuple (safe to retain
+// after the batch is reused).
+func (b *Batch) Row(k int) Tuple {
+	i := b.RowIdx(k)
+	vals := make([]Value, len(b.Cols))
+	for c := range b.Cols {
+		vals[c] = b.Cols[c][i]
+	}
+	return Tuple{Values: vals, Cond: b.Conds[i]}
+}
+
+// GatherRow copies logical row k's cells into dst (which must have one slot
+// per column) and returns the row's condition — the allocation-free variant
+// of Row for operators with a reusable row scratch.
+func (b *Batch) GatherRow(k int, dst []Value) cond.Condition {
+	i := b.RowIdx(k)
+	for c := range b.Cols {
+		dst[c] = b.Cols[c][i]
+	}
+	return b.Conds[i]
+}
+
+// AppendRow appends a dense row, copying the cells. It must not be mixed
+// with a non-nil Sel.
+func (b *Batch) AppendRow(vals []Value, c cond.Condition) {
+	for ci := range b.Cols {
+		b.Cols[ci] = append(b.Cols[ci], vals[ci])
+	}
+	b.Conds = append(b.Conds, c)
+}
+
+// AppendTuple appends a dense row from a Tuple, copying the cells.
+func (b *Batch) AppendTuple(t *Tuple) { b.AppendRow(t.Values, t.Cond) }
+
+// Head returns a view of the first n logical rows (no copying; the view
+// shares the batch's storage).
+func (b *Batch) Head(n int) *Batch {
+	if n >= b.Len() {
+		return b
+	}
+	if b.Sel != nil {
+		return &Batch{Cols: b.Cols, Conds: b.Conds, Sel: b.Sel[:n]}
+	}
+	out := &Batch{Cols: make([][]Value, len(b.Cols)), Conds: b.Conds[:n]}
+	for c := range b.Cols {
+		out.Cols[c] = b.Cols[c][:n]
+	}
+	return out
+}

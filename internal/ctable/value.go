@@ -258,6 +258,55 @@ func (v Value) String() string {
 // values key by equation syntax and must not be used for equality pairing.
 func (v Value) HashKey() string { return v.key() }
 
+// AppendBinaryKey appends a compact binary key for v to dst and returns the
+// extended slice. The key partitions values into exactly the same
+// equivalence classes as HashKey — numerically equal int/float pairs share
+// a key (both go through AsFloat), every NaN is canonicalized to one
+// pattern (FormatFloat renders every NaN as "NaN"), and -0 stays distinct
+// from +0 (as "-0" differs from "0") — but costs no float formatting, which
+// dominates the string path. Keys are self-delimiting (kind tag plus
+// fixed-width or length-prefixed payload), so multi-column keys concatenate
+// without a separator.
+func (v Value) AppendBinaryKey(dst []byte) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(dst, 'n')
+	case KindString:
+		dst = append(dst, 's')
+		dst = appendKeyLen(dst, len(v.S))
+		return append(dst, v.S...)
+	case KindBool:
+		if v.B {
+			return append(dst, 'b', 1)
+		}
+		return append(dst, 'b', 0)
+	case KindExpr:
+		s := v.E.String()
+		dst = append(dst, 'e')
+		dst = appendKeyLen(dst, len(s))
+		return append(dst, s...)
+	default:
+		f, _ := v.AsFloat()
+		bits := math.Float64bits(f)
+		if f != f {
+			bits = 0x7FF8000000000000
+		}
+		return append(dst, 'f',
+			byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+			byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
+	}
+}
+
+// appendKeyLen appends a length prefix as a little-endian base-128 varint.
+func appendKeyLen(dst []byte, n int) []byte {
+	u := uint64(n)
+	for u >= 0x80 {
+		dst = append(dst, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(dst, byte(u))
+}
+
 // key returns a hashable representation used for grouping and distinct.
 func (v Value) key() string {
 	switch v.Kind {

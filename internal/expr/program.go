@@ -1,0 +1,304 @@
+// Compiled expression programs: a symbolic expression tree flattened once
+// into postfix instruction arrays (opcode + operand index, constant pool,
+// variable slot table) and evaluated with an explicit value stack — no AST
+// walk, no interface dispatch, no per-operation allocation. EvalBatch runs
+// the program across a whole batch of sample worlds in tight loops over
+// contiguous scratch (operations outer, samples inner).
+//
+// Bit-identity: compilation emits instructions in exactly the evaluation
+// order of the recursive Eval walk (left subtree, right subtree, operator),
+// so for every sample the program performs the identical sequence of
+// float64 operations the tree walk performs. There are no cross-sample
+// reductions inside EvalBatch, so batch evaluation is bit-identical to
+// per-sample evaluation at every batch size. The one caveat is NaN
+// payloads: IEEE 754 leaves the payload of a propagated NaN unspecified
+// and Go may commute operands of + and *, so two compilations of the same
+// expression can surface different NaN bit patterns. Every NaN is treated
+// as equal to every other NaN; non-NaN results are exact to the bit.
+
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// progOp is one opcode of a compiled program.
+type progOp uint8
+
+const (
+	// progConst pushes consts[arg].
+	progConst progOp = iota
+	// progVar pushes the value of variable slot arg.
+	progVar
+	// progAdd/progSub/progMul/progDiv pop two operands (right on top) and
+	// push the result.
+	progAdd
+	progSub
+	progMul
+	progDiv
+	// progNeg negates the top of the stack in place.
+	progNeg
+)
+
+// Program is a compiled expression: flat postfix instruction arrays plus a
+// constant pool and a variable slot table. Programs are immutable after
+// Compile and safe for concurrent use; evaluation scratch is caller-owned.
+type Program struct {
+	ops    []progOp
+	args   []int32 // constant-pool or slot index per op (0 for arithmetic)
+	consts []float64
+	// keys maps variable slots to variable keys. Slot order is the first
+	// occurrence of each variable in postfix emission order — a pure
+	// function of the tree shape, never of map iteration.
+	keys     []VarKey
+	slots    map[VarKey]int32
+	maxStack int
+}
+
+// Compile flattens e into a postfix program. It returns an error for
+// expression node types it does not recognize (callers fall back to the
+// tree walk) so a future Expr implementation can never be silently
+// mis-evaluated.
+func Compile(e Expr) (*Program, error) {
+	p := &Program{slots: map[VarKey]int32{}}
+	depth := 0
+	if err := p.compile(e, &depth); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// compile emits e in postorder, tracking the running stack depth.
+func (p *Program) compile(e Expr, depth *int) error {
+	switch t := e.(type) {
+	case Const:
+		p.emitPush(progConst, p.addConst(float64(t)), depth)
+	case Var:
+		p.emitPush(progVar, p.slot(t.V.Key), depth)
+	case Bin:
+		var op progOp
+		switch t.Op {
+		case OpAdd:
+			op = progAdd
+		case OpSub:
+			op = progSub
+		case OpMul:
+			op = progMul
+		case OpDiv:
+			op = progDiv
+		default:
+			return fmt.Errorf("expr: cannot compile operator %v", t.Op)
+		}
+		if err := p.compile(t.Left, depth); err != nil {
+			return err
+		}
+		if err := p.compile(t.Right, depth); err != nil {
+			return err
+		}
+		p.ops = append(p.ops, op)
+		p.args = append(p.args, 0)
+		*depth--
+	case Neg:
+		if err := p.compile(t.X, depth); err != nil {
+			return err
+		}
+		p.ops = append(p.ops, progNeg)
+		p.args = append(p.args, 0)
+	default:
+		return fmt.Errorf("expr: cannot compile %T", e)
+	}
+	return nil
+}
+
+// emitPush appends a push instruction and advances the stack-depth bound.
+func (p *Program) emitPush(op progOp, arg int32, depth *int) {
+	p.ops = append(p.ops, op)
+	p.args = append(p.args, arg)
+	*depth++
+	if *depth > p.maxStack {
+		p.maxStack = *depth
+	}
+}
+
+// addConst interns a constant, reusing an existing pool entry with the same
+// bit pattern (NaNs with distinct payloads stay distinct).
+func (p *Program) addConst(v float64) int32 {
+	bits := math.Float64bits(v)
+	for i, c := range p.consts {
+		if math.Float64bits(c) == bits {
+			return int32(i)
+		}
+	}
+	p.consts = append(p.consts, v)
+	return int32(len(p.consts) - 1)
+}
+
+// slot returns the variable slot for k, assigning the next slot on first
+// occurrence (postfix emission order — deterministic by construction).
+func (p *Program) slot(k VarKey) int32 {
+	if s, ok := p.slots[k]; ok {
+		return s
+	}
+	s := int32(len(p.keys))
+	p.keys = append(p.keys, k)
+	p.slots[k] = s
+	return s
+}
+
+// NumSlots returns the number of distinct variable slots.
+func (p *Program) NumSlots() int { return len(p.keys) }
+
+// MaxStack returns the stack depth EvalSlots/EvalBatch scratch must hold.
+func (p *Program) MaxStack() int { return p.maxStack }
+
+// Keys returns the slot-ordered variable keys. The slice is shared: callers
+// must treat it as read-only.
+func (p *Program) Keys() []VarKey { return p.keys }
+
+// Gather copies the values of the program's variables out of an assignment
+// into slot order (unassigned variables become NaN, exactly as Var.Eval
+// reports them). vals must have NumSlots capacity.
+func (p *Program) Gather(a Assignment, vals []float64) {
+	for s, k := range p.keys {
+		if v, ok := a[k]; ok {
+			vals[s] = v
+		} else {
+			vals[s] = math.NaN()
+		}
+	}
+}
+
+// EvalSlots evaluates the program over slot-ordered variable values. stack
+// must have at least MaxStack elements; it is scratch, overwritten freely.
+// The result is bit-identical to the source tree's Eval under the gathered
+// assignment.
+func (p *Program) EvalSlots(vals, stack []float64) float64 {
+	sp := 0
+	for i, op := range p.ops {
+		switch op {
+		case progConst:
+			stack[sp] = p.consts[p.args[i]]
+			sp++
+		case progVar:
+			stack[sp] = vals[p.args[i]]
+			sp++
+		case progAdd:
+			stack[sp-2] += stack[sp-1]
+			sp--
+		case progSub:
+			stack[sp-2] -= stack[sp-1]
+			sp--
+		case progMul:
+			stack[sp-2] *= stack[sp-1]
+			sp--
+		case progDiv:
+			stack[sp-2] /= stack[sp-1]
+			sp--
+		case progNeg:
+			stack[sp-1] = -stack[sp-1]
+		}
+	}
+	return stack[0]
+}
+
+// Eval evaluates the program under an assignment (convenience path for
+// differential tests; hot paths gather once and use EvalSlots/EvalBatch).
+func (p *Program) Eval(a Assignment) float64 {
+	vals := make([]float64, len(p.keys))
+	stack := make([]float64, p.maxStack)
+	p.Gather(a, vals)
+	return p.EvalSlots(vals, stack)
+}
+
+// EvalBatch evaluates the program for samples [0, n) at once: cols[slot][i]
+// holds the slot's value in sample i, out[i] receives the result for sample
+// i, and stack is flat scratch of at least MaxStack()*n elements (stack
+// level L for sample i lives at stack[L*n+i]). The instruction loop is
+// operations-outer, samples-inner; per sample the operation sequence is
+// identical to EvalSlots, so results are bit-identical to per-sample
+// evaluation.
+func (p *Program) EvalBatch(cols [][]float64, n int, out, stack []float64) {
+	if n <= 0 {
+		return
+	}
+	sp := 0
+	for i, op := range p.ops {
+		switch op {
+		case progConst:
+			c := p.consts[p.args[i]]
+			dst := stack[sp*n : sp*n+n]
+			for j := range dst {
+				dst[j] = c
+			}
+			sp++
+		case progVar:
+			copy(stack[sp*n:sp*n+n], cols[p.args[i]][:n])
+			sp++
+		case progAdd:
+			a := stack[(sp-2)*n : (sp-2)*n+n]
+			b := stack[(sp-1)*n : (sp-1)*n+n]
+			for j, bv := range b {
+				a[j] += bv
+			}
+			sp--
+		case progSub:
+			a := stack[(sp-2)*n : (sp-2)*n+n]
+			b := stack[(sp-1)*n : (sp-1)*n+n]
+			for j, bv := range b {
+				a[j] -= bv
+			}
+			sp--
+		case progMul:
+			a := stack[(sp-2)*n : (sp-2)*n+n]
+			b := stack[(sp-1)*n : (sp-1)*n+n]
+			for j, bv := range b {
+				a[j] *= bv
+			}
+			sp--
+		case progDiv:
+			a := stack[(sp-2)*n : (sp-2)*n+n]
+			b := stack[(sp-1)*n : (sp-1)*n+n]
+			for j, bv := range b {
+				a[j] /= bv
+			}
+			sp--
+		case progNeg:
+			a := stack[(sp-1)*n : (sp-1)*n+n]
+			for j := range a {
+				a[j] = -a[j]
+			}
+		}
+	}
+	copy(out[:n], stack[:n])
+}
+
+// String renders the program as one instruction per line — a disassembly
+// for tests and debugging.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, op := range p.ops {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		switch op {
+		case progConst:
+			b.WriteString("const " + strconv.FormatFloat(p.consts[p.args[i]], 'g', -1, 64))
+		case progVar:
+			b.WriteString("var " + p.keys[p.args[i]].String())
+		case progAdd:
+			b.WriteString("add")
+		case progSub:
+			b.WriteString("sub")
+		case progMul:
+			b.WriteString("mul")
+		case progDiv:
+			b.WriteString("div")
+		case progNeg:
+			b.WriteString("neg")
+		}
+	}
+	return b.String()
+}

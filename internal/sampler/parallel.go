@@ -141,6 +141,13 @@ type groupEngine struct {
 	cfg    *Config
 	protos []*groupSampler
 	e      expr.Expr // nil: accumulate 1 per sample (counting only)
+	// prog is e compiled to a flat postfix program, evaluated across a whole
+	// batch of drawn sample worlds in one pass (nil when vectorization is
+	// disabled or e uses nodes the compiler does not know). Evaluation is
+	// a pure read of the per-sample assignment, so batching the evaluations
+	// after the batch's draws changes no PRNG state and no merge order —
+	// results are bit-identical to the per-sample tree walk.
+	prog *expr.Program
 	// collect keeps every per-sample value (histogram mode) in addition to
 	// the moment accumulator.
 	collect bool
@@ -163,6 +170,11 @@ type groupEngine struct {
 
 func newGroupEngine(cfg *Config, protos []*groupSampler, e expr.Expr, collect bool) *groupEngine {
 	ge := &groupEngine{cfg: cfg, protos: protos, e: e, collect: collect}
+	if e != nil && !cfg.DisableVectorize {
+		if p, err := expr.Compile(e); err == nil {
+			ge.prog = p
+		}
+	}
 	for _, gs := range protos {
 		if gs.usingMetropolis() {
 			ge.sequential = true
@@ -295,6 +307,23 @@ func (ge *groupEngine) runBatch(start, n int) groupBatch {
 	if ge.collect {
 		res.values = make([]float64, 0, n)
 	}
+	// Vectorized scratch: one flat allocation holds the slot columns, the
+	// output column, and the evaluation stack for the whole batch.
+	vec := ge.prog != nil && n > 0
+	var cols [][]float64
+	var vals, out, stack []float64
+	if vec {
+		nslots := ge.prog.NumSlots()
+		flat := make([]float64, (nslots+1+ge.prog.MaxStack())*n+nslots)
+		cols = make([][]float64, nslots)
+		for s := range cols {
+			cols[s] = flat[s*n : (s+1)*n]
+		}
+		out = flat[nslots*n : (nslots+1)*n]
+		stack = flat[(nslots+1)*n : (nslots+1+ge.prog.MaxStack())*n]
+		vals = flat[(nslots+1+ge.prog.MaxStack())*n:]
+	}
+	drawn := 0
 	for i := 0; i < n; i++ {
 		idx := uint64(start + i)
 		ok := true
@@ -308,6 +337,16 @@ func (ge *groupEngine) runBatch(start, n int) groupBatch {
 			res.failedAt = start + i
 			break
 		}
+		if vec {
+			// Snapshot this sample's variable values into the columns; the
+			// arithmetic runs once for the whole batch after the draw loop.
+			ge.prog.Gather(asn, vals)
+			for s := range cols {
+				cols[s][drawn] = vals[s]
+			}
+			drawn++
+			continue
+		}
 		v := 1.0
 		if ge.e != nil {
 			v = ge.e.Eval(asn)
@@ -315,6 +354,17 @@ func (ge *groupEngine) runBatch(start, n int) groupBatch {
 		res.acc.Add(v)
 		if ge.collect {
 			res.values = append(res.values, v)
+		}
+	}
+	if vec && drawn > 0 {
+		ge.prog.EvalBatch(cols, drawn, out, stack)
+		// Accumulate in sample order — the identical Add sequence the
+		// per-sample path performs.
+		for _, v := range out[:drawn] {
+			res.acc.Add(v)
+			if ge.collect {
+				res.values = append(res.values, v)
+			}
 		}
 	}
 	if !ge.sequential {

@@ -35,6 +35,10 @@ type PlanNode struct {
 	// Elapsed is cumulative operator wall time, children included
 	// (ANALYZE only).
 	Elapsed time.Duration
+	// OpBatches is the number of column batches the operator emitted
+	// (ANALYZE only; zero on the row-at-a-time engine). Distinct from
+	// Batches below, which counts sampler batches.
+	OpBatches int64
 	// Sampling reports that the operator carries its own sampler telemetry
 	// scope (Project and Aggregate nodes); Samples, Batches and AcceptRate
 	// are meaningful only when it is set.
@@ -69,7 +73,11 @@ func (n *PlanNode) render(out *[]string, depth int) {
 		line += " " + n.Detail
 	}
 	if n.Analyzed {
-		line += fmt.Sprintf(" [rows=%d time=%s", n.Rows, n.Elapsed.Round(time.Microsecond))
+		line += fmt.Sprintf(" [rows=%d", n.Rows)
+		if n.OpBatches > 0 {
+			line += fmt.Sprintf(" batches=%d", n.OpBatches)
+		}
+		line += fmt.Sprintf(" time=%s", n.Elapsed.Round(time.Microsecond))
 		if n.Sampling {
 			line += fmt.Sprintf(" samples=%d batches=%d", n.Samples, n.Batches)
 			if n.AcceptRate >= 0 {
@@ -96,6 +104,7 @@ func toPlanNode(op operator, analyzed bool) *PlanNode {
 	if analyzed {
 		n.Rows = b.stats.rows
 		n.Elapsed = b.stats.elapsed
+		n.OpBatches = b.stats.batches
 		if b.samp != nil {
 			snap := b.samp.Snapshot()
 			n.Sampling = true

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 	"time"
 
 	"pip/internal/cond"
@@ -23,6 +22,7 @@ import (
 // opStats holds per-operator execution counters for EXPLAIN ANALYZE.
 type opStats struct {
 	rows    int64
+	batches int64         // column batches emitted (vectorized operators only)
 	elapsed time.Duration // cumulative: includes time spent in child operators
 }
 
@@ -103,6 +103,20 @@ func (p *physPlan) drain() (*ctable.Table, error) {
 	}
 	out := &ctable.Table{Name: p.name, Schema: sch}
 	defer p.root.Close()
+	if v, ok := p.root.(vecOperator); ok {
+		// Batch fast path: gather rows straight out of the root's batches
+		// (one backing allocation per batch, no Clone round trip).
+		for {
+			b, err := v.NextBatch(vecBatchSize)
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			gatherBatch(b, &out.Tuples)
+		}
+	}
 	for {
 		t, err := p.root.Next()
 		if err == io.EOF {
@@ -356,6 +370,7 @@ type hashJoinOp struct {
 	build               []ctable.Tuple
 	buckets             map[string][]int
 	symb                []int
+	keyBuf              []byte
 	built               bool
 	cur                 *ctable.Tuple
 	matches             []int
@@ -364,19 +379,20 @@ type hashJoinOp struct {
 	done                bool
 }
 
-// joinKey renders the key columns of a tuple, reporting ok=false when any
-// key cell is symbolic (those rows take the pair-with-everything path).
-func joinKey(t *ctable.Tuple, cols []int) (string, bool) {
-	var b strings.Builder
+// joinKey appends the binary key of a tuple's key columns to buf (see
+// Value.AppendBinaryKey — same equivalence classes as HashKey, no float
+// formatting), reporting ok=false when any key cell is symbolic (those rows
+// take the pair-with-everything path). Callers reuse buf across rows; probe
+// lookups convert it with an allocation-free map[string] access.
+func joinKey(t *ctable.Tuple, cols []int, buf []byte) ([]byte, bool) {
 	for _, c := range cols {
 		v := t.Values[c]
 		if v.IsSymbolic() {
-			return "", false
+			return buf, false
 		}
-		b.WriteString(v.HashKey())
-		b.WriteByte(0)
+		buf = v.AppendBinaryKey(buf)
 	}
-	return b.String(), true
+	return buf, true
 }
 
 // Next implements Cursor.
@@ -392,8 +408,10 @@ func (o *hashJoinOp) Next() (*ctable.Tuple, error) {
 		}
 		o.buckets = make(map[string][]int, len(o.build))
 		for i := range o.build {
-			if k, ok := joinKey(&o.build[i], o.rightKeys); ok {
-				o.buckets[k] = append(o.buckets[k], i)
+			var ok bool
+			o.keyBuf, ok = joinKey(&o.build[i], o.rightKeys, o.keyBuf[:0])
+			if ok {
+				o.buckets[string(o.keyBuf)] = append(o.buckets[string(o.keyBuf)], i)
 			} else {
 				o.symb = append(o.symb, i)
 			}
@@ -409,9 +427,11 @@ func (o *hashJoinOp) Next() (*ctable.Tuple, error) {
 			}
 			o.cur = t
 			o.mi = 0
-			if k, ok := joinKey(t, o.leftKeys); ok {
+			var ok bool
+			o.keyBuf, ok = joinKey(t, o.leftKeys, o.keyBuf[:0])
+			if ok {
 				o.all = false
-				o.matches = mergeSorted(o.buckets[k], o.symb)
+				o.matches = mergeSorted(o.buckets[string(o.keyBuf)], o.symb)
 			} else {
 				o.all = true
 				o.matches = nil
@@ -575,7 +595,13 @@ func (o *projectOp) Next() (*ctable.Tuple, error) {
 
 // finish projects one tuple and applies the per-row functions.
 func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
-	q := o.spec
+	return finishProject(o.env, o.spec, t)
+}
+
+// finishProject computes the projection targets for one row and applies the
+// per-row probability functions — the shared per-row unit behind the
+// row-at-a-time and vectorized Project operators.
+func finishProject(env execEnv, q *lProject, t *ctable.Tuple) (*ctable.Tuple, error) {
 	vals := make([]ctable.Value, len(q.targets))
 	for j, tgt := range q.targets {
 		v, err := tgt.Resolve(t)
@@ -590,7 +616,7 @@ func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
 		if !out.Values[pos].IsSymbolic() {
 			continue
 		}
-		res, err := core.TupleExpectation(o.env.smp, &out, pos, false)
+		res, err := core.TupleExpectation(env.smp, &out, pos, false)
 		if err != nil {
 			return nil, err
 		}
@@ -612,7 +638,7 @@ func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
 		default:
 			return nil, fmt.Errorf("sql: %s() over disjunctive conditions is not supported", kind)
 		}
-		v := o.env.smp.Variance(e, clause)
+		v := env.smp.Variance(e, clause)
 		if v.Err != nil {
 			return nil, v.Err
 		}
@@ -623,7 +649,7 @@ func (o *projectOp) finish(t *ctable.Tuple) (*ctable.Tuple, error) {
 		}
 	}
 	if len(q.confCols) > 0 {
-		res := o.env.smp.AConf(out.Cond)
+		res := env.smp.AConf(out.Cond)
 		if res.Err != nil {
 			return nil, res.Err
 		}
@@ -699,17 +725,33 @@ func (o *aggOp) compute() (*ctable.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		vals := make([]ctable.Value, len(a.staged))
-		for j, tgt := range a.staged {
-			v, err := tgt.Resolve(t)
-			if err != nil {
-				return nil, err
-			}
-			vals[j] = v
+		st, err := stageAggRow(a, t)
+		if err != nil {
+			return nil, err
 		}
-		staged.Tuples = append(staged.Tuples, ctable.Tuple{Values: vals, Cond: t.Cond})
+		staged.Tuples = append(staged.Tuples, st)
 	}
+	return computeAgg(o.env, a, staged)
+}
 
+// stageAggRow resolves the [group keys..., agg args...] staging targets for
+// one input row — the shared per-row unit behind both aggregate operators.
+func stageAggRow(a *lAggregate, t *ctable.Tuple) (ctable.Tuple, error) {
+	vals := make([]ctable.Value, len(a.staged))
+	for j, tgt := range a.staged {
+		v, err := tgt.Resolve(t)
+		if err != nil {
+			return ctable.Tuple{}, err
+		}
+		vals[j] = v
+	}
+	return ctable.Tuple{Values: vals, Cond: t.Cond}, nil
+}
+
+// computeAgg partitions a staged input table by its key columns and
+// evaluates the expectation aggregates per group — shared by the
+// row-at-a-time and vectorized Aggregate operators.
+func computeAgg(env execEnv, a *lAggregate, staged *ctable.Table) (*ctable.Table, error) {
 	// Group.
 	var groups []ctable.GroupRows
 	if a.nKeys == 0 {
@@ -736,9 +778,9 @@ func (o *aggOp) compute() (*ctable.Table, error) {
 	}
 	out := &ctable.Table{Name: "result", Schema: outSch}
 
-	smp := o.env.smp
+	smp := env.smp
 	for _, g := range groups {
-		if err := o.env.ctxErr(); err != nil {
+		if err := env.ctxErr(); err != nil {
 			return nil, err
 		}
 		sub := &ctable.Table{Name: staged.Name, Schema: staged.Schema}
@@ -779,7 +821,7 @@ func (o *aggOp) compute() (*ctable.Table, error) {
 				if at.kind == "expected_variance" {
 					fold = sampler.VarianceFold
 				}
-				n := o.env.db.Config().FixedSamples
+				n := env.db.Config().FixedSamples
 				if n <= 0 {
 					n = 1000
 				}

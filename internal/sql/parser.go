@@ -135,6 +135,17 @@ func (p *Parser) parseSet() (Stmt, error) {
 	}
 	neg := p.accept("-")
 	t := p.peek()
+	if !neg && t.Kind == TokIdent {
+		// Boolean settings accept on/off/true/false sugar for 1/0.
+		switch strings.ToLower(t.Text) {
+		case "on", "true":
+			p.pos++
+			return &SetStmt{Name: strings.ToLower(name), Value: 1}, nil
+		case "off", "false":
+			p.pos++
+			return &SetStmt{Name: strings.ToLower(name), Value: 0}, nil
+		}
+	}
 	if t.Kind != TokNumber {
 		return nil, p.errf("expected numeric value for SET %s, got %q", name, t.Text)
 	}

@@ -200,6 +200,13 @@ var sessionSettings = map[string]func(cfg *sampler.Config, v float64) error{
 		cfg.WorldSeed = n
 		return nil
 	},
+	"vectorize": func(cfg *sampler.Config, v float64) error {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("sql: vectorize must be on or off")
+		}
+		cfg.DisableVectorize = v == 0
+		return nil
+	},
 }
 
 // execSet applies a session setting (SET name = value) to the database's

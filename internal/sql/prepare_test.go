@@ -268,8 +268,8 @@ func TestQueryContextStreams(t *testing.T) {
 	if !ok {
 		t.Fatalf("plain SELECT produced %T, want span-traced plan cursor", cur)
 	}
-	if _, ok := sc.inner.(*limitOp); !ok {
-		t.Fatalf("plain SELECT pipeline is %T, want streaming limitOp", sc.inner)
+	if _, ok := sc.inner.(*vecLimitOp); !ok {
+		t.Fatalf("plain SELECT pipeline is %T, want streaming vecLimitOp", sc.inner)
 	}
 	var names []string
 	for {

@@ -22,6 +22,12 @@ func TestSetStatement(t *testing.T) {
 		{`SET epsilon = 0.01`, func(c sampler.Config) bool { return c.Epsilon == 0.01 }},
 		{`SET delta = 0.1`, func(c sampler.Config) bool { return c.Delta == 0.1 }},
 		{`SET seed = 42`, func(c sampler.Config) bool { return c.WorldSeed == 42 }},
+		{`SET vectorize = off`, func(c sampler.Config) bool { return c.DisableVectorize }},
+		{`SET vectorize = on`, func(c sampler.Config) bool { return !c.DisableVectorize }},
+		{`SET vectorize = false`, func(c sampler.Config) bool { return c.DisableVectorize }},
+		{`SET vectorize = true`, func(c sampler.Config) bool { return !c.DisableVectorize }},
+		{`SET vectorize = 0`, func(c sampler.Config) bool { return c.DisableVectorize }},
+		{`SET vectorize = 1`, func(c sampler.Config) bool { return !c.DisableVectorize }},
 	}
 	for _, tc := range cases {
 		if _, err := Exec(db, tc.stmt); err != nil {
@@ -47,6 +53,8 @@ func TestSetStatementErrors(t *testing.T) {
 		{`SET max_samples = 0`, "positive"},
 		{`SET workers`, "expected"},
 		{`SET workers = banana`, "numeric"},
+		{`SET vectorize = 2`, "on or off"},
+		{`SET vectorize = maybe`, "numeric"},
 	}
 	for _, tc := range cases {
 		_, err := Exec(db, tc.stmt)

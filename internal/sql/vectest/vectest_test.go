@@ -1,0 +1,169 @@
+package vectest
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"pip/internal/core"
+	"pip/internal/sql"
+)
+
+const testSamples = 200
+
+// rowEngine / vecEngine are the per-request switches for the two engines.
+var (
+	rowEngine = sql.Hints{NoVectorize: true}
+	vecEngine = sql.Hints{}
+)
+
+func seedDB(t *testing.T, workers int) *core.DB {
+	t.Helper()
+	db, err := SeedDB(testSamples, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func run(t *testing.T, db *core.DB, q string, h sql.Hints) Result {
+	t.Helper()
+	r, err := RunQuery(db, q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func assertSame(t *testing.T, q, label string, got, want Result) {
+	t.Helper()
+	if got.Rows != want.Rows {
+		t.Fatalf("%s: %s rows differ:\ngot:\n%s\nwant:\n%s", q, label, got.Rows, want.Rows)
+	}
+	if strings.Join(got.Plan, "\n") != strings.Join(want.Plan, "\n") {
+		t.Fatalf("%s: %s EXPLAIN row counts differ:\ngot:\n%s\nwant:\n%s",
+			q, label, strings.Join(got.Plan, "\n"), strings.Join(want.Plan, "\n"))
+	}
+}
+
+// TestEngineDifferential is the harness's core assertion: every corpus
+// query returns a byte-identical result table and identical per-operator
+// row counts on the vectorized and row-at-a-time engines, at every worker
+// count, and the outputs are identical across worker counts too.
+func TestEngineDifferential(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	baseline := make(map[string]Result)
+	for _, w := range workerCounts {
+		db := seedDB(t, w)
+		for _, q := range Corpus() {
+			ref := run(t, db, q, rowEngine)
+			got := run(t, db, q, vecEngine)
+			assertSame(t, q, "vectorized-vs-row", got, ref)
+			if first, ok := baseline[q]; ok {
+				assertSame(t, q, "cross-worker", got, first)
+			} else {
+				baseline[q] = got
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialRulesOff re-runs the corpus with every planner
+// rewrite disabled: both engines must also agree on the naive
+// cross-product-then-filter pipeline (nested-loop joins, no pushdown, no
+// pruning).
+func TestEngineDifferentialRulesOff(t *testing.T) {
+	off := sql.Hints{NoFold: true, NoPushdown: true, NoHashJoin: true, NoPrune: true}
+	offRow := off
+	offRow.NoVectorize = true
+	db := seedDB(t, 1)
+	for _, q := range Corpus() {
+		ref := run(t, db, q, offRow)
+		got := run(t, db, q, off)
+		assertSame(t, q, "rules-off vectorized-vs-row", got, ref)
+	}
+}
+
+// TestSetVectorizeMatchesHint proves the session setting and the
+// per-request hint select the same engines: SET vectorize = off must
+// reproduce the NoVectorize hint byte for byte, and SET vectorize = on
+// must restore the default.
+func TestSetVectorizeMatchesHint(t *testing.T) {
+	db := seedDB(t, 2)
+	q := Corpus()[8] // TPC-H Q1 analogue: sampled aggregate
+	hintRow := run(t, db, q, rowEngine)
+	hintVec := run(t, db, q, vecEngine)
+	if _, err := sql.Exec(db, "SET vectorize = off"); err != nil {
+		t.Fatal(err)
+	}
+	setRow := run(t, db, q, sql.Hints{})
+	if _, err := sql.Exec(db, "SET vectorize = on"); err != nil {
+		t.Fatal(err)
+	}
+	setVec := run(t, db, q, sql.Hints{})
+	assertSame(t, q, "SET off vs hint", setRow, hintRow)
+	assertSame(t, q, "SET on vs default", setVec, hintVec)
+}
+
+// TestVectorizedPlanReportsBatches pins the observability split: the
+// vectorized engine annotates operators with batches= in EXPLAIN ANALYZE
+// while the row engine never does, and the rendered rows= stays identical.
+func TestVectorizedPlanReportsBatches(t *testing.T) {
+	db := seedDB(t, 1)
+	q := "EXPLAIN ANALYZE SELECT cust, price FROM customers WHERE price > 200"
+	render := func(h sql.Hints) string {
+		out, err := sql.ExecContext(sql.WithHints(t.Context(), h), db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	vec := render(vecEngine)
+	row := render(rowEngine)
+	if !strings.Contains(vec, "batches=") {
+		t.Fatalf("vectorized EXPLAIN ANALYZE lacks batches=:\n%s", vec)
+	}
+	if strings.Contains(row, "batches=") && !strings.Contains(row, "samples=") {
+		t.Fatalf("row-engine EXPLAIN ANALYZE reports operator batches:\n%s", row)
+	}
+}
+
+// TestStreamingCursorsMatch drives both engines through the public
+// streaming cursor (QueryContext) instead of eager drain, pulling one row
+// at a time — the row facade over NextBatch must deliver the same rows in
+// the same order as the row engine.
+func TestStreamingCursorsMatch(t *testing.T) {
+	db := seedDB(t, 1)
+	for _, q := range []string{
+		"SELECT o.okey, c.name FROM orders o, customers c WHERE o.cust = c.cust ORDER BY o.okey LIMIT 7",
+		"SELECT cust, price FROM customers WHERE price > 200",
+		"SELECT s.berg, h.ship, conf() AS threat FROM sightings s, ships h WHERE s.plat > h.lat - 0.5 AND s.plat < h.lat + 0.5 AND s.plon > h.lon - 0.5 AND s.plon < h.lon + 0.5",
+	} {
+		stream := func(h sql.Hints) []string {
+			cur, err := sql.QueryContext(sql.WithHints(t.Context(), h), db, q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			defer cur.Close()
+			var rows []string
+			for {
+				tup, err := cur.Next()
+				if err != nil {
+					break
+				}
+				cells := make([]string, len(tup.Values))
+				for i, v := range tup.Values {
+					cells[i] = v.String()
+				}
+				rows = append(rows, strings.Join(cells, "|")+"@"+tup.Cond.String())
+			}
+			return rows
+		}
+		ref := stream(rowEngine)
+		got := stream(vecEngine)
+		if strings.Join(ref, "\n") != strings.Join(got, "\n") {
+			t.Fatalf("%s: streamed rows differ:\ngot:\n%s\nwant:\n%s",
+				q, strings.Join(got, "\n"), strings.Join(ref, "\n"))
+		}
+	}
+}

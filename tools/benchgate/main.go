@@ -5,11 +5,11 @@
 //	go run ./tools/benchgate -old BENCH_5.json -new BENCH_6.json [-factor 8]
 //
 // Checks, in order: the schema versions must match exactly (a layout change
-// invalidates the comparison, not the build); every speedup row of the new
-// report must carry Identical=true (a bit-identity break is a correctness
-// failure, never a perf tradeoff); and throughput / per-sample cost / join
-// latency must not be worse than the old report by more than the tolerance
-// factor. The factor defaults high (8x) because CI machines are noisy and
+// invalidates the comparison, not the build); every speedup and vectorized
+// row of the new report must carry Identical=true (a bit-identity break is
+// a correctness failure, never a perf tradeoff); and throughput /
+// per-sample cost / join latency / the join micro-pair must not be worse
+// than the old report by more than the tolerance factor. The factor defaults high (8x) because CI machines are noisy and
 // the gate exists to catch order-of-magnitude cliffs, not jitter. Exit
 // status is 1 on any finding.
 package main
@@ -35,6 +35,14 @@ type report struct {
 		Workload  string `json:"workload"`
 		Identical bool   `json:"identical"`
 	} `json:"speedup"`
+	Vectorized []struct {
+		Workload  string `json:"workload"`
+		Identical bool   `json:"identical"`
+	} `json:"vectorized"`
+	JoinBenches []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"join_benches"`
 }
 
 func main() {
@@ -74,6 +82,11 @@ func main() {
 			fail("workload %s: parallel run is not bit-identical to sequential", s.Workload)
 		}
 	}
+	for _, v := range newRep.Vectorized {
+		if !v.Identical {
+			fail("workload %s: vectorized run is not bit-identical to the row engine", v.Workload)
+		}
+	}
 	// Higher is better for throughput; lower is better for costs.
 	if o, n := oldRep.QueriesPerSec, newRep.QueriesPerSec; o > 0 && n < o / *factor {
 		fail("queries/s regressed beyond %gx: %.1f -> %.1f", *factor, o, n)
@@ -83,6 +96,15 @@ func main() {
 	}
 	if o, n := oldRep.Join.Ms, newRep.Join.Ms; o > 0 && n > o**factor {
 		fail("join latency regressed beyond %gx: %.3fms -> %.3fms", *factor, o, n)
+	}
+	// Join micro-pair: compared by name, only when both reports carry the
+	// row (baselines before BENCH_10 lack the section).
+	for _, n := range newRep.JoinBenches {
+		for _, o := range oldRep.JoinBenches {
+			if o.Name == n.Name && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp**factor {
+				fail("%s regressed beyond %gx: %.0fns -> %.0fns", n.Name, *factor, o.NsPerOp, n.NsPerOp)
+			}
+		}
 	}
 
 	if bad > 0 {

@@ -53,8 +53,10 @@ var detSuffixes = []string{
 	"internal/expr",
 	"internal/core",
 	"internal/sql",
+	"internal/sql/vectest",
 	"internal/wal",
 	"internal/repl",
+	"internal/ctable",
 }
 
 // pathHasSuffix reports whether the import path is, or ends with a

@@ -10,3 +10,10 @@ import (
 func TestMapOrder(t *testing.T) {
 	vettest.Run(t, "testdata", analyzers.MapOrder, "mapfix/internal/sampler")
 }
+
+// TestMapOrderCompiledPrograms covers the PR 10 vectorized layer: the
+// postfix compiler's operand/slot ordering must come from the emission
+// walk, never from map iteration.
+func TestMapOrderCompiledPrograms(t *testing.T) {
+	vettest.Run(t, "testdata", analyzers.MapOrder, "mapfix/internal/ctable")
+}

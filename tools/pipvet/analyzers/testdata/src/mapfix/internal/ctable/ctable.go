@@ -1,0 +1,52 @@
+// Package ctable is a maporder fixture shaped like the columnar batch /
+// compiled-expression layer (PR 10): variable-to-column slot assignment in
+// the postfix compiler must be a pure function of the expression tree, so
+// any map-iteration-ordered operand numbering inside internal/ctable or
+// internal/expr is a determinism bug.
+package ctable
+
+import "sort"
+
+// assignSlotsPostfix mirrors expr.Compile's slot assignment: operands are
+// numbered by first occurrence in the postfix emission (a slice walk), the
+// map is only a membership index — accepted, no map iteration.
+func assignSlotsPostfix(emission []string) map[string]int32 {
+	slots := make(map[string]int32, len(emission))
+	for _, k := range emission {
+		if _, ok := slots[k]; !ok {
+			slots[k] = int32(len(slots))
+		}
+	}
+	return slots
+}
+
+// operandOrderFromMap numbers operands by map iteration and never sorts:
+// flagged — two compilations of the same expression would gather their
+// sample columns in different orders.
+func operandOrderFromMap(vars map[string]bool) []string {
+	var order []string
+	for k := range vars { // want `range over map vars .*never sorted`
+		order = append(order, k)
+	}
+	return order
+}
+
+// operandOrderSorted collects then sorts: the canonical fix, accepted.
+func operandOrderSorted(vars map[string]bool) []string {
+	order := make([]string, 0, len(vars))
+	for k := range vars {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	return order
+}
+
+// gatherInMapOrder accumulates float sample columns in map order: the
+// float-accumulation shape of the original sampler bug, flagged.
+func gatherInMapOrder(cols map[string][]float64) []float64 {
+	var flat []float64
+	for _, col := range cols { // want `range over map cols .*never sorted`
+		flat = append(flat, col...)
+	}
+	return flat
+}
